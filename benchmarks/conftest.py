@@ -1,0 +1,59 @@
+"""Shared fixtures for the figure-regeneration benches.
+
+Scale control: the default sweep regenerates every figure's series at
+reduced scale (DESIGN.md §6).  Set ``REPRO_BENCH_TASKS`` to a comma list
+(e.g. ``1000,10000,50000,100000``) or ``REPRO_BENCH_SCALE=paper`` for the
+full Table II sweep.  Reports are memoised per scenario, so the per-figure
+bench files share one sweep per node count.
+"""
+
+import os
+
+import pytest
+
+from repro.analysis.paperconfig import DEFAULT_SEED, PAPER_TASK_SWEEP
+from repro.analysis.runner import run_sweep
+
+DEFAULT_BENCH_SWEEP = (500, 1500, 4000)
+
+
+def bench_task_sweep() -> tuple[int, ...]:
+    if os.environ.get("REPRO_BENCH_SCALE") == "paper":
+        return PAPER_TASK_SWEEP
+    env = os.environ.get("REPRO_BENCH_TASKS")
+    if env:
+        return tuple(int(x) for x in env.split(","))
+    return DEFAULT_BENCH_SWEEP
+
+
+@pytest.fixture(scope="session")
+def task_sweep():
+    return bench_task_sweep()
+
+
+@pytest.fixture(scope="session")
+def sweep100(task_sweep):
+    """Task sweep at 100 nodes, partial + full (Figures 6a/7a/8a)."""
+    return run_sweep(100, task_sweep, seed=DEFAULT_SEED)
+
+
+@pytest.fixture(scope="session")
+def sweep200(task_sweep):
+    """Task sweep at 200 nodes, partial + full (Figures 6b/7b/8b/9/10)."""
+    return run_sweep(200, task_sweep, seed=DEFAULT_SEED)
+
+
+def print_figure(series) -> None:
+    """Print the same rows the paper's figure plots (x, partial, full)."""
+    from repro.analysis.asciiplot import series_table
+
+    print(f"\n=== {series.figure_id}: {series.title} ===")
+    print(
+        series_table(series.x, {"partial": series.partial, "full": series.full})
+    )
+    print(f"mean winner ratio: {series.mean_ratio():.2f}x")
+
+
+def assert_shape(series) -> None:
+    problems = series.validate_shape()
+    assert not problems, "figure shape violated: " + "; ".join(problems)

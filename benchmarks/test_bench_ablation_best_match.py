@@ -1,0 +1,86 @@
+"""Ablation — the §V best-match criterion (min sufficient AvailableArea).
+
+DESIGN.md calls this design choice out: the paper picks the node with the
+minimum sufficient area "so that the nodes with larger AvailableArea are
+utilized for later re-configurations".  The ablation swaps the criterion
+for first-fit / worst-fit / random on an identical workload and compares
+placement quality and search effort.
+"""
+
+import pytest
+
+from repro.core import PlacementPolicy
+from repro.framework import DReAMSim
+from repro.rng import RNG
+from repro.workload import ConfigSpec, NodeSpec, TaskSpec
+from repro.workload.generator import (
+    generate_configs,
+    generate_nodes,
+    generate_task_stream,
+)
+
+SEED = 424242
+NODES, CONFIGS, TASKS = 80, 40, 700
+
+
+def run_policy(policy):
+    rng = RNG(seed=SEED)
+    nodes = generate_nodes(NodeSpec(count=NODES), rng)
+    configs = generate_configs(ConfigSpec(count=CONFIGS), rng)
+    stream = generate_task_stream(TaskSpec(count=TASKS), configs, rng)
+    return DReAMSim(nodes, configs, stream, partial=True, policy=policy).run().report
+
+
+@pytest.fixture(scope="module")
+def reports():
+    return {
+        "paper": run_policy(PlacementPolicy.paper()),
+        "first_fit": run_policy(PlacementPolicy.first_fit()),
+        "worst_fit": run_policy(PlacementPolicy.worst_fit()),
+        "random": run_policy(PlacementPolicy.random(RNG(seed=1))),
+    }
+
+
+def test_bench_paper_policy(benchmark):
+    benchmark(run_policy, PlacementPolicy.paper())
+
+
+def test_bench_first_fit_policy(benchmark):
+    benchmark(run_policy, PlacementPolicy.first_fit())
+
+
+def test_all_policies_complete_the_workload(reports):
+    for name, rep in reports.items():
+        done = rep.total_completed_tasks + rep.total_discarded_tasks
+        assert done == TASKS, f"{name} lost tasks"
+
+
+def test_paper_policy_packs_at_least_as_well_as_worst_fit(reports):
+    """Min-area packs regions tighter than worst-fit: no more system waste."""
+    assert (
+        reports["paper"].avg_system_wasted_area_per_task
+        <= reports["worst_fit"].avg_system_wasted_area_per_task * 1.02
+    )
+
+
+def test_paper_policy_reconfigures_less_than_worst_fit(reports):
+    """Preserving big regions means fewer forced evict-and-reload cycles."""
+    assert (
+        reports["paper"].avg_reconfig_count_per_node
+        <= reports["worst_fit"].avg_reconfig_count_per_node
+    )
+
+
+def test_policy_comparison_rows(reports):
+    print(
+        f"\n{'policy':<12} {'wait':>10} {'sys waste':>11} {'steps/task':>11} "
+        f"{'reconf/node':>12} {'discarded':>10}"
+    )
+    for name, rep in reports.items():
+        print(
+            f"{name:<12} {rep.avg_waiting_time_per_task:>10,.0f} "
+            f"{rep.avg_system_wasted_area_per_task:>11,.0f} "
+            f"{rep.avg_scheduling_steps_per_task:>11,.0f} "
+            f"{rep.avg_reconfig_count_per_node:>12.2f} "
+            f"{rep.total_discarded_tasks:>10}"
+        )

@@ -1,0 +1,66 @@
+"""Ablation — sensitivity to Table II's 15% closest-match share.
+
+Tasks preferring a configuration absent from the system list force the
+closest-match path (a larger configuration than needed).  Sweeping the
+share shows the cost: assigned area exceeds preferred area, inflating
+wasted area and (slightly) configuration churn.
+"""
+
+import pytest
+
+from repro.framework import DReAMSim
+from repro.rng import RNG
+from repro.workload import ConfigSpec, NodeSpec, TaskSpec
+from repro.workload.generator import (
+    generate_configs,
+    generate_nodes,
+    generate_task_stream,
+)
+
+SEED = 777
+SHARES = (0.0, 0.15, 0.5)
+
+
+def run_share(share: float):
+    rng = RNG(seed=SEED)
+    nodes = generate_nodes(NodeSpec(count=60), rng)
+    configs = generate_configs(ConfigSpec(count=30), rng)
+    stream = generate_task_stream(
+        TaskSpec(count=500, closest_match_pct=share), configs, rng
+    )
+    return DReAMSim(nodes, configs, stream, partial=True).run().report
+
+
+@pytest.fixture(scope="module")
+def by_share():
+    return {s: run_share(s) for s in SHARES}
+
+
+def test_bench_paper_share(benchmark):
+    benchmark(run_share, 0.15)
+
+
+def test_zero_share_uses_no_closest_match(by_share):
+    assert by_share[0.0].closest_match_tasks == 0
+
+
+def test_share_controls_closest_match_usage(by_share):
+    counts = [by_share[s].closest_match_tasks for s in SHARES]
+    assert counts[0] < counts[1] < counts[2]
+
+
+def test_closest_match_tasks_complete(by_share):
+    for s in SHARES:
+        rep = by_share[s]
+        assert rep.total_completed_tasks + rep.total_discarded_tasks == 500
+
+
+def test_rows(by_share):
+    print(f"\n{'share':>6} {'closest used':>13} {'sys waste':>11} {'wait':>10}")
+    for s in SHARES:
+        rep = by_share[s]
+        print(
+            f"{s:>6.2f} {rep.closest_match_tasks:>13} "
+            f"{rep.avg_system_wasted_area_per_task:>11,.0f} "
+            f"{rep.avg_waiting_time_per_task:>10,.0f}"
+        )

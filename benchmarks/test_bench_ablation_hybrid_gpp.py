@@ -1,0 +1,76 @@
+"""Ablation — hybrid GPP offload (Fig. 1's mixed system, extension).
+
+Sweeps the GPP slowdown factor: fast GPPs (low slowdown) absorb overflow
+cheaply and cut waiting times; slow GPPs trade waiting for stretched
+execution.  The FPGA-only baseline is the paper's configuration.
+"""
+
+import pytest
+
+from repro.framework import DReAMSim
+from repro.model.gpp import GppPool
+from repro.rng import RNG
+from repro.workload import ConfigSpec, NodeSpec, TaskSpec
+from repro.workload.generator import (
+    generate_configs,
+    generate_nodes,
+    generate_task_stream,
+)
+
+SEED = 57721
+TASKS = 400
+
+
+def run_hybrid(slowdown):
+    rng = RNG(seed=SEED)
+    nodes = generate_nodes(NodeSpec(count=25), rng)
+    configs = generate_configs(ConfigSpec(count=15), rng)
+    stream = generate_task_stream(TaskSpec(count=TASKS), configs, rng)
+    gpp = GppPool(count=8, cores=2, slowdown=slowdown) if slowdown else None
+    sim = DReAMSim(nodes, configs, stream, partial=True, gpp=gpp)
+    return sim.run(), gpp
+
+
+@pytest.fixture(scope="module")
+def runs():
+    return {s: run_hybrid(s) for s in (None, 2.0, 16.0)}
+
+
+def test_bench_fpga_only(benchmark):
+    benchmark(lambda: run_hybrid(None)[0].report)
+
+
+def test_bench_hybrid(benchmark):
+    benchmark(lambda: run_hybrid(4.0)[0].report)
+
+
+def test_all_complete(runs):
+    for slowdown, (result, _) in runs.items():
+        rep = result.report
+        assert rep.total_completed_tasks + rep.total_discarded_tasks == TASKS, slowdown
+
+
+def test_gpps_cut_waiting(runs):
+    base = runs[None][0].report.avg_waiting_time_per_task
+    fast = runs[2.0][0].report.avg_waiting_time_per_task
+    assert fast < base
+
+
+def test_faster_gpps_absorb_more(runs):
+    _, fast_pool = runs[2.0]
+    _, slow_pool = runs[16.0]
+    assert fast_pool.tasks_executed > 0 and slow_pool.tasks_executed > 0
+    # Fast GPPs finish offloads sooner, freeing cores for more offloads.
+    assert fast_pool.tasks_executed >= slow_pool.tasks_executed
+
+
+def test_rows(runs):
+    print(f"\n{'slowdown':>9} {'offloaded':>10} {'avg wait':>10} {'sim time':>10}")
+    for slowdown, (result, pool) in runs.items():
+        rep = result.report
+        off = pool.tasks_executed if pool else 0
+        label = f"{slowdown:g}" if slowdown else "none"
+        print(
+            f"{label:>9} {off:>10} {rep.avg_waiting_time_per_task:>10,.0f} "
+            f"{rep.total_simulation_time:>10,}"
+        )

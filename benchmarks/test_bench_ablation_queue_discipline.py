@@ -1,0 +1,78 @@
+"""Ablation — suspension-queue service discipline (extension beyond paper).
+
+The paper's SusList is FIFO.  Queueing theory says SJF minimises mean wait
+and largest-area-first protects big tasks from starvation; this bench
+quantifies both on the Table II workload under heavy load.
+"""
+
+import pytest
+
+from repro.framework import DReAMSim
+from repro.model import TaskStatus
+from repro.rng import RNG
+from repro.workload import ConfigSpec, NodeSpec, TaskSpec
+from repro.workload.generator import (
+    generate_configs,
+    generate_nodes,
+    generate_task_stream,
+)
+
+SEED = 161803
+TASKS = 600
+
+
+def run_discipline(order: str):
+    rng = RNG(seed=SEED)
+    nodes = generate_nodes(NodeSpec(count=40), rng)
+    configs = generate_configs(ConfigSpec(count=20), rng)
+    stream = generate_task_stream(TaskSpec(count=TASKS), configs, rng)
+    sim = DReAMSim(nodes, configs, stream, partial=True, queue_order=order)
+    return sim.run()
+
+
+@pytest.fixture(scope="module")
+def runs():
+    return {order: run_discipline(order) for order in ("fifo", "sjf", "area")}
+
+
+def test_bench_fifo(benchmark):
+    benchmark(lambda: run_discipline("fifo").report)
+
+
+def test_bench_sjf(benchmark):
+    benchmark(lambda: run_discipline("sjf").report)
+
+
+def test_all_disciplines_conserve_tasks(runs):
+    for order, result in runs.items():
+        rep = result.report
+        assert rep.total_completed_tasks + rep.total_discarded_tasks == TASKS, order
+
+
+def test_sjf_minimises_mean_wait(runs):
+    waits = {o: r.report.avg_waiting_time_per_task for o, r in runs.items()}
+    assert waits["sjf"] < waits["fifo"]
+
+
+def test_area_first_favours_large_tasks(runs):
+    """Mean waiting time among the largest-quartile tasks improves under
+    area-first priority relative to FIFO (they jump the queue)."""
+
+    def big_task_mean_wait(result):
+        completed = [t for t in result.tasks if t.status is TaskStatus.COMPLETED]
+        areas = sorted(t.needed_area for t in completed)
+        threshold = areas[3 * len(areas) // 4]
+        waits = [t.waiting_time for t in completed if t.needed_area >= threshold]
+        return sum(waits) / len(waits)
+
+    assert big_task_mean_wait(runs["area"]) < big_task_mean_wait(runs["fifo"])
+
+
+def test_rows(runs):
+    print(f"\n{'discipline':<10} {'mean wait':>11} {'p. completed':>13}")
+    for order, result in runs.items():
+        rep = result.report
+        print(
+            f"{order:<10} {rep.avg_waiting_time_per_task:>11,.0f} "
+            f"{rep.total_completed_tasks:>13}"
+        )

@@ -1,0 +1,88 @@
+"""Ablation — the suspension queue (§V's last-resort holding pattern).
+
+Without the queue (capacity 0) every task that cannot be placed immediately
+is discarded; with it, tasks wait for a busy node to free up.  The ablation
+quantifies what the queue buys (completion rate) and costs (waiting time,
+queue-scan workload).
+"""
+
+import pytest
+
+from repro.framework import DReAMSim
+from repro.rng import RNG
+from repro.workload import ConfigSpec, NodeSpec, TaskSpec
+from repro.workload.generator import (
+    generate_configs,
+    generate_nodes,
+    generate_task_stream,
+)
+
+SEED = 31415
+TASKS = 500
+
+
+def run_with_queue(max_queue_length):
+    rng = RNG(seed=SEED)
+    nodes = generate_nodes(NodeSpec(count=40), rng)
+    configs = generate_configs(ConfigSpec(count=20), rng)
+    stream = generate_task_stream(TaskSpec(count=TASKS), configs, rng)
+    sim = DReAMSim(
+        nodes, configs, stream, partial=True, max_queue_length=max_queue_length
+    )
+    return sim.run().report
+
+
+@pytest.fixture(scope="module")
+def with_queue():
+    return run_with_queue(None)
+
+
+@pytest.fixture(scope="module")
+def without_queue():
+    return run_with_queue(0)
+
+
+def test_bench_with_queue(benchmark):
+    benchmark(run_with_queue, None)
+
+
+def test_bench_without_queue(benchmark):
+    benchmark(run_with_queue, 0)
+
+
+def test_queue_prevents_discards(with_queue, without_queue):
+    assert without_queue.total_discarded_tasks > with_queue.total_discarded_tasks
+    # On an overloaded system the no-queue discard rate is dramatic.
+    assert without_queue.total_discarded_tasks > TASKS * 0.2
+
+
+def test_queue_costs_waiting_time(with_queue, without_queue):
+    """Tasks that would have been dropped now wait — mean wait rises."""
+    assert (
+        with_queue.avg_waiting_time_per_task
+        > without_queue.avg_waiting_time_per_task
+    )
+
+
+def test_both_conserve_tasks(with_queue, without_queue):
+    for rep in (with_queue, without_queue):
+        assert rep.total_completed_tasks + rep.total_discarded_tasks == TASKS
+
+
+def test_bounded_queue_interpolates(with_queue, without_queue):
+    bounded = run_with_queue(10)
+    assert (
+        without_queue.total_discarded_tasks
+        >= bounded.total_discarded_tasks
+        >= with_queue.total_discarded_tasks
+    )
+
+
+def test_rows(with_queue, without_queue):
+    print(f"\n{'queue':>9} {'completed':>10} {'discarded':>10} {'avg wait':>10}")
+    for label, rep in (("unbounded", with_queue), ("disabled", without_queue)):
+        print(
+            f"{label:>9} {rep.total_completed_tasks:>10} "
+            f"{rep.total_discarded_tasks:>10} "
+            f"{rep.avg_waiting_time_per_task:>10,.0f}"
+        )

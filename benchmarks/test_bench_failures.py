@@ -1,0 +1,93 @@
+"""Bench — failure injection (fail-restart on node crashes, extension).
+
+Sweeps the failure rate and measures the cost of fail-restart: interrupted
+work is redone, so completion times stretch as MTBF falls, until the
+livelock threshold (per-node MTBF ≈ service time) where long tasks stop
+finishing at all.
+"""
+
+import pytest
+
+from repro.framework import DReAMSim
+from repro.framework.failures import FailureInjector
+from repro.rng import RNG
+from repro.rng.distributions import Constant, UniformInt
+from repro.workload import ConfigSpec, NodeSpec, TaskSpec
+from repro.workload.generator import (
+    generate_configs,
+    generate_nodes,
+    generate_task_stream,
+)
+
+SEED = 662607
+TASKS = 200
+
+
+def run_with_mtbf(mtbf_range):
+    rng = RNG(seed=SEED)
+    nodes = generate_nodes(NodeSpec(count=15), rng)
+    configs = generate_configs(ConfigSpec(count=8), rng)
+    stream = generate_task_stream(
+        TaskSpec(count=TASKS, required_time=UniformInt(500, 5000)), configs, rng
+    )
+    sim = DReAMSim(nodes, configs, stream, partial=True)
+    injector = None
+    if mtbf_range is not None:
+        injector = FailureInjector(
+            sim,
+            mtbf=UniformInt(*mtbf_range),
+            mttr=Constant(1000),
+            rng=RNG(seed=SEED + 1),
+        ).arm()
+    return sim.run(), injector
+
+
+@pytest.fixture(scope="module")
+def runs():
+    return {
+        "none": run_with_mtbf(None),
+        "rare": run_with_mtbf((20_000, 40_000)),
+        "frequent": run_with_mtbf((3_000, 6_000)),
+    }
+
+
+def test_bench_no_failures(benchmark):
+    benchmark(lambda: run_with_mtbf(None)[0].report)
+
+
+def test_bench_frequent_failures(benchmark):
+    benchmark(lambda: run_with_mtbf((3_000, 6_000))[0].report)
+
+
+def test_all_workloads_terminate(runs):
+    for name, (result, _) in runs.items():
+        rep = result.report
+        assert rep.total_completed_tasks + rep.total_discarded_tasks == TASKS, name
+
+
+def test_failure_rate_ordering(runs):
+    assert runs["frequent"][1].failure_count > runs["rare"][1].failure_count
+
+
+def test_failures_stretch_completion(runs):
+    base = runs["none"][0].report.avg_running_time_per_task
+    stormy = runs["frequent"][0].report.avg_running_time_per_task
+    assert stormy > base
+
+
+def test_availability_ordering(runs):
+    assert runs["rare"][1].availability() > runs["frequent"][1].availability()
+    assert runs["frequent"][1].availability() > 0.5
+
+
+def test_rows(runs):
+    print(f"\n{'regime':<10} {'failures':>9} {'interrupted':>12} "
+          f"{'avail':>7} {'avg run time':>13}")
+    for name, (result, inj) in runs.items():
+        fails = inj.failure_count if inj else 0
+        intr = inj.tasks_interrupted if inj else 0
+        avail = f"{inj.availability():.3f}" if inj else "1.000"
+        print(
+            f"{name:<10} {fails:>9} {intr:>12} {avail:>7} "
+            f"{result.report.avg_running_time_per_task:>13,.0f}"
+        )

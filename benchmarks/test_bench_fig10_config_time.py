@@ -1,0 +1,43 @@
+"""Figure 10 — average configuration time per task (200 nodes).
+
+Paper claim (§VI-A): "Since the average reconfiguration count per node is
+much higher in scenario with partial reconfiguration, so the average
+configuration time per task is also higher" — partial > full pointwise.
+"""
+
+from conftest import assert_shape, print_figure
+
+from repro.analysis.figures import build_figure
+from repro.analysis.paperconfig import DEFAULT_SEED, Scenario
+from repro.analysis.runner import run_scenario
+
+
+def test_fig10_config_time(benchmark, sweep200):
+    series = build_figure("fig10", sweep200)
+    print_figure(series)
+    assert_shape(series)  # partial > full pointwise
+    benchmark(
+        run_scenario,
+        Scenario(nodes=200, tasks=min(sweep200.task_counts), partial=True,
+                 seed=DEFAULT_SEED),
+        use_cache=False,
+    )
+
+
+def test_fig10_consistent_with_fig7(sweep200):
+    """Eq. 10 couples Fig. 10 to Fig. 7: more reconfigurations per node must
+    mean more configuration time per task (config times share one range)."""
+    reconf_p = sweep200.series("avg_reconfig_count_per_node", True)
+    reconf_f = sweep200.series("avg_reconfig_count_per_node", False)
+    ct_p = sweep200.series("avg_reconfig_time_per_task", True)
+    ct_f = sweep200.series("avg_reconfig_time_per_task", False)
+    for rp, rf, cp, cf in zip(reconf_p, reconf_f, ct_p, ct_f):
+        assert (rp > rf) == (cp > cf)
+
+
+def test_fig10_bounded_by_config_time_range(sweep200):
+    """Per-task config time cannot exceed the Table II maximum (20 ticks
+    per load) times loads per task; sanity-bound the absolute values."""
+    for partial in (True, False):
+        for v in sweep200.series("avg_reconfig_time_per_task", partial):
+            assert 0.0 <= v < 20.0 * 3  # < 3 loads per task on average

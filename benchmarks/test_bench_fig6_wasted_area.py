@@ -1,0 +1,45 @@
+"""Figure 6 — average wasted area per task vs. total tasks generated.
+
+Paper claims (§VI-A): partial < full at every point (both node counts), and
+the 100-node values are far smaller than the 200-node values.  The bench
+regenerates both panels' series, prints the rows, asserts the shapes, and
+times one representative scenario end-to-end.
+"""
+
+from conftest import assert_shape, print_figure
+
+from repro.analysis.figures import build_figure
+from repro.analysis.paperconfig import DEFAULT_SEED, Scenario
+from repro.analysis.runner import run_scenario
+
+
+def test_fig6a_wasted_area_100_nodes(benchmark, sweep100):
+    series = build_figure("fig6a", sweep100)
+    print_figure(series)
+    assert_shape(series)
+    benchmark(
+        run_scenario,
+        Scenario(nodes=100, tasks=min(sweep100.task_counts), partial=True,
+                 seed=DEFAULT_SEED),
+        use_cache=False,
+    )
+
+
+def test_fig6b_wasted_area_200_nodes(benchmark, sweep200):
+    series = build_figure("fig6b", sweep200)
+    print_figure(series)
+    assert_shape(series)
+    benchmark(
+        run_scenario,
+        Scenario(nodes=200, tasks=min(sweep200.task_counts), partial=False,
+                 seed=DEFAULT_SEED),
+        use_cache=False,
+    )
+
+
+def test_fig6_100_nodes_waste_far_less_than_200(sweep100, sweep200):
+    """§VI-A: '10-50 area units' (100 nodes) vs '200-1600' (200 nodes)."""
+    for metric_partial in (True, False):
+        small = sweep100.series("avg_system_wasted_area_per_task", metric_partial)
+        large = sweep200.series("avg_system_wasted_area_per_task", metric_partial)
+        assert all(a < b for a, b in zip(small, large))

@@ -1,0 +1,51 @@
+"""Figure 7 — average reconfiguration count per node vs. total tasks.
+
+Paper claims (§VI-A): with partial reconfiguration a node is reconfigured
+*more* often ("more options for the scheduler"); with 100 nodes the counts
+exceed the 200-node counts ("the scheduler has less options … reconfigures
+those idle nodes").
+"""
+
+from conftest import assert_shape, print_figure
+
+from repro.analysis.figures import build_figure
+from repro.analysis.paperconfig import DEFAULT_SEED, Scenario
+from repro.analysis.runner import run_scenario
+
+
+def test_fig7a_reconfig_count_100_nodes(benchmark, sweep100):
+    series = build_figure("fig7a", sweep100)
+    print_figure(series)
+    assert_shape(series)  # partial > full pointwise
+    benchmark(
+        run_scenario,
+        Scenario(nodes=100, tasks=min(sweep100.task_counts), partial=True,
+                 seed=DEFAULT_SEED),
+        use_cache=False,
+    )
+
+
+def test_fig7b_reconfig_count_200_nodes(benchmark, sweep200):
+    series = build_figure("fig7b", sweep200)
+    print_figure(series)
+    assert_shape(series)
+    benchmark(
+        run_scenario,
+        Scenario(nodes=200, tasks=min(sweep200.task_counts), partial=True,
+                 seed=DEFAULT_SEED),
+        use_cache=False,
+    )
+
+
+def test_fig7_fewer_nodes_reconfigure_more(sweep100, sweep200):
+    for partial in (True, False):
+        counts100 = sweep100.series("avg_reconfig_count_per_node", partial)
+        counts200 = sweep200.series("avg_reconfig_count_per_node", partial)
+        assert all(a > b for a, b in zip(counts100, counts200))
+
+
+def test_fig7_counts_grow_with_tasks(sweep100):
+    """More tasks through the same nodes => monotonically more reconfigs."""
+    for partial in (True, False):
+        counts = sweep100.series("avg_reconfig_count_per_node", partial)
+        assert all(b > a for a, b in zip(counts, counts[1:]))

@@ -1,0 +1,57 @@
+"""Figure 8 — average waiting time per task vs. total tasks.
+
+Paper claims (§VI-A): partial ≪ full (tasks go to free regions immediately);
+100-node waits exceed 200-node waits ("very high due to a fewer number of
+nodes"); waits grow with total tasks (queueing).
+"""
+
+from conftest import assert_shape, print_figure
+
+from repro.analysis.figures import build_figure
+from repro.analysis.paperconfig import DEFAULT_SEED, Scenario
+from repro.analysis.runner import run_scenario
+
+
+def test_fig8a_waiting_time_100_nodes(benchmark, sweep100):
+    series = build_figure("fig8a", sweep100)
+    print_figure(series)
+    assert_shape(series)
+    benchmark(
+        run_scenario,
+        Scenario(nodes=100, tasks=min(sweep100.task_counts), partial=False,
+                 seed=DEFAULT_SEED),
+        use_cache=False,
+    )
+
+
+def test_fig8b_waiting_time_200_nodes(benchmark, sweep200):
+    series = build_figure("fig8b", sweep200)
+    print_figure(series)
+    assert_shape(series)
+    benchmark(
+        run_scenario,
+        Scenario(nodes=200, tasks=min(sweep200.task_counts), partial=False,
+                 seed=DEFAULT_SEED),
+        use_cache=False,
+    )
+
+
+def test_fig8_fewer_nodes_wait_longer(sweep100, sweep200):
+    for partial in (True, False):
+        waits100 = sweep100.series("avg_waiting_time_per_task", partial)
+        waits200 = sweep200.series("avg_waiting_time_per_task", partial)
+        assert all(a > b for a, b in zip(waits100, waits200))
+
+
+def test_fig8_waits_grow_with_load(sweep100):
+    """The overloaded system queues: waits rise monotonically with tasks."""
+    for partial in (True, False):
+        waits = sweep100.series("avg_waiting_time_per_task", partial)
+        assert all(b > a for a, b in zip(waits, waits[1:]))
+
+
+def test_fig8_factor_is_large(sweep100):
+    """'much higher' waits without partial — require at least ~2x."""
+    p = sweep100.series("avg_waiting_time_per_task", True)
+    f = sweep100.series("avg_waiting_time_per_task", False)
+    assert all(fv > 2.0 * pv for pv, fv in zip(p, f))

@@ -1,0 +1,56 @@
+"""Figure 9 — scheduler effort at 200 nodes.
+
+9a: average scheduling steps per task (partial < full — "the scheduler can
+even search for a node region to map a task, which reduces the scheduling
+effort").  9b: total scheduler workload (partial < full — "the possibilities
+to schedule a task are limited and more housekeeping is required").
+"""
+
+from conftest import assert_shape, print_figure
+
+from repro.analysis.figures import build_figure
+from repro.analysis.paperconfig import DEFAULT_SEED, Scenario
+from repro.analysis.runner import run_scenario
+
+
+def test_fig9a_scheduling_steps(benchmark, sweep200):
+    series = build_figure("fig9a", sweep200)
+    print_figure(series)
+    assert_shape(series)
+    benchmark(
+        run_scenario,
+        Scenario(nodes=200, tasks=min(sweep200.task_counts), partial=True,
+                 seed=DEFAULT_SEED),
+        use_cache=False,
+    )
+
+
+def test_fig9b_total_workload(benchmark, sweep200):
+    series = build_figure("fig9b", sweep200)
+    print_figure(series)
+    assert_shape(series)
+    benchmark(
+        run_scenario,
+        Scenario(nodes=200, tasks=min(sweep200.task_counts), partial=False,
+                 seed=DEFAULT_SEED),
+        use_cache=False,
+    )
+
+
+def test_fig9b_workload_grows_with_tasks(sweep200):
+    """Workload rises monotonically with task count (queue scans + longer
+    sims).  The paper's curves are superlinear at 100k-task scale; at the
+    reduced default sweep the long-task tail dominates short runs, so only
+    monotone growth is asserted here."""
+    for partial in (True, False):
+        wl = sweep200.series("total_scheduler_workload", partial)
+        assert all(b > a for a, b in zip(wl, wl[1:]))
+
+
+def test_fig9_workload_includes_scheduling_steps(sweep200):
+    """Consistency: total workload >= scheduling steps (it is a superset)."""
+    for reports in (sweep200.partial, sweep200.full):
+        for rep in reports:
+            assert rep.total_scheduler_workload >= (
+                rep.avg_scheduling_steps_per_task * rep.total_tasks_generated * 0.999
+            )

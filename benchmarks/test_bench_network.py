@@ -1,0 +1,88 @@
+"""Bench — network substrate: topology delays and bitstream caching.
+
+Extension beyond Table II's fixed delay ranges: derive t_comm and bitstream
+transfer from an interconnect model, and measure what a per-node bitstream
+cache (on-board flash) buys on reconfiguration cost.
+"""
+
+import pytest
+
+from repro.framework import DReAMSim
+from repro.model import TaskStatus
+from repro.network import Link, LinkClass, Topology, TransferDelayModel
+from repro.rng import RNG
+from repro.workload import ConfigSpec, NodeSpec, TaskSpec
+from repro.workload.generator import (
+    generate_configs,
+    generate_nodes,
+    generate_task_stream,
+)
+
+SEED = 141421
+TASKS = 300
+
+
+def run_networked(link_class=None, cache_size=0):
+    rng = RNG(seed=SEED)
+    nodes = generate_nodes(NodeSpec(count=20), rng)
+    configs = generate_configs(ConfigSpec(count=10), rng)
+    stream = generate_task_stream(TaskSpec(count=TASKS), configs, rng)
+    model = None
+    if link_class is not None:
+        topo = Topology.star(nodes, link_class=link_class)
+        model = TransferDelayModel(topo, cache_size=cache_size)
+    sim = DReAMSim(nodes, configs, stream, partial=True, network=model)
+    return sim.run(), model
+
+
+@pytest.fixture(scope="module")
+def runs():
+    return {
+        "fixed": run_networked(None),
+        "wired": run_networked(LinkClass.WIRED),
+        "wan": run_networked(LinkClass.WAN),
+        "wired+cache": run_networked(LinkClass.WIRED, cache_size=8),
+    }
+
+
+def test_bench_fixed_delays(benchmark):
+    benchmark(lambda: run_networked(None)[0].report)
+
+
+def test_bench_topology_delays(benchmark):
+    benchmark(lambda: run_networked(LinkClass.WIRED)[0].report)
+
+
+def test_all_complete(runs):
+    for name, (result, _) in runs.items():
+        rep = result.report
+        assert rep.total_completed_tasks + rep.total_discarded_tasks == TASKS, name
+
+
+def test_wan_waits_exceed_wired(runs):
+    assert (
+        runs["wan"][0].report.avg_waiting_time_per_task
+        > runs["wired"][0].report.avg_waiting_time_per_task
+    )
+
+
+def test_cache_cuts_config_payments(runs):
+    def paid(result):
+        return sum(
+            t.config_time_paid
+            for t in result.tasks
+            if t.status is TaskStatus.COMPLETED
+        )
+
+    cached_model = runs["wired+cache"][1]
+    assert cached_model.cache_hits > 0
+    assert paid(runs["wired+cache"][0]) < paid(runs["wired"][0])
+
+
+def test_rows(runs):
+    print(f"\n{'network':<12} {'avg wait':>10} {'hit rate':>9}")
+    for name, (result, model) in runs.items():
+        rate = f"{model.cache_hit_rate:.2f}" if model else "-"
+        print(
+            f"{name:<12} {result.report.avg_waiting_time_per_task:>10,.0f} {rate:>9}"
+        )

@@ -1,0 +1,60 @@
+"""Table II — the simulation parameter set, realised and verified.
+
+Checks that the default specs regenerate exactly the published parameter
+ranges, and benchmarks the default-parameter simulation (the run every
+figure point is made of).
+"""
+
+from conftest import bench_task_sweep
+
+from repro.analysis.paperconfig import DEFAULT_SEED, Scenario
+from repro.analysis.runner import run_scenario
+from repro.rng import RNG
+from repro.workload import ConfigSpec, NodeSpec, TaskSpec
+from repro.workload.generator import (
+    generate_configs,
+    generate_nodes,
+    generate_task_stream,
+)
+
+
+def test_table2_node_parameters():
+    rng = RNG(seed=DEFAULT_SEED)
+    for count in (100, 200):  # Table II: total nodes
+        nodes = generate_nodes(NodeSpec(count=count), rng)
+        assert len(nodes) == count
+        assert all(1000 <= n.total_area <= 4000 for n in nodes)  # area range
+
+
+def test_table2_config_parameters():
+    rng = RNG(seed=DEFAULT_SEED)
+    configs = generate_configs(ConfigSpec(count=50), rng)  # total configurations
+    assert len(configs) == 50
+    assert all(200 <= c.req_area <= 2000 for c in configs)  # ReqArea range
+    assert all(10 <= c.config_time <= 20 for c in configs)  # t_config range
+
+
+def test_table2_task_parameters():
+    rng = RNG(seed=DEFAULT_SEED)
+    configs = generate_configs(ConfigSpec(count=50), rng)
+    arrivals = list(generate_task_stream(TaskSpec(count=3000), configs, rng))
+    assert len(arrivals) == 3000
+    times = [a.at for a in arrivals]
+    gaps = [b - a for a, b in zip(times, times[1:])]
+    assert all(1 <= g <= 50 for g in gaps)  # next task generation interval
+    assert all(100 <= a.task.required_time <= 100_000 for a in arrivals)
+    known = {c.config_no for c in configs}
+    closest = sum(1 for a in arrivals if a.task.pref_config.config_no not in known)
+    assert 0.12 <= closest / 3000 <= 0.18  # CClosestMatch percentage ~15%
+
+
+def test_table2_default_run_benchmark(benchmark):
+    """Time the canonical Table II run at the bench sweep's smallest point."""
+    tasks = min(bench_task_sweep())
+    report = benchmark(
+        run_scenario,
+        Scenario(nodes=200, tasks=tasks, partial=True, seed=DEFAULT_SEED),
+        use_cache=False,
+    )
+    assert report.total_tasks_generated == tasks
+    assert report.total_completed_tasks + report.total_discarded_tasks == tasks

@@ -1,0 +1,65 @@
+"""Bench — task-graph list scheduling (future-work extension).
+
+Times graph scheduling on a contended cluster and checks the rank-priority
+ablation: upward-rank dispatch must not lose to FIFO, and both must respect
+the critical-path lower bound.
+"""
+
+import pytest
+
+from repro.rng import RNG
+from repro.taskgraph import TaskGraphScheduler, layered_random
+from repro.workload import ConfigSpec, NodeSpec
+from repro.workload.generator import generate_configs, generate_nodes
+
+SEED = 1618
+
+
+def make_graph():
+    rng = RNG(seed=SEED)
+    configs = generate_configs(ConfigSpec(count=12), rng)
+    graph = layered_random(6, 8, configs, rng, edge_prob=0.35)
+    return graph, configs
+
+
+def schedule(priority):
+    graph, configs = make_graph()
+    nodes = generate_nodes(NodeSpec(count=4), RNG(seed=SEED))
+    return TaskGraphScheduler(nodes, configs, priority=priority).run(graph)
+
+
+@pytest.fixture(scope="module")
+def rank_result():
+    return schedule("rank")
+
+
+@pytest.fixture(scope="module")
+def fifo_result():
+    return schedule("fifo")
+
+
+def test_bench_rank_scheduling(benchmark):
+    result = benchmark(schedule, "rank")
+    assert result.discarded == 0
+
+
+def test_bench_fifo_scheduling(benchmark):
+    benchmark(schedule, "fifo")
+
+
+def test_makespans_respect_critical_path(rank_result, fifo_result):
+    graph, _ = make_graph()
+    cp = graph.critical_path_length()
+    assert rank_result.makespan >= cp
+    assert fifo_result.makespan >= cp
+
+
+def test_rank_not_worse_than_fifo(rank_result, fifo_result):
+    assert rank_result.makespan <= fifo_result.makespan * 1.10
+
+
+def test_rows(rank_result, fifo_result):
+    graph, _ = make_graph()
+    print(f"\ncritical path bound: {graph.critical_path_length()}")
+    print(f"rank makespan      : {rank_result.makespan}")
+    print(f"fifo makespan      : {fifo_result.makespan}")

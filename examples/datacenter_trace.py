@@ -1,0 +1,84 @@
+#!/usr/bin/env python
+"""Replay a real-workload trace through the simulator (SWF input path).
+
+§III says the input subsystem "can also support real workloads".  This
+example exercises that path end to end:
+
+1. synthesise a bursty datacenter-style trace (diurnal arrival waves,
+   heavy-tailed runtimes) and write it in Standard Workload Format;
+2. read the SWF file back (as one would a Parallel Workloads Archive trace);
+3. map jobs onto DReAMSim tasks and replay them through both
+   reconfiguration methods.
+
+Run:  python examples/datacenter_trace.py
+"""
+
+import math
+import tempfile
+from pathlib import Path
+
+from repro.framework import DReAMSim
+from repro.rng import RNG
+from repro.workload import ConfigSpec, NodeSpec
+from repro.workload.generator import generate_configs, generate_nodes
+from repro.workload.swf import SwfJob, read_swf, tasks_from_swf, write_swf
+
+JOBS = 900
+SEED = 11
+
+
+def synthesise_trace(rng: RNG) -> list[SwfJob]:
+    """Diurnal arrivals + gamma-tailed runtimes, in SWF fields."""
+    jobs = []
+    t = 0.0
+    for i in range(JOBS):
+        # Arrival intensity follows a day/night wave (period ~ 2000 s here).
+        phase = 0.6 + 0.4 * math.sin(2 * math.pi * (t / 2000.0))
+        t += rng.exponential(rate=phase / 12.0)  # mean gap ~12-30 s
+        run_time = max(1, int(rng.gamma(shape=1.6, scale=900.0)))  # heavy tail
+        procs = max(1, rng.poisson(3.0))
+        jobs.append(
+            SwfJob.from_fields(
+                [
+                    i + 1, int(t), -1, run_time, procs, -1, -1, procs, -1,
+                    int(rng.gamma(2.0, 256.0)), 1, 1, 1, -1, -1, -1, -1, -1,
+                ]
+            )
+        )
+    return jobs
+
+
+def main() -> None:
+    rng = RNG(seed=SEED)
+
+    with tempfile.TemporaryDirectory() as tmp:
+        trace_path = Path(tmp) / "datacenter.swf"
+        write_swf(synthesise_trace(rng), trace_path, header="synthetic datacenter trace")
+        print(f"wrote {trace_path.name} ({trace_path.stat().st_size} bytes)")
+
+        jobs = read_swf(trace_path)
+        print(f"read back {len(jobs)} jobs; first submit t={jobs[0].submit_time}s\n")
+
+        for partial in (True, False):
+            run_rng = RNG(seed=SEED)
+            nodes = generate_nodes(NodeSpec(count=16), run_rng)
+            configs = generate_configs(ConfigSpec(count=20), run_rng)
+            arrivals = tasks_from_swf(jobs, configs, time_scale=1.0)
+            report = DReAMSim(nodes, configs, arrivals, partial=partial).run().report
+            label = "partial" if partial else "full"
+            print(
+                f"{label:>7}: completed {report.total_completed_tasks}/{len(arrivals)}"
+                f"  avg wait {report.avg_waiting_time_per_task:,.0f}"
+                f"  reconf/node {report.avg_reconfig_count_per_node:.1f}"
+                f"  sim time {report.total_simulation_time:,}"
+            )
+
+    print(
+        "\nThe trace replays deterministically: job sizes hash onto the"
+        "\nconfiguration list, so any archive trace maps onto any generated"
+        "\nresource set."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,66 @@
+#!/usr/bin/env python
+"""Regenerate every figure of the paper's evaluation section, with plots.
+
+Runs the Table II sweeps at a configurable scale and prints, for each of
+Figures 6a-10: the numeric series (tasks vs partial/full), an ASCII plot,
+and the §VI-A shape verdict.  This is the library-API version of
+``python -m repro figures --plot``.
+
+Run:  python examples/paper_figures.py [--tasks 500 1500 3000]
+"""
+
+import argparse
+
+from repro.analysis.asciiplot import ascii_plot, series_table
+from repro.analysis.figures import FIGURES, build_figure
+from repro.analysis.paperconfig import DEFAULT_SEED
+from repro.analysis.runner import run_sweep
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--tasks", type=int, nargs="+", default=[400, 1000, 2000],
+        help="task-count sweep (the figures' x axis)",
+    )
+    parser.add_argument("--seed", type=int, default=DEFAULT_SEED)
+    args = parser.parse_args()
+
+    node_counts = sorted({spec["nodes"] for spec in FIGURES.values()})
+    sweeps = {}
+    for nodes in node_counts:
+        print(f"sweeping {nodes} nodes over tasks={args.tasks} ...")
+        sweeps[nodes] = run_sweep(nodes, args.tasks, seed=args.seed)
+
+    all_ok = True
+    for fid in sorted(FIGURES):
+        series = build_figure(fid, sweeps[FIGURES[fid]["nodes"]])
+        print(f"\n{'=' * 70}\n{fid}: {series.title}")
+        print(series_table(series.x, {"partial": series.partial, "full": series.full}))
+        print(
+            ascii_plot(
+                series.x,
+                {"partial": series.partial, "full": series.full},
+                width=56,
+                height=12,
+            )
+        )
+        problems = series.validate_shape()
+        if problems:
+            all_ok = False
+            for p in problems:
+                print(f"  !! {p}")
+        else:
+            winner = "partial" if series.partial_should_be_lower else "partial (higher)"
+            print(
+                f"  shape matches the paper: {winner} wins, "
+                f"mean factor {series.mean_ratio():.2f}x"
+            )
+
+    print(f"\n{'=' * 70}")
+    print("all figure shapes reproduced" if all_ok else "SHAPE VIOLATIONS — see above")
+    return 0 if all_ok else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,73 @@
+#!/usr/bin/env python
+"""Compare placement policies on an identical workload.
+
+The paper fixes one best-match rule (§V: minimum sufficient AvailableArea).
+This example swaps in the alternatives the framework supports — first-fit,
+worst-fit, random, and the future-work least-loaded policy — and shows how
+placement quality (waiting time, wasted area) trades against scheduler
+effort (search steps).
+
+Run:  python examples/policy_comparison.py
+"""
+
+from repro.core import PlacementPolicy
+from repro.framework import DReAMSim
+from repro.framework.loadbalance import LeastLoadedPolicy
+from repro.rng import RNG
+from repro.workload import ConfigSpec, NodeSpec, TaskSpec
+from repro.workload.generator import (
+    generate_configs,
+    generate_nodes,
+    generate_task_stream,
+)
+
+NODES = 60
+TASKS = 800
+SEED = 2012
+
+
+def run_with(policy_name: str, policy) -> dict:
+    # Regenerate identical resources/workload per run: same seed, same specs.
+    rng = RNG(seed=SEED)
+    nodes = generate_nodes(NodeSpec(count=NODES), rng)
+    configs = generate_configs(ConfigSpec(count=30), rng)
+    stream = generate_task_stream(TaskSpec(count=TASKS), configs, rng)
+    report = DReAMSim(nodes, configs, stream, partial=True, policy=policy).run().report
+    return {
+        "policy": policy_name,
+        "wait": report.avg_waiting_time_per_task,
+        "waste": report.avg_system_wasted_area_per_task,
+        "steps": report.avg_scheduling_steps_per_task,
+        "reconf": report.avg_reconfig_count_per_node,
+        "discard": report.total_discarded_tasks,
+    }
+
+
+def main() -> None:
+    policies = [
+        ("paper (min-area)", PlacementPolicy.paper()),
+        ("first-fit", PlacementPolicy.first_fit()),
+        ("worst-fit (max-area)", PlacementPolicy.worst_fit()),
+        ("random", PlacementPolicy.random(RNG(seed=7))),
+        ("least-loaded", LeastLoadedPolicy()),
+    ]
+    print(f"policy comparison: {NODES} nodes, {TASKS} tasks, partial mode\n")
+    print(
+        f"{'policy':<22} {'avg wait':>12} {'avg waste':>12} "
+        f"{'steps/task':>11} {'reconf/node':>12} {'discarded':>10}"
+    )
+    print("-" * 83)
+    for name, policy in policies:
+        row = run_with(name, policy)
+        print(
+            f"{row['policy']:<22} {row['wait']:>12,.0f} {row['waste']:>12,.0f} "
+            f"{row['steps']:>11,.0f} {row['reconf']:>12.2f} {row['discard']:>10}"
+        )
+    print(
+        "\nfirst-fit spends the fewest search steps but packs worse; the"
+        "\npaper's min-area rule balances packing against search effort."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,70 @@
+#!/usr/bin/env python
+"""Task-graph scheduling on reconfigurable nodes (the paper's future work).
+
+Builds three workflow shapes — a streaming pipeline, a map-reduce shuffle
+and a layered random DAG — and schedules each with HEFT-style upward-rank
+priority vs. plain FIFO, on a small reconfigurable cluster.  Reports
+makespan against the critical-path lower bound.
+
+Run:  python examples/taskgraph_pipeline.py
+"""
+
+from repro.rng import RNG
+from repro.taskgraph import (
+    TaskGraphScheduler,
+    layered_random,
+    map_reduce,
+    pipeline,
+)
+from repro.workload import ConfigSpec, NodeSpec
+from repro.workload.generator import generate_configs, generate_nodes
+
+SEED = 77
+CLUSTER_NODES = 3  # scarce on purpose: priority order matters under contention
+
+
+def fresh_cluster(configs_count=12):
+    rng = RNG(seed=SEED)
+    nodes = generate_nodes(NodeSpec(count=CLUSTER_NODES), rng)
+    configs = generate_configs(ConfigSpec(count=configs_count), rng)
+    return nodes, configs
+
+
+def main() -> None:
+    rng = RNG(seed=SEED)
+    _, configs = fresh_cluster()
+
+    graphs = {
+        "pipeline(10)": pipeline(10, configs, rng, comm=20),
+        "map_reduce(6x3)": map_reduce(6, 3, configs, rng, comm=30),
+        "layered(6x8)": layered_random(6, 8, configs, rng, edge_prob=0.35),
+    }
+
+    print(f"task-graph scheduling on {CLUSTER_NODES} reconfigurable nodes\n")
+    print(
+        f"{'graph':<17} {'tasks':>6} {'cp bound':>9} "
+        f"{'rank':>8} {'fifo':>8} {'rank gain':>10}"
+    )
+    print("-" * 63)
+    for name, graph in graphs.items():
+        results = {}
+        for prio in ("rank", "fifo"):
+            nodes, cfgs = fresh_cluster()
+            results[prio] = TaskGraphScheduler(
+                nodes, cfgs, priority=prio
+            ).run(graph)
+        gain = results["fifo"].makespan / results["rank"].makespan
+        print(
+            f"{name:<17} {len(graph):>6} {graph.critical_path_length():>9} "
+            f"{results['rank'].makespan:>8} {results['fifo'].makespan:>8} "
+            f"{gain:>9.2f}x"
+        )
+
+    print(
+        "\nUpward-rank priority keeps the critical path moving; under"
+        "\nresource contention it meets or beats FIFO dispatch."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,40 @@
+"""Experiment harness (S10): Table II configurations, sweeps, figures.
+
+* :mod:`repro.analysis.paperconfig` — Table II's parameter set as code, with
+  the default (reduced) and full paper-scale sweeps.
+* :mod:`repro.analysis.runner` — single-scenario and sweep runners
+  returning :class:`~repro.metrics.table1.MetricsReport` grids.
+* :mod:`repro.analysis.figures` — one builder per figure (6a…10) yielding
+  plot-ready series plus the §VI-A shape validators.
+* :mod:`repro.analysis.asciiplot` — terminal line plots for the CLI.
+* :mod:`repro.analysis.compare` — paper-vs-measured claim table and the
+  EXPERIMENTS.md generator.
+"""
+
+from repro.analysis.paperconfig import (
+    PAPER_TASK_SWEEP,
+    TEST_TASK_SWEEP,
+    Scenario,
+    paper_scale_scenarios,
+    table2_scenarios,
+)
+from repro.analysis.runner import SweepResult, run_scenario, run_sweep
+from repro.analysis.figures import FIGURES, FigureSeries, build_figure
+from repro.analysis.compare import CLAIMS, ClaimCheck, check_claims
+
+__all__ = [
+    "CLAIMS",
+    "ClaimCheck",
+    "FIGURES",
+    "FigureSeries",
+    "PAPER_TASK_SWEEP",
+    "Scenario",
+    "SweepResult",
+    "TEST_TASK_SWEEP",
+    "build_figure",
+    "check_claims",
+    "paper_scale_scenarios",
+    "run_scenario",
+    "run_sweep",
+    "table2_scenarios",
+]

@@ -1,0 +1,90 @@
+"""Minimal ASCII line plots for terminal figure output.
+
+No plotting dependency is available offline, so the CLI renders figures as
+character grids — good enough to eyeball the partial-vs-full ordering the
+paper's figures convey.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def _scale(values: Sequence[float], size: int, lo: float, hi: float) -> list[int]:
+    span = hi - lo
+    if span <= 0:
+        return [0 for _ in values]
+    return [min(size - 1, max(0, round((v - lo) / span * (size - 1)))) for v in values]
+
+
+def ascii_plot(
+    x: Sequence[float],
+    series: dict[str, Sequence[float]],
+    width: int = 64,
+    height: int = 16,
+    title: str = "",
+) -> str:
+    """Render one or more y-series against x as an ASCII grid.
+
+    Each series gets a marker character; overlapping points show the later
+    series' marker.  Returns a multi-line string.
+    """
+    if not x or not series:
+        return "(no data)"
+    markers = "*o+x#@"
+    all_y = [v for ys in series.values() for v in ys]
+    lo_y, hi_y = min(all_y), max(all_y)
+    lo_x, hi_x = min(x), max(x)
+    grid = [[" "] * width for _ in range(height)]
+    cols = _scale(list(x), width, lo_x, hi_x)
+    for (name, ys), marker in zip(series.items(), markers):
+        rows = _scale(list(ys), height, lo_y, hi_y)
+        prev = None
+        for c, r in zip(cols, rows):
+            rr = height - 1 - r
+            grid[rr][c] = marker
+            if prev is not None:
+                # connect with a sparse vertical run for readability
+                pc, pr = prev
+                if pc == c:
+                    continue
+                for cc in range(min(pc, c) + 1, max(pc, c)):
+                    t = (cc - pc) / (c - pc)
+                    interp = round(pr + t * (rr - pr))
+                    if grid[interp][cc] == " ":
+                        grid[interp][cc] = "."
+            prev = (c, rr)
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(f"y: [{lo_y:.4g} .. {hi_y:.4g}]")
+    lines.extend("|" + "".join(row) for row in grid)
+    lines.append("+" + "-" * width)
+    lines.append(f" x: [{lo_x:.4g} .. {hi_x:.4g}]")
+    legend = "   ".join(
+        f"{marker}={name}" for (name, _), marker in zip(series.items(), markers)
+    )
+    lines.append(f" {legend}")
+    return "\n".join(lines)
+
+
+def series_table(
+    x: Sequence[float], series: dict[str, Sequence[float]], x_label: str = "tasks"
+) -> str:
+    """Aligned numeric table of the same data (for copy/paste comparison)."""
+    headers = [x_label] + list(series)
+    rows = [
+        [f"{xi:g}"] + [f"{series[name][i]:.6g}" for name in series]
+        for i, xi in enumerate(x)
+    ]
+    widths = [
+        max(len(headers[c]), *(len(r[c]) for r in rows)) if rows else len(headers[c])
+        for c in range(len(headers))
+    ]
+    out = ["  ".join(h.rjust(w) for h, w in zip(headers, widths))]
+    for r in rows:
+        out.append("  ".join(v.rjust(w) for v, w in zip(r, widths)))
+    return "\n".join(out)
+
+
+__all__ = ["ascii_plot", "series_table"]

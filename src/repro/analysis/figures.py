@@ -1,0 +1,138 @@
+"""Figure builders: one per figure of the paper's evaluation (Figs. 6–10).
+
+Each builder maps a :class:`~repro.analysis.runner.SweepResult` to a
+:class:`FigureSeries` — the x-axis (total tasks generated) and the
+partial/full y-series the paper plots — plus a shape validator encoding the
+§VI-A claim for that figure ("who wins").  The benches call the validators;
+the CLI renders the series as ASCII plots or CSV.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.analysis.runner import SweepResult
+
+# figure id -> (report attribute, paper claim: does partial win (smaller)?)
+_FIG_METRICS: dict[str, tuple[str, bool, str]] = {
+    # fig id: (metric attr, partial_is_lower, description)
+    "fig6": (
+        "avg_system_wasted_area_per_task",
+        True,
+        "Average wasted area per task (Eqs. 6-7)",
+    ),
+    "fig7": (
+        "avg_reconfig_count_per_node",
+        False,
+        "Average reconfiguration count per node",
+    ),
+    "fig8": ("avg_waiting_time_per_task", True, "Average waiting time per task (Eq. 9)"),
+    "fig9a": (
+        "avg_scheduling_steps_per_task",
+        True,
+        "Average scheduling steps per task",
+    ),
+    "fig9b": ("total_scheduler_workload", True, "Total scheduler workload"),
+    "fig10": (
+        "avg_reconfig_time_per_task",
+        False,
+        "Average configuration time per task (Eq. 10)",
+    ),
+}
+
+# Figures as they appear in the paper, with their node counts.
+FIGURES: dict[str, dict] = {
+    "fig6a": {"base": "fig6", "nodes": 100},
+    "fig6b": {"base": "fig6", "nodes": 200},
+    "fig7a": {"base": "fig7", "nodes": 100},
+    "fig7b": {"base": "fig7", "nodes": 200},
+    "fig8a": {"base": "fig8", "nodes": 100},
+    "fig8b": {"base": "fig8", "nodes": 200},
+    "fig9a": {"base": "fig9a", "nodes": 200},
+    "fig9b": {"base": "fig9b", "nodes": 200},
+    "fig10": {"base": "fig10", "nodes": 200},
+}
+
+
+@dataclass
+class FigureSeries:
+    """Plot-ready data for one figure."""
+
+    figure_id: str
+    title: str
+    nodes: int
+    metric: str
+    x: list[int] = field(default_factory=list)  # total tasks generated
+    partial: list[float] = field(default_factory=list)
+    full: list[float] = field(default_factory=list)
+    partial_should_be_lower: bool = True
+
+    def validate_shape(self) -> list[str]:
+        """Check the §VI-A winner claim pointwise; returns violation notes."""
+        problems = []
+        for x, p, f in zip(self.x, self.partial, self.full):
+            if self.partial_should_be_lower and not p < f:
+                problems.append(
+                    f"{self.figure_id} @ {x} tasks: partial={p:.4g} !< full={f:.4g}"
+                )
+            if not self.partial_should_be_lower and not p > f:
+                problems.append(
+                    f"{self.figure_id} @ {x} tasks: partial={p:.4g} !> full={f:.4g}"
+                )
+        return problems
+
+    @property
+    def winner_consistent(self) -> bool:
+        return not self.validate_shape()
+
+    def mean_ratio(self) -> float:
+        """Mean full/partial ratio (>1 when partial wins a 'lower is better'
+        metric) — the 'by roughly what factor' readout."""
+        ratios = [
+            (f / p) if self.partial_should_be_lower else (p / f)
+            for p, f in zip(self.partial, self.full)
+            if p > 0 and f > 0
+        ]
+        return sum(ratios) / len(ratios) if ratios else 0.0
+
+    def rows(self) -> list[tuple[int, float, float]]:
+        """(tasks, partial, full) triples — the figure's plotted points."""
+        return list(zip(self.x, self.partial, self.full))
+
+    def to_csv(self) -> str:
+        """Figure series as CSV (tasks, partial, full) for external plotting."""
+        lines = [f"# {self.figure_id}: {self.title}", "tasks,partial,full"]
+        for x, p, f in self.rows():
+            lines.append(f"{x},{p!r},{f!r}")
+        return "\n".join(lines) + "\n"
+
+
+def build_figure(figure_id: str, sweep: SweepResult) -> FigureSeries:
+    """Assemble one figure's series from a completed sweep."""
+    if figure_id not in FIGURES:
+        raise ValueError(f"unknown figure {figure_id!r}; options: {sorted(FIGURES)}")
+    spec = FIGURES[figure_id]
+    metric, partial_lower, title = _FIG_METRICS[spec["base"]]
+    if sweep.nodes != spec["nodes"]:
+        raise ValueError(
+            f"{figure_id} uses {spec['nodes']} nodes; sweep has {sweep.nodes}"
+        )
+    return FigureSeries(
+        figure_id=figure_id,
+        title=f"{title} ({spec['nodes']} nodes)",
+        nodes=spec["nodes"],
+        metric=metric,
+        x=list(sweep.task_counts),
+        partial=sweep.series(metric, partial=True),
+        full=sweep.series(metric, partial=False),
+        partial_should_be_lower=partial_lower,
+    )
+
+
+def figures_for_nodes(nodes: int) -> list[str]:
+    """Figure ids whose node count matches."""
+    return [fid for fid, spec in FIGURES.items() if spec["nodes"] == nodes]
+
+
+__all__ = ["FIGURES", "FigureSeries", "build_figure", "figures_for_nodes"]

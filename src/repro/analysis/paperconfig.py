@@ -1,0 +1,103 @@
+"""Table II as code: the paper's simulation parameter values.
+
+====================================  =======================
+Total nodes                           100, 200
+Total configurations                  50
+Total tasks generated                 1 000 … 100 000
+Next task generation interval         [1 … 50] (uniform)
+Configuration ReqArea range           [200 … 2000]
+Node TotalArea range                  [1000 … 4000]
+Task t_required range                 [100 … 100 000]
+t_config range                        [10 … 20]
+CClosestMatch percentage              15 %
+Reconfiguration method                with / without partial
+====================================  =======================
+
+The default sweep is scale-reduced (≤ 20 000 tasks) because the reference's
+metrics are simulation-internal counts whose qualitative ordering is already
+established well below full scale (DESIGN.md §6); ``paper_scale_scenarios``
+returns the full Table II grid for long runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.workload.spec import ConfigSpec, NodeSpec, TaskSpec
+
+DEFAULT_SEED = 20120521
+
+# The x-axes of Figures 6-10.
+PAPER_TASK_SWEEP = (1_000, 10_000, 20_000, 40_000, 60_000, 80_000, 100_000)
+DEFAULT_TASK_SWEEP = (1_000, 2_000, 5_000, 10_000, 15_000, 20_000)
+TEST_TASK_SWEEP = (200, 500, 1_000)  # for CI-speed shape checks
+
+PAPER_NODE_COUNTS = (100, 200)
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One fully specified simulation run."""
+
+    nodes: int
+    tasks: int
+    partial: bool
+    configs: int = 50
+    seed: int = DEFAULT_SEED
+
+    def label(self) -> str:
+        """Stable identifier, e.g. ``n200-t1000-partial``."""
+        mode = "partial" if self.partial else "full"
+        return f"n{self.nodes}-t{self.tasks}-{mode}"
+
+    def node_spec(self) -> NodeSpec:
+        """Table II node spec at this scenario's node count."""
+        return NodeSpec(count=self.nodes)
+
+    def config_spec(self) -> ConfigSpec:
+        """Table II configuration spec at this scenario's config count."""
+        return ConfigSpec(count=self.configs)
+
+    def task_spec(self) -> TaskSpec:
+        """Table II task spec at this scenario's task count."""
+        return TaskSpec(count=self.tasks)
+
+
+def table2_scenarios(
+    node_counts=PAPER_NODE_COUNTS,
+    task_sweep=DEFAULT_TASK_SWEEP,
+    seed: int = DEFAULT_SEED,
+) -> list[Scenario]:
+    """The full scenario grid: node counts × task sweep × {partial, full}."""
+    grid = []
+    for nodes in node_counts:
+        for tasks in task_sweep:
+            for partial in (True, False):
+                grid.append(
+                    Scenario(nodes=nodes, tasks=tasks, partial=partial, seed=seed)
+                )
+    return grid
+
+
+def paper_scale_scenarios(seed: int = DEFAULT_SEED) -> list[Scenario]:
+    """The unreduced Table II grid (hours of CPU in pure Python)."""
+    return table2_scenarios(task_sweep=PAPER_TASK_SWEEP, seed=seed)
+
+
+def scenario_pair(nodes: int, tasks: int, seed: int = DEFAULT_SEED) -> tuple[Scenario, Scenario]:
+    """(partial, full) scenarios over the identical workload."""
+    s = Scenario(nodes=nodes, tasks=tasks, partial=True, seed=seed)
+    return s, replace(s, partial=False)
+
+
+__all__ = [
+    "DEFAULT_SEED",
+    "DEFAULT_TASK_SWEEP",
+    "PAPER_NODE_COUNTS",
+    "PAPER_TASK_SWEEP",
+    "TEST_TASK_SWEEP",
+    "Scenario",
+    "paper_scale_scenarios",
+    "scenario_pair",
+    "table2_scenarios",
+]

@@ -1,0 +1,182 @@
+"""Multi-seed replication: means and confidence intervals per metric.
+
+Single-run simulation numbers are one draw from the workload distribution;
+credible experiment practice replicates over independent seeds and reports
+mean ± confidence interval.  :func:`replicate` runs a scenario across seeds
+and aggregates every numeric Table I metric; :func:`compare_modes` pairs
+partial/full replications and reports per-metric win rates, so a figure
+claim can be stated with statistical backing rather than from one seed.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field, replace
+from typing import Callable, Optional, Sequence
+
+from repro.analysis.paperconfig import Scenario
+from repro.analysis.runner import run_scenario
+from repro.metrics.accumulators import RunningStats
+from repro.metrics.table1 import MetricsReport
+
+# Two-sided t critical values at 95% for small dof (index = dof); falls back
+# to the normal 1.96 beyond the table.
+_T95 = {
+    1: 12.706, 2: 4.303, 3: 3.182, 4: 2.776, 5: 2.571, 6: 2.447, 7: 2.365,
+    8: 2.306, 9: 2.262, 10: 2.228, 11: 2.201, 12: 2.179, 13: 2.160,
+    14: 2.145, 15: 2.131, 20: 2.086, 25: 2.060, 30: 2.042,
+}
+
+
+def t_critical_95(dof: int) -> float:
+    """Two-sided 95% Student-t critical value for ``dof`` degrees of freedom."""
+    if dof <= 0:
+        return float("inf")
+    if dof in _T95:
+        return _T95[dof]
+    candidates = [k for k in _T95 if k <= dof]
+    return _T95[max(candidates)] if candidates else 1.96
+
+
+_NUMERIC_METRICS = (
+    "avg_wasted_area_per_task",
+    "avg_system_wasted_area_per_task",
+    "avg_running_time_per_task",
+    "avg_reconfig_count_per_node",
+    "avg_reconfig_time_per_task",
+    "avg_waiting_time_per_task",
+    "avg_scheduling_steps_per_task",
+    "total_discarded_tasks",
+    "total_scheduler_workload",
+    "total_used_nodes",
+    "total_simulation_time",
+    "total_completed_tasks",
+)
+
+
+@dataclass(frozen=True)
+class MetricSummary:
+    """Mean ± 95% CI for one metric over n replications."""
+
+    metric: str
+    n: int
+    mean: float
+    stddev: float
+    ci95_half_width: float
+
+    @property
+    def ci_low(self) -> float:
+        return self.mean - self.ci95_half_width
+
+    @property
+    def ci_high(self) -> float:
+        return self.mean + self.ci95_half_width
+
+    def overlaps(self, other: "MetricSummary") -> bool:
+        """True when the two 95% confidence intervals intersect."""
+        return not (self.ci_high < other.ci_low or other.ci_high < self.ci_low)
+
+
+@dataclass
+class Replication:
+    """Aggregated replication of one scenario."""
+
+    scenario: Scenario
+    seeds: list[int]
+    reports: list[MetricsReport] = field(default_factory=list)
+    summaries: dict[str, MetricSummary] = field(default_factory=dict)
+
+    def summary(self, metric: str) -> MetricSummary:
+        """The aggregated mean ± CI for one metric."""
+        if metric not in self.summaries:
+            raise KeyError(f"metric {metric!r} not aggregated")
+        return self.summaries[metric]
+
+
+def replicate(
+    scenario: Scenario,
+    seeds: Sequence[int],
+    progress: Optional[Callable[[str], None]] = None,
+) -> Replication:
+    """Run ``scenario`` once per seed and aggregate every numeric metric."""
+    if not seeds:
+        raise ValueError("at least one seed is required")
+    rep = Replication(scenario=scenario, seeds=list(seeds))
+    for seed in seeds:
+        sc = replace(scenario, seed=seed)
+        if progress:
+            progress(f"replicating {sc.label()} seed={seed}")
+        rep.reports.append(run_scenario(sc))
+    for metric in _NUMERIC_METRICS:
+        stats = RunningStats()
+        for r in rep.reports:
+            stats.add(float(getattr(r, metric)))
+        half = (
+            t_critical_95(stats.n - 1) * stats.stddev / math.sqrt(stats.n)
+            if stats.n > 1
+            else 0.0
+        )
+        rep.summaries[metric] = MetricSummary(
+            metric=metric,
+            n=stats.n,
+            mean=stats.mean,
+            stddev=stats.stddev,
+            ci95_half_width=half,
+        )
+    return rep
+
+
+@dataclass(frozen=True)
+class ModeComparison:
+    """Replicated partial-vs-full comparison for one metric."""
+
+    metric: str
+    partial: MetricSummary
+    full: MetricSummary
+    partial_win_rate: float  # fraction of seeds where partial < full
+    separated: bool  # confidence intervals do not overlap
+
+    def partial_wins(self, lower_is_better: bool = True) -> bool:
+        """Did the partial scenario win on the replicated means?"""
+        if lower_is_better:
+            return self.partial.mean < self.full.mean
+        return self.partial.mean > self.full.mean
+
+
+def compare_modes(
+    nodes: int,
+    tasks: int,
+    seeds: Sequence[int],
+    metrics: Sequence[str] = _NUMERIC_METRICS,
+    progress: Optional[Callable[[str], None]] = None,
+) -> dict[str, ModeComparison]:
+    """Replicate both scenarios over paired seeds; summarise per metric."""
+    base = Scenario(nodes=nodes, tasks=tasks, partial=True)
+    rep_p = replicate(base, seeds, progress=progress)
+    rep_f = replicate(replace(base, partial=False), seeds, progress=progress)
+    out: dict[str, ModeComparison] = {}
+    for metric in metrics:
+        wins = sum(
+            1
+            for rp, rf in zip(rep_p.reports, rep_f.reports)
+            if getattr(rp, metric) < getattr(rf, metric)
+        )
+        s_p, s_f = rep_p.summary(metric), rep_f.summary(metric)
+        out[metric] = ModeComparison(
+            metric=metric,
+            partial=s_p,
+            full=s_f,
+            partial_win_rate=wins / len(seeds),
+            separated=not s_p.overlaps(s_f),
+        )
+    return out
+
+
+__all__ = [
+    "MetricSummary",
+    "ModeComparison",
+    "Replication",
+    "compare_modes",
+    "replicate",
+    "t_critical_95",
+]

@@ -1,0 +1,82 @@
+"""Scenario and sweep runners.
+
+Every run regenerates its resources and workload from the scenario's seed,
+so partial/full comparisons see byte-identical node tables and task streams
+("the same set of parameters in each simulation run", §I).  Reports are
+memoised per scenario within a process so the five figure builders sharing a
+sweep do not re-simulate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Optional
+
+from repro.analysis.paperconfig import Scenario
+from repro.framework.simulator import DReAMSim
+from repro.metrics.table1 import MetricsReport
+from repro.rng import RNG
+from repro.workload.generator import (
+    generate_configs,
+    generate_nodes,
+    generate_task_stream,
+)
+
+_CACHE: dict[Scenario, MetricsReport] = {}
+
+
+def run_scenario(scenario: Scenario, use_cache: bool = True) -> MetricsReport:
+    """Run one scenario to completion and return its Table I report."""
+    if use_cache and scenario in _CACHE:
+        return _CACHE[scenario]
+    rng = RNG(seed=scenario.seed)
+    nodes = generate_nodes(scenario.node_spec(), rng)
+    configs = generate_configs(scenario.config_spec(), rng)
+    stream = generate_task_stream(scenario.task_spec(), configs, rng)
+    sim = DReAMSim(nodes, configs, stream, partial=scenario.partial)
+    report = sim.run().report
+    if use_cache:
+        _CACHE[scenario] = report
+    return report
+
+
+def clear_cache() -> None:
+    """Drop all memoised scenario reports (frees memory between sweeps)."""
+    _CACHE.clear()
+
+
+@dataclass
+class SweepResult:
+    """Reports for a task-count sweep at fixed node count, both modes."""
+
+    nodes: int
+    task_counts: list[int]
+    partial: list[MetricsReport] = field(default_factory=list)
+    full: list[MetricsReport] = field(default_factory=list)
+
+    def series(self, metric: str, partial: bool) -> list[float]:
+        """Extract one metric across the sweep."""
+        reports = self.partial if partial else self.full
+        return [float(getattr(r, metric)) for r in reports]
+
+
+def run_sweep(
+    nodes: int,
+    task_counts: Iterable[int],
+    seed: int,
+    progress: Optional[Callable[[str], None]] = None,
+) -> SweepResult:
+    """Run the partial/full pair for every task count."""
+    task_counts = list(task_counts)
+    result = SweepResult(nodes=nodes, task_counts=task_counts)
+    for tasks in task_counts:
+        for partial in (True, False):
+            sc = Scenario(nodes=nodes, tasks=tasks, partial=partial, seed=seed)
+            if progress:
+                progress(f"running {sc.label()}")
+            report = run_scenario(sc)
+            (result.partial if partial else result.full).append(report)
+    return result
+
+
+__all__ = ["SweepResult", "clear_cache", "run_scenario", "run_sweep"]

@@ -1,0 +1,73 @@
+"""Persistence for experiment results (JSON).
+
+Paper-scale sweeps take hours in pure Python; this module checkpoints
+completed :class:`~repro.analysis.runner.SweepResult` grids and replications
+to JSON so figure building and claim checking can re-run without
+re-simulating.  Reports are stored as their flat metric dicts
+(:meth:`MetricsReport.as_dict`); loading reconstructs full
+:class:`MetricsReport` objects.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Union
+
+from repro.analysis.runner import SweepResult
+from repro.metrics.table1 import MetricsReport
+
+_FORMAT_VERSION = 1
+
+
+def _report_to_doc(report: MetricsReport) -> dict[str, Any]:
+    doc = report.as_dict()
+    doc["waiting_time_stats"] = dict(report.waiting_time_stats)
+    doc["running_time_stats"] = dict(report.running_time_stats)
+    return doc
+
+
+def _report_from_doc(doc: dict[str, Any]) -> MetricsReport:
+    kwargs = dict(doc)
+    kwargs["placements_by_kind"] = dict(kwargs.get("placements_by_kind", {}))
+    kwargs["waiting_time_stats"] = dict(kwargs.pop("waiting_time_stats", {}))
+    kwargs["running_time_stats"] = dict(kwargs.pop("running_time_stats", {}))
+    return MetricsReport(**kwargs)
+
+
+def save_sweep(sweep: SweepResult, path: Union[str, Path]) -> Path:
+    """Write a sweep (both mode series) to a JSON file."""
+    doc = {
+        "format": _FORMAT_VERSION,
+        "kind": "sweep",
+        "nodes": sweep.nodes,
+        "task_counts": sweep.task_counts,
+        "partial": [_report_to_doc(r) for r in sweep.partial],
+        "full": [_report_to_doc(r) for r in sweep.full],
+    }
+    path = Path(path)
+    path.write_text(json.dumps(doc, indent=1), encoding="utf-8")
+    return path
+
+
+def load_sweep(path: Union[str, Path]) -> SweepResult:
+    """Reconstruct a sweep saved by :func:`save_sweep`."""
+    doc = json.loads(Path(path).read_text(encoding="utf-8"))
+    if doc.get("kind") != "sweep":
+        raise ValueError(f"{path}: not a sweep file")
+    if doc.get("format") != _FORMAT_VERSION:
+        raise ValueError(
+            f"{path}: format {doc.get('format')} unsupported "
+            f"(expected {_FORMAT_VERSION})"
+        )
+    sweep = SweepResult(nodes=int(doc["nodes"]), task_counts=list(doc["task_counts"]))
+    sweep.partial = [_report_from_doc(d) for d in doc["partial"]]
+    sweep.full = [_report_from_doc(d) for d in doc["full"]]
+    if len(sweep.partial) != len(sweep.task_counts) or len(sweep.full) != len(
+        sweep.task_counts
+    ):
+        raise ValueError(f"{path}: series lengths do not match task_counts")
+    return sweep
+
+
+__all__ = ["save_sweep", "load_sweep"]

@@ -1,0 +1,5 @@
+"""Command-line interface (S11): ``dreamsim`` / ``python -m repro``."""
+
+from repro.cli.main import main
+
+__all__ = ["main"]

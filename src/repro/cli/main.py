@@ -1,0 +1,366 @@
+"""The ``dreamsim`` command-line interface.
+
+Subcommands
+-----------
+``run``
+    One simulation with Table II defaults; prints the Table I report and can
+    write the XML report (output subsystem).
+``sweep``
+    Task-count sweep at one node count, both modes; prints a metric table.
+``figures``
+    Regenerate the paper's figures (ASCII plots + numeric tables) at reduced
+    or full ``--paper-scale``.
+``claims``
+    Evaluate every §VI-A qualitative claim and print the scorecard.
+``graph``
+    Schedule a generated task graph (future-work extension) and report
+    makespan vs. the critical-path bound.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro import quick_simulation
+from repro.analysis.asciiplot import ascii_plot, series_table
+from repro.analysis.compare import check_claims, scorecard
+from repro.analysis.figures import FIGURES, build_figure
+from repro.analysis.paperconfig import (
+    DEFAULT_SEED,
+    DEFAULT_TASK_SWEEP,
+    PAPER_TASK_SWEEP,
+)
+from repro.analysis.runner import run_sweep
+from repro.framework.report import write_report_xml
+
+
+def _add_common(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--seed", type=int, default=DEFAULT_SEED, help="simulation seed")
+    p.add_argument("--configs", type=int, default=50, help="number of configurations")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the ``dreamsim`` argument parser (all subcommands)."""
+    parser = argparse.ArgumentParser(
+        prog="dreamsim",
+        description="DReAMSim reproduction: partial-reconfiguration task scheduling",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run_p = sub.add_parser("run", help="run one simulation and print Table I")
+    run_p.add_argument("--nodes", type=int, default=200)
+    run_p.add_argument("--tasks", type=int, default=2000)
+    run_p.add_argument(
+        "--mode", choices=("partial", "full"), default="partial",
+        help="reconfiguration method (Table II's last row)",
+    )
+    run_p.add_argument("--xml", type=str, default=None, help="write XML report here")
+    run_p.add_argument(
+        "--config", type=str, default=None,
+        help="JSON experiment file (overrides the other workload flags)",
+    )
+    run_p.add_argument(
+        "--timeline", action="store_true",
+        help="ASCII plots of busy nodes / queue length over time",
+    )
+    _add_common(run_p)
+
+    sweep_p = sub.add_parser("sweep", help="task-count sweep, both modes")
+    sweep_p.add_argument("--nodes", type=int, default=200)
+    sweep_p.add_argument(
+        "--tasks", type=int, nargs="+", default=list(DEFAULT_TASK_SWEEP)
+    )
+    sweep_p.add_argument(
+        "--metric", type=str, default="avg_waiting_time_per_task",
+        help="MetricsReport attribute to tabulate",
+    )
+    _add_common(sweep_p)
+
+    fig_p = sub.add_parser("figures", help="regenerate the paper's figures")
+    fig_p.add_argument(
+        "--figure", choices=sorted(FIGURES) + ["all"], default="all"
+    )
+    fig_p.add_argument(
+        "--paper-scale", action="store_true",
+        help="full Table II sweep to 100k tasks (very slow in pure Python)",
+    )
+    fig_p.add_argument(
+        "--tasks", type=int, nargs="+", default=None,
+        help="override the task-count sweep",
+    )
+    fig_p.add_argument("--plot", action="store_true", help="ASCII plots too")
+    fig_p.add_argument(
+        "--save-sweeps", type=str, default=None, metavar="DIR",
+        help="checkpoint sweep results as JSON into DIR",
+    )
+    fig_p.add_argument(
+        "--load-sweeps", type=str, default=None, metavar="DIR",
+        help="reuse sweeps previously saved with --save-sweeps",
+    )
+    fig_p.add_argument(
+        "--csv", type=str, default=None, metavar="DIR",
+        help="write one CSV per figure into DIR",
+    )
+    _add_common(fig_p)
+
+    claims_p = sub.add_parser("claims", help="check every §VI-A claim")
+    claims_p.add_argument(
+        "--tasks", type=int, nargs="+", default=[500, 1000, 2000]
+    )
+    claims_p.add_argument("--nodes", type=int, nargs="+", default=[100, 200])
+    _add_common(claims_p)
+
+    rep_p = sub.add_parser(
+        "replicate", help="multi-seed replication with confidence intervals"
+    )
+    rep_p.add_argument("--nodes", type=int, default=100)
+    rep_p.add_argument("--tasks", type=int, default=1000)
+    rep_p.add_argument("--replications", type=int, default=5)
+    rep_p.add_argument(
+        "--metric", type=str, nargs="+",
+        default=["avg_waiting_time_per_task", "avg_reconfig_count_per_node"],
+    )
+    _add_common(rep_p)
+
+    graph_p = sub.add_parser("graph", help="schedule a generated task graph")
+    graph_p.add_argument(
+        "--shape", choices=("layered", "pipeline", "forkjoin", "mapreduce"),
+        default="layered",
+    )
+    graph_p.add_argument("--size", type=int, default=30, help="approximate task count")
+    graph_p.add_argument("--nodes", type=int, default=20)
+    graph_p.add_argument(
+        "--priority", choices=("rank", "fifo"), default="rank"
+    )
+    _add_common(graph_p)
+
+    return parser
+
+
+def _print_report(report, label: str) -> None:
+    print(f"== {label} ==")
+    d = report.as_dict()
+    placements = d.pop("placements_by_kind")
+    for k, v in d.items():
+        if isinstance(v, float):
+            print(f"  {k:<36} {v:,.3f}")
+        else:
+            print(f"  {k:<36} {v}")
+    if placements:
+        print("  placements:")
+        for kind, count in sorted(placements.items()):
+            print(f"    {kind:<24} {count}")
+
+
+def cmd_run(args) -> int:
+    """``dreamsim run``: one simulation, Table I report, optional XML."""
+    if args.config:
+        from repro.framework.expconfig import load_experiment
+
+        cfg = load_experiment(args.config)
+        result = cfg.build().run()
+        params = cfg.describe()
+        label = f"config {args.config}"
+    else:
+        result = quick_simulation(
+            nodes=args.nodes,
+            configs=args.configs,
+            tasks=args.tasks,
+            partial=(args.mode == "partial"),
+            seed=args.seed,
+        )
+        params = {
+            "nodes": args.nodes,
+            "tasks": args.tasks,
+            "mode": args.mode,
+            "seed": args.seed,
+        }
+        label = f"{args.mode} / {args.nodes} nodes / {args.tasks} tasks"
+    _print_report(result.report, label)
+    if args.timeline:
+        for series in (result.monitor.busy_nodes, result.monitor.queue_length):
+            if len(series) > 1:
+                r = series.resample(64)
+                print(
+                    ascii_plot(
+                        r.times, {series.name: r.values},
+                        width=64, height=10, title=series.name,
+                    )
+                )
+    if args.xml:
+        path = write_report_xml(result.report, args.xml, params=params)
+        print(f"XML report written to {path}")
+    return 0
+
+
+def cmd_replicate(args) -> int:
+    """``dreamsim replicate``: multi-seed means ± 95% CIs, both modes."""
+    from repro.analysis.paperconfig import Scenario
+    from repro.analysis.replicate import replicate
+
+    seeds = [args.seed + i for i in range(args.replications)]
+    rows = []
+    for partial in (True, False):
+        sc = Scenario(
+            nodes=args.nodes, tasks=args.tasks, partial=partial,
+            configs=args.configs, seed=args.seed,
+        )
+        rep = replicate(sc, seeds, progress=lambda m: print(m, file=sys.stderr))
+        rows.append((("partial" if partial else "full"), rep))
+    print(
+        f"{'metric':<34} {'mode':>8} {'mean':>14} {'±95% CI':>12} {'stddev':>12}"
+    )
+    print("-" * 84)
+    for metric in args.metric:
+        for mode, rep in rows:
+            s = rep.summary(metric)
+            print(
+                f"{metric:<34} {mode:>8} {s.mean:>14,.2f} "
+                f"{s.ci95_half_width:>12,.2f} {s.stddev:>12,.2f}"
+            )
+    return 0
+
+
+def cmd_sweep(args) -> int:
+    """``dreamsim sweep``: one metric across a task-count sweep."""
+    sweep = run_sweep(args.nodes, args.tasks, args.seed, progress=lambda m: print(m, file=sys.stderr))
+    print(
+        series_table(
+            sweep.task_counts,
+            {
+                "partial": sweep.series(args.metric, partial=True),
+                "full": sweep.series(args.metric, partial=False),
+            },
+        )
+    )
+    return 0
+
+
+def cmd_figures(args) -> int:
+    """``dreamsim figures``: regenerate paper figures, check shapes."""
+    from pathlib import Path
+
+    task_counts = args.tasks or (
+        list(PAPER_TASK_SWEEP) if args.paper_scale else list(DEFAULT_TASK_SWEEP)
+    )
+    wanted = sorted(FIGURES) if args.figure == "all" else [args.figure]
+    needed_nodes = sorted({FIGURES[f]["nodes"] for f in wanted})
+    sweeps = {}
+    for n in needed_nodes:
+        loaded = False
+        if args.load_sweeps:
+            path = Path(args.load_sweeps) / f"sweep_n{n}.json"
+            if path.exists():
+                from repro.analysis.storage import load_sweep
+
+                sweeps[n] = load_sweep(path)
+                loaded = True
+                print(f"loaded {path}", file=sys.stderr)
+        if not loaded:
+            sweeps[n] = run_sweep(
+                n, task_counts, args.seed,
+                progress=lambda m: print(m, file=sys.stderr),
+            )
+        if args.save_sweeps:
+            from repro.analysis.storage import save_sweep
+
+            out_dir = Path(args.save_sweeps)
+            out_dir.mkdir(parents=True, exist_ok=True)
+            save_sweep(sweeps[n], out_dir / f"sweep_n{n}.json")
+    ok = True
+    for fid in wanted:
+        series = build_figure(fid, sweeps[FIGURES[fid]["nodes"]])
+        if args.csv:
+            out_dir = Path(args.csv)
+            out_dir.mkdir(parents=True, exist_ok=True)
+            (out_dir / f"{fid}.csv").write_text(series.to_csv(), encoding="utf-8")
+        print(f"\n=== {fid}: {series.title} ===")
+        print(
+            series_table(
+                series.x, {"partial": series.partial, "full": series.full}
+            )
+        )
+        problems = series.validate_shape()
+        if problems:
+            ok = False
+            for p in problems:
+                print(f"  SHAPE VIOLATION: {p}")
+        else:
+            print(
+                f"  shape OK (mean winner ratio {series.mean_ratio():.2f}x)"
+            )
+        if args.plot:
+            print(
+                ascii_plot(
+                    series.x,
+                    {"partial": series.partial, "full": series.full},
+                    title=series.title,
+                )
+            )
+    return 0 if ok else 1
+
+
+def cmd_claims(args) -> int:
+    """``dreamsim claims``: evaluate the §VI-A scorecard."""
+    checks = check_claims(
+        args.tasks,
+        args.seed,
+        node_counts=tuple(args.nodes),
+        progress=lambda m: print(m, file=sys.stderr),
+    )
+    print(scorecard(checks))
+    return 0 if all(c.passed for c in checks) else 1
+
+
+def cmd_graph(args) -> int:
+    """``dreamsim graph``: schedule a generated task graph."""
+    from repro.rng import RNG
+    from repro.taskgraph import (
+        TaskGraphScheduler,
+        fork_join,
+        layered_random,
+        map_reduce,
+        pipeline,
+    )
+    from repro.workload import ConfigSpec, NodeSpec
+    from repro.workload.generator import generate_configs, generate_nodes
+
+    rng = RNG(seed=args.seed)
+    configs = generate_configs(ConfigSpec(count=args.configs), rng)
+    nodes = generate_nodes(NodeSpec(count=args.nodes), rng)
+    if args.shape == "pipeline":
+        graph = pipeline(args.size, configs, rng)
+    elif args.shape == "forkjoin":
+        graph = fork_join(max(1, args.size - 2), configs, rng)
+    elif args.shape == "mapreduce":
+        graph = map_reduce(max(1, args.size // 2), max(1, args.size // 2), configs, rng)
+    else:
+        width = max(1, round(args.size**0.5))
+        graph = layered_random(max(1, args.size // width), width, configs, rng)
+    result = TaskGraphScheduler(nodes, configs, priority=args.priority).run(graph)
+    print(f"shape={args.shape} tasks={len(graph)} edges={graph.edge_count()}")
+    print(f"critical path bound : {result.critical_path}")
+    print(f"makespan ({args.priority:>4})     : {result.makespan}")
+    print(f"efficiency          : {result.efficiency:.3f}")
+    print(f"discarded           : {result.discarded}")
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "run": cmd_run,
+        "sweep": cmd_sweep,
+        "figures": cmd_figures,
+        "claims": cmd_claims,
+        "graph": cmd_graph,
+        "replicate": cmd_replicate,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

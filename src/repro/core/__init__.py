@@ -1,0 +1,33 @@
+"""The paper's primary contribution (S6): partial-reconfiguration scheduling.
+
+* :mod:`repro.core.base` — scheduler interface, placement/outcome types.
+* :mod:`repro.core.scheduler` — :class:`DreamScheduler`, the four-phase
+  algorithm of Fig. 5 + Alg. 1 (allocation → configuration → partial
+  configuration → partial re-configuration → suspension → discard), with a
+  ``partial`` switch selecting between the paper's two scenarios:
+  *with partial reconfiguration* (multiple configurations per node) and
+  *without* (one node – one task, the full-reconfiguration baseline).
+* :mod:`repro.core.policies` — selection-criterion strategies (the §V
+  best-match rule and its ablation alternatives).
+"""
+
+from repro.core.base import (
+    Placement,
+    PlacementKind,
+    ScheduleOutcome,
+    ScheduleResult,
+    SchedulerStats,
+)
+from repro.core.policies import PlacementPolicy, SelectionCriterion
+from repro.core.scheduler import DreamScheduler
+
+__all__ = [
+    "DreamScheduler",
+    "Placement",
+    "PlacementKind",
+    "PlacementPolicy",
+    "ScheduleOutcome",
+    "ScheduleResult",
+    "SchedulerStats",
+    "SelectionCriterion",
+]

@@ -1,0 +1,142 @@
+"""Scheduler interface types: placements, outcomes, statistics.
+
+A scheduler consumes one task at a time and *applies* its decision to the
+resource information manager immediately (mutating node/chain state), then
+returns a :class:`ScheduleOutcome` describing what happened and what it cost.
+The framework layer turns the outcome into simulation events (configuration
+delay, execution, completion).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.model.config import Configuration
+from repro.model.node import ConfigTaskEntry, Node
+from repro.model.task import Task
+
+
+class PlacementKind(enum.Enum):
+    """Which phase of Fig. 5 produced the placement."""
+
+    ALLOCATION = "allocation"  # idle entry with the matched config; no bitstream
+    CONFIGURATION = "configuration"  # blank node configured
+    PARTIAL_CONFIGURATION = "partial_configuration"  # free region configured
+    PARTIAL_RECONFIGURATION = "partial_reconfiguration"  # idle entries evicted first
+    GPP_OFFLOAD = "gpp_offload"  # hybrid fallback: runs on a GPP core (Fig. 1)
+
+
+class ScheduleResult(enum.Enum):
+    """Terminal result of one scheduling attempt."""
+
+    SCHEDULED = "scheduled"
+    SUSPENDED = "suspended"
+    DISCARDED = "discarded"
+
+
+@dataclass(frozen=True)
+class Placement:
+    """A successful placement and its costs.
+
+    ``config_time`` is the bitstream-loading delay the task pays before it
+    starts (0 for direct allocation); ``comm_time`` is the network delay to
+    reach the node (Eq. 8's ``t_comm``); ``evicted_area`` is the idle area
+    reclaimed by partial re-configuration.
+
+    GPP offloads (hybrid systems) have ``node``/``entry`` None, carry the
+    acquired ``gpp_slot``, and set ``exec_time`` to the slowed execution
+    duration; reconfigurable placements leave ``exec_time`` None (the task's
+    own ``required_time`` applies).
+    """
+
+    kind: PlacementKind
+    node: Optional[Node]
+    entry: Optional[ConfigTaskEntry]
+    config: Configuration
+    config_time: int = 0
+    comm_time: int = 0
+    evicted_area: int = 0
+    used_closest_match: bool = False
+    gpp_slot: Optional[object] = None
+    exec_time: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.kind is PlacementKind.GPP_OFFLOAD:
+            if self.gpp_slot is None or self.exec_time is None:
+                raise ValueError("GPP placement requires gpp_slot and exec_time")
+        elif self.node is None or self.entry is None:
+            raise ValueError(f"{self.kind.value} placement requires node and entry")
+
+    @property
+    def start_delay(self) -> int:
+        """Ticks between the decision and task start on the node."""
+        return self.config_time + self.comm_time
+
+
+@dataclass(frozen=True)
+class ScheduleOutcome:
+    """Result of ``schedule(task, now)``."""
+
+    task: Task
+    result: ScheduleResult
+    placement: Optional[Placement] = None
+    search_steps: int = 0  # the per-task SL of Alg. 1
+
+    def __post_init__(self) -> None:
+        if self.result is ScheduleResult.SCHEDULED and self.placement is None:
+            raise ValueError("SCHEDULED outcome requires a placement")
+        if self.result is not ScheduleResult.SCHEDULED and self.placement is not None:
+            raise ValueError(f"{self.result.value} outcome must not carry a placement")
+
+
+@dataclass
+class SchedulerStats:
+    """Aggregate scheduler statistics (feeds the Table I metrics)."""
+
+    scheduled: int = 0
+    suspended: int = 0  # suspension events (a task may suspend repeatedly)
+    discarded: int = 0
+    by_kind: dict[str, int] = field(default_factory=dict)
+    closest_match_used: int = 0
+    total_config_time_paid: int = 0
+    total_evicted_area: int = 0
+
+    def record(self, outcome: ScheduleOutcome) -> None:
+        """Fold one scheduling outcome into the aggregates."""
+        if outcome.result is ScheduleResult.SCHEDULED:
+            placement = outcome.placement
+            assert placement is not None
+            self.scheduled += 1
+            key = placement.kind.value
+            self.by_kind[key] = self.by_kind.get(key, 0) + 1
+            if placement.used_closest_match:
+                self.closest_match_used += 1
+            self.total_config_time_paid += placement.config_time
+            self.total_evicted_area += placement.evicted_area
+        elif outcome.result is ScheduleResult.SUSPENDED:
+            self.suspended += 1
+        else:
+            self.discarded += 1
+
+    def snapshot(self) -> dict[str, object]:
+        """Plain-dict view for reports and serialisation."""
+        return {
+            "scheduled": self.scheduled,
+            "suspended": self.suspended,
+            "discarded": self.discarded,
+            "by_kind": dict(self.by_kind),
+            "closest_match_used": self.closest_match_used,
+            "total_config_time_paid": self.total_config_time_paid,
+            "total_evicted_area": self.total_evicted_area,
+        }
+
+
+__all__ = [
+    "Placement",
+    "PlacementKind",
+    "ScheduleOutcome",
+    "ScheduleResult",
+    "SchedulerStats",
+]

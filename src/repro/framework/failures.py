@@ -1,0 +1,164 @@
+"""Failure injection: node crashes and repairs during a simulation.
+
+Large-scale distributed systems lose nodes routinely; the paper's framework
+is positioned for exactly such systems ("millions of cores"), so this module
+adds the standard fail–restart model as an opt-in extension:
+
+* Failures arrive as a Poisson-like process: the gap to the next failure is
+  drawn from ``mtbf`` (mean time between failures, any distribution); the
+  victim is a uniformly random in-service node.
+* A failing node loses all loaded configurations (SRAM does not survive
+  power loss) and interrupts its running tasks, which lose their progress
+  and re-enter scheduling immediately (fail–restart; no checkpointing).
+* The node returns to service, blank, after a ``mttr`` (mean time to
+  repair) delay.
+
+Attach with ``FailureInjector(sim, mtbf=…, mttr=…, rng=…).arm()`` before
+``sim.run()``.  Injection stops once all arrivals have been generated and
+the queue has drained (so simulations still terminate), or after
+``max_failures``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.core.base import ScheduleResult
+from repro.framework.simulator import DReAMSim
+from repro.model.node import Node
+from repro.rng import RNG
+from repro.rng.distributions import Distribution
+
+
+@dataclass
+class FailureEvent:
+    """One recorded failure."""
+
+    time: int
+    node_no: int
+    interrupted_tasks: int
+    repair_at: int
+
+
+class FailureInjector:
+    """Drives fail/repair events against a simulator's node table.
+
+    Parameters
+    ----------
+    sim:
+        The simulator to inject into (must not have started yet).
+    mtbf / mttr:
+        Distributions for the inter-failure gap and the repair duration.
+    rng:
+        Randomness source for gaps, durations, and victim choice.
+    max_failures:
+        Stop injecting after this many failures (None = unbounded while
+        tasks remain).
+    """
+
+    def __init__(
+        self,
+        sim: DReAMSim,
+        mtbf: Distribution,
+        mttr: Distribution,
+        rng: RNG,
+        max_failures: Optional[int] = None,
+    ) -> None:
+        self.sim = sim
+        self.mtbf = mtbf
+        self.mttr = mttr
+        self.rng = rng
+        self.max_failures = max_failures
+        self.events: list[FailureEvent] = []
+        self.tasks_interrupted = 0
+        self._armed = False
+
+    # -- public API --------------------------------------------------------------
+
+    def arm(self) -> "FailureInjector":
+        """Schedule the first failure; chain-schedules subsequent ones."""
+        if self._armed:
+            raise RuntimeError("injector already armed")
+        self._armed = True
+        self._schedule_next()
+        return self
+
+    @property
+    def failure_count(self) -> int:
+        return len(self.events)
+
+    def availability(self) -> float:
+        """Fraction of node-ticks in service over the run (node-averaged)."""
+        span = max(1, int(self.sim.env.now))
+        down = 0
+        for ev in self.events:
+            down += min(ev.repair_at, span) - min(ev.time, span)
+        total = span * len(self.sim.rim.nodes)
+        return 1.0 - down / total
+
+    # -- internals ------------------------------------------------------------------
+
+    def _schedule_next(self) -> None:
+        if self.max_failures is not None and len(self.events) >= self.max_failures:
+            return
+        gap = max(1, self.mtbf.sample_int(self.rng))
+        self.sim.env.call_at(int(self.sim.env.now) + gap, self._fail_one)
+
+    def _fail_one(self) -> None:
+        sim = self.sim
+        now = int(sim.env.now)
+        # Stop injecting once the workload is finished (keeps runs finite:
+        # pending repair events alone must not sustain the failure process).
+        if sim.workload_finished:
+            return
+        victims = [n for n in sim.rim.nodes if n.in_service]
+        if len(victims) > 1:  # never fail the last node: tasks must finish
+            node = self.rng.choice(victims)
+            self._crash(node, now)
+        self._schedule_next()
+
+    def _crash(self, node: Node, now: int) -> None:
+        sim = self.sim
+        interrupted = sim.rim.fail_node(node)
+        repair_in = max(1, self.mttr.sample_int(self.rng))
+        self.events.append(
+            FailureEvent(
+                time=now,
+                node_no=node.node_no,
+                interrupted_tasks=len(interrupted),
+                repair_at=now + repair_in,
+            )
+        )
+        self.tasks_interrupted += len(interrupted)
+        # Fail-restart: interrupted tasks drop their stale completion events
+        # (placement mismatch) and re-enter scheduling right now.
+        for task in interrupted:
+            sim._placements.pop(task.task_no, None)
+            if not sim.susqueue.add(task, now):
+                task.mark_discarded(now)
+                sim.scheduler.stats.discarded += 1
+                continue
+            rec = next(r for r in sim.susqueue if r.task is task)
+            candidate = sim.susqueue.remove(rec)
+            outcome = sim._submit(candidate, now)
+            if outcome.result is ScheduleResult.SCHEDULED:
+                continue  # restarted elsewhere immediately
+            # else: left suspended; a future completion redispatches it.
+        # Liveness: if the crash idled the whole system while tasks wait
+        # (every running task was on this node), restart the queue now —
+        # no future completion event exists to trigger redispatch.
+        if not sim._placements and sim.susqueue:
+            while sim.susqueue:
+                rec = sim.susqueue.head
+                assert rec is not None
+                candidate = sim.susqueue.remove(rec)
+                if sim._submit(candidate, now).result is not ScheduleResult.SCHEDULED:
+                    break
+        sim.env.call_at(now + repair_in, lambda: self._repair(node))
+
+    def _repair(self, node: Node) -> None:
+        self.sim.rim.repair_node(node)
+
+
+__all__ = ["FailureInjector", "FailureEvent"]

@@ -1,0 +1,96 @@
+"""The monitoring module — §III: "the current states of different nodes can
+be checked by the monitoring module."
+
+Samples system-level state on simulation events (placements and
+completions), keeping time series the output subsystem and the figure
+benches consume.  ``min_interval`` rate-limits sampling for long runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional
+
+from repro.metrics.timeseries import TimeSeries
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.resources.manager import ResourceInformationManager
+    from repro.resources.susqueue import SuspensionQueue
+
+
+@dataclass(frozen=True)
+class MonitorSample:
+    """One instantaneous snapshot of system state."""
+
+    time: int
+    busy_nodes: int
+    idle_nodes: int
+    blank_nodes: int
+    running_tasks: int
+    suspended_tasks: int
+    configured_area: int
+    wasted_area: int
+
+    @property
+    def utilization(self) -> float:
+        """Busy share of non-blank nodes."""
+        configured = self.busy_nodes + self.idle_nodes
+        return self.busy_nodes / configured if configured else 0.0
+
+
+class Monitor:
+    """Event-driven state sampler with optional rate limiting."""
+
+    def __init__(self, min_interval: int = 0) -> None:
+        self.min_interval = min_interval
+        self.samples: list[MonitorSample] = []
+        self.busy_nodes = TimeSeries("busy_nodes")
+        self.queue_length = TimeSeries("suspension_queue_length")
+        self.wasted_area = TimeSeries("wasted_area")
+        self.running_tasks = TimeSeries("running_tasks")
+        self._last_time: Optional[int] = None
+
+    def sample(
+        self,
+        now: int,
+        rim: "ResourceInformationManager",
+        susqueue: "SuspensionQueue",
+    ) -> Optional[MonitorSample]:
+        """Record a snapshot unless rate-limited; returns it if recorded."""
+        if self._last_time is not None and now - self._last_time < self.min_interval:
+            return None
+        # All O(1): the manager maintains these aggregates incrementally.
+        states = rim.node_count_by_state()
+        running = rim.running_tasks_count
+        wasted = rim.total_wasted_area()
+        snap = MonitorSample(
+            time=now,
+            busy_nodes=states["busy"],
+            idle_nodes=states["idle"],
+            blank_nodes=states["blank"],
+            running_tasks=running,
+            suspended_tasks=len(susqueue),
+            configured_area=rim.total_configured_area(),
+            wasted_area=wasted,
+        )
+        self.samples.append(snap)
+        self.busy_nodes.add(now, snap.busy_nodes)
+        self.queue_length.add(now, snap.suspended_tasks)
+        self.wasted_area.add(now, snap.wasted_area)
+        self.running_tasks.add(now, snap.running_tasks)
+        self._last_time = now
+        return snap
+
+    @property
+    def peak_queue_length(self) -> int:
+        return int(self.queue_length.max())
+
+    @property
+    def peak_running_tasks(self) -> int:
+        return int(self.running_tasks.max())
+
+    def __len__(self) -> int:
+        return len(self.samples)
+
+
+__all__ = ["Monitor", "MonitorSample"]

@@ -1,0 +1,111 @@
+"""XML simulation report generation — §III's output subsystem.
+
+"Contains an XML simulation report generator which accumulates the
+statistics associated with various performance metrics."
+
+Schema (documented here; round-trip tested):
+
+.. code-block:: xml
+
+    <dreamsim-report version="1">
+      <parameters>
+        <param name="nodes" value="200"/>
+        ...
+      </parameters>
+      <metrics>
+        <metric name="avg_wasted_area_per_task" value="..."/>
+        ...
+      </metrics>
+      <placements>
+        <placement kind="allocation" count="..."/>
+        ...
+      </placements>
+    </dreamsim-report>
+"""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ET
+from pathlib import Path
+from typing import Mapping, Union
+
+from repro.metrics.table1 import MetricsReport
+
+_SCHEMA_VERSION = "1"
+
+
+def report_to_xml(report: MetricsReport, params: Mapping[str, object] | None = None) -> str:
+    """Serialise a metrics report (plus run parameters) to an XML string."""
+    root = ET.Element("dreamsim-report", version=_SCHEMA_VERSION)
+
+    p = ET.SubElement(root, "parameters")
+    for name, value in (params or {}).items():
+        ET.SubElement(p, "param", name=str(name), value=str(value))
+
+    m = ET.SubElement(root, "metrics")
+    flat = report.as_dict()
+    placements = flat.pop("placements_by_kind")
+    for name, value in flat.items():
+        ET.SubElement(m, "metric", name=name, value=repr(value))
+
+    pk = ET.SubElement(root, "placements")
+    assert isinstance(placements, dict)
+    for kind, count in sorted(placements.items()):
+        ET.SubElement(pk, "placement", kind=kind, count=str(count))
+
+    ET.indent(root)
+    return ET.tostring(root, encoding="unicode", xml_declaration=True)
+
+
+def write_report_xml(
+    report: MetricsReport,
+    path: Union[str, Path],
+    params: Mapping[str, object] | None = None,
+) -> Path:
+    """Write the XML report to disk; returns the path."""
+    path = Path(path)
+    path.write_text(report_to_xml(report, params), encoding="utf-8")
+    return path
+
+
+def parse_report_xml(source: Union[str, Path]) -> dict[str, object]:
+    """Parse a report back into ``{"params": …, "metrics": …, "placements": …}``.
+
+    Accepts a path or an XML string.  Values are parsed with ``ast.literal_eval``
+    semantics (int/float), falling back to the raw string.
+    """
+    text: str
+    if isinstance(source, Path) or (isinstance(source, str) and not source.lstrip().startswith("<")):
+        text = Path(source).read_text(encoding="utf-8")
+    else:
+        text = str(source)
+    root = ET.fromstring(text)
+    if root.tag != "dreamsim-report":
+        raise ValueError(f"not a dreamsim report: root tag {root.tag!r}")
+
+    def parse_value(v: str) -> object:
+        for cast in (int, float):
+            try:
+                return cast(v)
+            except ValueError:
+                continue
+        if v in ("True", "False"):
+            return v == "True"
+        return v
+
+    out: dict[str, object] = {
+        "version": root.get("version"),
+        "params": {},
+        "metrics": {},
+        "placements": {},
+    }
+    for el in root.findall("./parameters/param"):
+        out["params"][el.get("name")] = parse_value(el.get("value", ""))  # type: ignore[index]
+    for el in root.findall("./metrics/metric"):
+        out["metrics"][el.get("name")] = parse_value(el.get("value", ""))  # type: ignore[index]
+    for el in root.findall("./placements/placement"):
+        out["placements"][el.get("kind")] = int(el.get("count", "0"))  # type: ignore[index]
+    return out
+
+
+__all__ = ["report_to_xml", "write_report_xml", "parse_report_xml"]

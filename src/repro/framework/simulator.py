@@ -1,0 +1,304 @@
+"""The DReAMSim simulation driver.
+
+Wires the event kernel, the resource information manager, the scheduler and
+the metric accumulators into the run loop of the original's ``DreamSim``
+class (``RunScheduler`` + ``MakeReport``):
+
+* task arrivals are fed lazily from the workload stream (the *job submission
+  manager*), one pending arrival event at a time, so memory stays O(active);
+* each arrival is scheduled immediately (the paper's scheduler is invoked
+  per arriving task);
+* completions release node regions, then re-dispatch suitable suspended
+  tasks (the ``TaskCompletionProc`` / suspension-queue protocol of §IV);
+* every placement samples the wasted-area accumulators (Eqs. 6–7);
+* the end-of-run :class:`~repro.metrics.table1.MetricsReport` is Table I.
+
+Determinism: identical (nodes, configs, arrival stream, mode, policy) inputs
+replay identically — the kernel breaks event ties by insertion order and all
+randomness lives in the workload generators.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Optional
+
+from repro.core.base import Placement, ScheduleOutcome, ScheduleResult
+from repro.core.policies import PlacementPolicy
+from repro.core.scheduler import DreamScheduler
+from repro.metrics.accumulators import RunningStats
+from repro.metrics.table1 import MetricsReport, compute_report
+from repro.model.config import Configuration
+from repro.model.node import Node
+from repro.model.task import Task
+from repro.resources.counters import SearchCounters
+from repro.resources.invariants import check_invariants
+from repro.resources.manager import ResourceInformationManager
+from repro.resources.susqueue import SuspensionQueue
+from repro.sim.environment import Environment
+from repro.workload.generator import TaskArrival
+
+from repro.framework.loadbalance import LoadBalancer
+from repro.framework.monitoring import Monitor
+
+
+@dataclass
+class SimulationResult:
+    """Everything a run produces: metrics, per-task records, monitor series."""
+
+    report: MetricsReport
+    tasks: list[Task]
+    monitor: Monitor
+    load: LoadBalancer
+    final_time: int
+    partial: bool
+    params: dict[str, object] = field(default_factory=dict)
+
+
+class DReAMSim:
+    """One simulation run over a fixed node table and arrival stream.
+
+    Parameters
+    ----------
+    nodes, configs:
+        The generated resource set (see :mod:`repro.workload.generator`).
+    arrivals:
+        Iterable of :class:`TaskArrival`, non-decreasing in time.
+    partial:
+        Scenario switch: partial reconfiguration on (paper's "with") or off
+        (one node – one task baseline).
+    policy:
+        Placement-selection policy (default: the paper's min-area rule).
+    max_retries / max_queue_length:
+        Suspension-queue bounds (both unbounded by default, as in the paper's
+        parameter set where discards arise only from impossible areas).
+    debug_invariants_every:
+        If set, run the full invariant checker every N placements (slow;
+        testing/diagnosis only).
+    sample_system_waste:
+        Sample Eq. 6 at every placement (O(nodes) each; on by default).
+    """
+
+    def __init__(
+        self,
+        nodes: Iterable[Node],
+        configs: Iterable[Configuration],
+        arrivals: Iterable[TaskArrival],
+        partial: bool = True,
+        policy: Optional[PlacementPolicy] = None,
+        max_retries: Optional[int] = None,
+        max_queue_length: Optional[int] = None,
+        debug_invariants_every: Optional[int] = None,
+        sample_system_waste: bool = True,
+        monitor_min_interval: int = 0,
+        per_tick_housekeeping: Optional[int] = None,
+        network=None,
+        queue_order: str = "fifo",
+        gpp=None,
+    ) -> None:
+        self.env = Environment()
+        self.counters = SearchCounters()
+        self.rim = ResourceInformationManager(list(nodes), list(configs), self.counters)
+        self.susqueue = SuspensionQueue(
+            self.counters,
+            max_retries=max_retries,
+            max_length=max_queue_length,
+            order=queue_order,
+        )
+        self.scheduler = DreamScheduler(
+            self.rim, self.susqueue, partial=partial, policy=policy,
+            network=network, gpp_pool=gpp,
+        )
+        self.gpp = gpp
+        self.partial = partial
+        self.monitor = Monitor(min_interval=monitor_min_interval)
+        self.load = LoadBalancer(self.rim)
+        self.tasks: list[Task] = []
+        self.placement_waste = RunningStats()
+        self.system_waste_total = 0.0
+        self._system_waste_samples = 0
+        self._arrivals: Iterator[TaskArrival] = iter(arrivals)
+        self._placements: dict[int, Placement] = {}  # task_no -> placement
+        self._debug_every = debug_invariants_every
+        self._sample_system = sample_system_waste
+        self._placed_count = 0
+        self._done = False
+        self._arrivals_done = False  # the lazy arrival feed hit stream end
+        # Per-tick housekeeping cost: the reference simulator advances time
+        # tick-by-tick, maintaining node/config state each tick; the default
+        # bills one step per node per elapsed tick (the monitoring walk).
+        if per_tick_housekeeping is None:
+            per_tick_housekeeping = len(self.rim.nodes)
+        self._per_tick_hk = per_tick_housekeeping
+        self._last_hk_time = 0
+
+    # -- public API --------------------------------------------------------------
+
+    def run(self, until: Optional[int] = None) -> SimulationResult:
+        """Run to completion (or to time ``until``) and build the report."""
+        if self._done:
+            raise RuntimeError("simulation already ran; create a new DReAMSim")
+        self._feed_next_arrival()
+        self.env.run(until=until)
+        final = self._final_time()
+        self._charge_tick_housekeeping(final)
+        self._done = True
+        report = self.make_report()
+        return SimulationResult(
+            report=report,
+            tasks=self.tasks,
+            monitor=self.monitor,
+            load=self.load,
+            final_time=final,
+            partial=self.partial,
+            params={
+                "nodes": len(self.rim.nodes),
+                "configs": len(self.rim.configs),
+                "partial": self.partial,
+            },
+        )
+
+    def _final_time(self) -> int:
+        """Eq. 5's total simulation time: the tick the workload finished.
+
+        When every task is terminal, this is the last terminal event's time
+        (stray non-workload events — e.g. a failure scheduled past the end —
+        must not inflate it); on a bounded-horizon run it is the clock.
+        """
+        from repro.model.task import TaskStatus
+
+        last = 0
+        for t in self.tasks:
+            if t.status is TaskStatus.COMPLETED:
+                last = max(last, t.completion_time)
+            elif t.status is TaskStatus.DISCARDED:
+                hist = t.history
+                if hist:
+                    last = max(last, hist[-1][0])
+            else:
+                return int(self.env.now)  # workload unfinished: use the clock
+        if not self._arrivals_done:
+            return int(self.env.now)
+        return last
+
+    def make_report(self) -> MetricsReport:
+        """Assemble Table I from current state (``MakeReport``)."""
+        return compute_report(
+            tasks=self.tasks,
+            nodes=self.rim.nodes,
+            configs=self.rim.configs,
+            counters=self.counters,
+            scheduler_stats=self.scheduler.stats,
+            reconfig_count_by_config=self.rim.reconfig_count_by_config,
+            final_time=self._final_time(),
+            total_used_nodes=self.rim.total_used_nodes,
+            placement_waste=self.placement_waste,
+            system_waste_total=self.system_waste_total,
+        )
+
+    # -- event handlers ----------------------------------------------------------------
+
+    @property
+    def workload_finished(self) -> bool:
+        """True once every generated task reached a terminal state."""
+        return self._arrivals_done and not self._placements and not self.susqueue
+
+    def _feed_next_arrival(self) -> None:
+        arrival = next(self._arrivals, None)
+        if arrival is None:
+            self._arrivals_done = True
+            return
+        at = max(arrival.at, int(self.env.now))
+        self.env.call_at(at, lambda: self._on_arrival(arrival))
+
+    def _charge_tick_housekeeping(self, now: int) -> None:
+        """Bill the reference's per-tick state maintenance for elapsed ticks."""
+        elapsed = now - self._last_hk_time
+        if elapsed > 0 and self._per_tick_hk:
+            self.counters.charge_housekeeping(elapsed * self._per_tick_hk)
+        self._last_hk_time = max(self._last_hk_time, now)
+
+    def _on_arrival(self, arrival: TaskArrival) -> None:
+        now = int(self.env.now)
+        self._charge_tick_housekeeping(now)
+        task = arrival.task
+        task.mark_created(now)
+        self.tasks.append(task)
+        self._submit(task, now)
+        self._feed_next_arrival()
+
+    def _submit(self, task: Task, now: int) -> ScheduleOutcome:
+        outcome = self.scheduler.schedule(task, now)
+        if outcome.result is ScheduleResult.SCHEDULED:
+            placement = outcome.placement
+            assert placement is not None
+            self._placements[task.task_no] = placement
+            self._record_placement(placement, now)
+            exec_time = (
+                placement.exec_time if placement.exec_time is not None
+                else task.required_time
+            )
+            finish = now + placement.start_delay + exec_time
+            # The closure captures the placement so a completion scheduled
+            # before a node failure is recognised as stale and ignored.
+            self.env.call_at(
+                finish, lambda p=placement: self._on_complete(task, p)
+            )
+        return outcome
+
+    def _record_placement(self, placement: Placement, now: int) -> None:
+        if placement.node is None:  # GPP offload: no reconfigurable area involved
+            self.monitor.sample(now, self.rim, self.susqueue)
+            self._placed_count += 1
+            return
+        # Fig. 6 headline sample: free area left on the hosting node.
+        self.placement_waste.add(float(placement.node.available_area))
+        if self._sample_system:
+            self.system_waste_total += self.rim.total_wasted_area()
+            self._system_waste_samples += 1
+        self.monitor.sample(now, self.rim, self.susqueue)
+        self._placed_count += 1
+        if self._debug_every and self._placed_count % self._debug_every == 0:
+            check_invariants(self.rim)
+
+    def _on_complete(self, task: Task, expected_placement: Optional[Placement] = None) -> None:
+        now = int(self.env.now)
+        current = self._placements.get(task.task_no)
+        if expected_placement is not None and current is not expected_placement:
+            return  # stale completion: the node failed and the task restarted
+        self._charge_tick_housekeeping(now)
+        task.mark_completed(now)
+        placement = self._placements.pop(task.task_no)
+        if placement.node is None:
+            # GPP completion: free the core and offer it to the queue head.
+            assert self.gpp is not None
+            self.gpp.release(placement.gpp_slot)
+            if self.susqueue:
+                rec = self.susqueue.head
+                if rec is not None:
+                    candidate = self.susqueue.remove(rec)
+                    self._submit(candidate, now)
+            return
+        node = placement.node
+        self.rim.complete_task(task, node)
+        self.monitor.sample(now, self.rim, self.susqueue)
+        self.load.observe(now)
+        # Suspension-queue re-dispatch (§IV TaskCompletionProc protocol):
+        # repeatedly pull the suitable task for the freed node (exact-config
+        # reuse first, reconfiguration fallback) and schedule it, until the
+        # node stops admitting tasks or a dispatch fails (a failed task
+        # re-suspends at the tail, so this always terminates).
+        while True:
+            candidate = self.scheduler.next_redispatch(node)
+            if candidate is None:
+                break
+            outcome = self._submit(candidate, now)
+            if outcome.result is not ScheduleResult.SCHEDULED:
+                break
+        # Enforce the retry bound, if configured.
+        for expired in self.susqueue.expired():
+            expired.mark_discarded(now)
+            self.scheduler.stats.discarded += 1
+
+
+__all__ = ["DReAMSim", "SimulationResult"]

@@ -1,0 +1,21 @@
+"""Performance metrics (S8) — Table I and Eqs. 5–10 of the paper.
+
+* :mod:`repro.metrics.accumulators` — streaming statistics (count / mean /
+  variance via Welford, min/max) and the per-task wasted-area accumulator.
+* :mod:`repro.metrics.table1` — :class:`MetricsReport`, the full Table I
+  metric set computed from end-of-run simulator state.
+* :mod:`repro.metrics.timeseries` — time-stamped sampling used by the
+  monitoring module and the figure benches.
+"""
+
+from repro.metrics.accumulators import RunningStats, WastedAreaAccumulator
+from repro.metrics.table1 import MetricsReport, compute_report
+from repro.metrics.timeseries import TimeSeries
+
+__all__ = [
+    "MetricsReport",
+    "RunningStats",
+    "TimeSeries",
+    "WastedAreaAccumulator",
+    "compute_report",
+]

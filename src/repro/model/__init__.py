@@ -1,0 +1,45 @@
+"""System model (substrate S3): nodes, configurations, tasks.
+
+Direct realisation of the formal model of §IV-A:
+
+* :class:`~repro.model.node.Node` — Eq. 1, a reconfigurable node with
+  ``TotalArea``, ``AvailableArea``, a set of current configurations, a device
+  family, capabilities and a busy/idle state.
+* :class:`~repro.model.config.Configuration` — Eq. 2, a processor
+  configuration with required area, processor type (``Ptype``), architectural
+  parameters, bitstream size and configuration time.
+* :class:`~repro.model.task.Task` — Eq. 3, an application task with required
+  execution time, preferred configuration and input data, plus the lifecycle
+  timestamps (create/start/completion) the metrics of Table I are built from.
+
+Eq. 4 (``AvailableArea = TotalArea − Σ ReqAreaᵢ``) is maintained as a hard
+class invariant of :class:`Node` and checked by the property-based tests.
+"""
+
+from repro.model.errors import (
+    AreaError,
+    ConfigurationError,
+    ModelError,
+    TaskStateError,
+)
+from repro.model.family import Capability, DeviceFamily
+from repro.model.node import ConfigTaskEntry, Node, NodeState
+from repro.model.config import Configuration, ProcessorParams, Ptype
+from repro.model.task import Task, TaskStatus
+
+__all__ = [
+    "AreaError",
+    "Capability",
+    "ConfigTaskEntry",
+    "Configuration",
+    "ConfigurationError",
+    "DeviceFamily",
+    "ModelError",
+    "Node",
+    "NodeState",
+    "ProcessorParams",
+    "Ptype",
+    "Task",
+    "TaskStateError",
+    "TaskStatus",
+]

@@ -1,0 +1,35 @@
+"""Domain exceptions for the system model and scheduler layers."""
+
+from __future__ import annotations
+
+
+class ModelError(Exception):
+    """Base class for all system-model violations."""
+
+
+class AreaError(ModelError):
+    """Raised when an operation would violate the area invariant (Eq. 4).
+
+    Examples: configuring a node beyond its remaining reconfigurable area, or
+    removing more area than is currently configured.
+    """
+
+
+class ConfigurationError(ModelError):
+    """Raised for invalid configuration operations.
+
+    Examples: adding a task to a node that does not hold the task's assigned
+    configuration, or removing a configuration that is executing a task.
+    """
+
+
+class TaskStateError(ModelError):
+    """Raised on illegal task lifecycle transitions.
+
+    The legal order is CREATED → (SUSPENDED →)* RUNNING → COMPLETED, or any
+    pre-running state → DISCARDED.
+    """
+
+
+class SchedulingError(ModelError):
+    """Raised when the scheduler reaches an internally inconsistent state."""

@@ -1,0 +1,76 @@
+"""Device families and node capabilities.
+
+Eq. 1 gives every node a ``family`` ("the group of compatible nodes which
+share similar types of resources and performance") and ``caps`` ("a list of
+different capabilities available on a node … embedded memory, DSP slices,
+configuration bandwidth").  Bitstreams are family-specific on real FPGAs, so
+the scheduler may only send a configuration's bitstream to a node of a
+compatible family.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import FrozenSet, Iterable
+
+
+class Capability(enum.Enum):
+    """Hardware capabilities a node may advertise (Eq. 1 ``caps``)."""
+
+    EMBEDDED_MEMORY = "embedded_memory"
+    DSP_SLICES = "dsp_slices"
+    CONFIG_BANDWIDTH = "config_bandwidth"
+    HIGH_SPEED_IO = "high_speed_io"
+    PARTIAL_RECONFIG = "partial_reconfig"
+    SOFT_CORE_SUPPORT = "soft_core_support"
+
+
+@dataclass(frozen=True)
+class DeviceFamily:
+    """A group of bitstream-compatible devices.
+
+    Parameters
+    ----------
+    name:
+        Family identifier (e.g. ``"virtex"``; the paper keeps these abstract).
+    generation:
+        Device generation; configurations declare a minimum generation.
+    compatible_with:
+        Names of other families whose bitstreams this family accepts
+        (compatibility is directional, matching vendor practice).
+    """
+
+    name: str
+    generation: int = 1
+    compatible_with: FrozenSet[str] = field(default_factory=frozenset)
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("family name must be non-empty")
+        if self.generation < 1:
+            raise ValueError("generation must be >= 1")
+
+    def accepts(self, other: "DeviceFamily") -> bool:
+        """Can a bitstream built for ``other`` be loaded on this family?"""
+        return other.name == self.name or other.name in self.compatible_with
+
+    @classmethod
+    def universal(cls) -> "DeviceFamily":
+        """The default single-family system of the paper's experiments.
+
+        Table II does not vary families, so the default simulation places all
+        nodes and configurations in one universal family.
+        """
+        return cls(name="generic", generation=1)
+
+
+def make_families(names: Iterable[str]) -> dict[str, DeviceFamily]:
+    """Convenience constructor for a set of mutually incompatible families."""
+    fams = {}
+    for n in names:
+        fams[n] = DeviceFamily(name=n)
+    return fams
+
+
+__all__ = ["Capability", "DeviceFamily", "make_families"]

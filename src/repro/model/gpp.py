@@ -1,0 +1,126 @@
+"""General-purpose processor (GPP) pool — the hybrid system of Fig. 1.
+
+The paper's system diagram mixes reconfigurable nodes with GPPs: FPGAs give
+"several orders of magnitude speedup over their General-Purpose Processor
+counterpart" for suitable tasks, with GPPs as the fallback executor.  The
+evaluation schedules only onto reconfigurable nodes, so the pool is **off by
+default**; attaching one (``DReAMSim(gpp=GppPool(...))``) enables hybrid
+scheduling: a task that no reconfigurable node can host runs on a free GPP
+core at a slowdown instead of suspending.
+
+``slowdown`` is the reciprocal of the reconfigurable speedup — a task whose
+``t_required`` assumes its preferred configuration takes
+``t_required × slowdown`` ticks on a GPP (the CRGridSim comparison's
+"speedup factor" [15], inverted).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.model.config import Configuration, Ptype
+from repro.model.task import Task
+
+#: Pseudo-configuration recorded as ``assigned_config`` for GPP executions
+#: (keeps the Task API uniform; ``task.on_gpp`` marks the real situation).
+GPP_CONFIG = Configuration(
+    config_no=2**31 - 1, req_area=1, config_time=0, ptype=Ptype.CUSTOM
+)
+
+
+@dataclass(eq=False)
+class GppSlot:
+    """One core of one GPP node, bound to at most one task."""
+
+    gpp_no: int
+    core: int
+    task: Optional[Task] = None
+
+    @property
+    def is_free(self) -> bool:
+        return self.task is None
+
+
+class GppPool:
+    """A pool of GPP nodes, each with ``cores`` independent cores.
+
+    Parameters
+    ----------
+    count:
+        Number of GPP nodes (Fig. 1 shows them alongside the
+        reconfigurable Nᵢ).
+    cores:
+        Cores per GPP node; each runs one task.
+    slowdown:
+        Execution-time multiplier vs. the task's preferred configuration
+        (≥ 1; the FPGA speedup inverted).
+    network_delay:
+        t_comm for shipping a task to any GPP.
+    """
+
+    def __init__(
+        self,
+        count: int,
+        cores: int = 1,
+        slowdown: float = 8.0,
+        network_delay: int = 0,
+    ) -> None:
+        if count <= 0 or cores <= 0:
+            raise ValueError("count and cores must be positive")
+        if slowdown < 1.0:
+            raise ValueError("slowdown must be >= 1 (GPPs are not faster)")
+        if network_delay < 0:
+            raise ValueError("network_delay must be non-negative")
+        self.count = count
+        self.cores = cores
+        self.slowdown = slowdown
+        self.network_delay = network_delay
+        self._slots: list[GppSlot] = [
+            GppSlot(gpp_no=g, core=c) for g in range(count) for c in range(cores)
+        ]
+        self.tasks_executed = 0
+        self.total_slowed_ticks = 0  # extra ticks paid vs. preferred config
+
+    # -- queries -----------------------------------------------------------
+
+    @property
+    def capacity(self) -> int:
+        return len(self._slots)
+
+    @property
+    def busy_slots(self) -> int:
+        return sum(1 for s in self._slots if not s.is_free)
+
+    @property
+    def free_slots(self) -> int:
+        return self.capacity - self.busy_slots
+
+    def exec_time(self, task: Task) -> int:
+        """Ticks the task needs on a GPP core."""
+        return max(1, math.ceil(task.required_time * self.slowdown))
+
+    # -- allocation ----------------------------------------------------------
+
+    def acquire(self, task: Task) -> Optional[GppSlot]:
+        """Bind ``task`` to a free core; None when the pool is saturated."""
+        for slot in self._slots:
+            if slot.is_free:
+                slot.task = task
+                self.tasks_executed += 1
+                self.total_slowed_ticks += self.exec_time(task) - task.required_time
+                return slot
+        return None
+
+    def release(self, slot: GppSlot) -> None:
+        """Free a core after its task completes."""
+        if slot.task is None:
+            raise ValueError(f"GPP slot {slot.gpp_no}.{slot.core} already free")
+        slot.task = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"GppPool({self.count}x{self.cores} cores, busy={self.busy_slots})"
+
+
+__all__ = ["GppPool", "GppSlot", "GPP_CONFIG"]

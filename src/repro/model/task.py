@@ -1,0 +1,179 @@
+"""Application tasks — Eq. 3 of the system model.
+
+``Taskᵢ(t_required, C_pref, data)``: a task needs ``t_required`` timeticks on
+its preferred processor configuration, and records the timestamps from which
+Table I's per-task metrics are derived.  The waiting time follows Eq. 8:
+
+    t_wait = t_start − t_create + t_comm + t_config
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from repro.model.config import Configuration
+from repro.model.errors import TaskStateError
+
+UNSET = -1  # sentinel for timestamps not yet recorded (matches the C++ -1 idiom)
+
+
+class TaskStatus(enum.Enum):
+    """Task lifecycle states."""
+
+    CREATED = "created"
+    SUSPENDED = "suspended"  # waiting in the suspension queue
+    RUNNING = "running"
+    COMPLETED = "completed"
+    DISCARDED = "discarded"
+
+
+# Legal lifecycle transitions.  RUNNING -> SUSPENDED covers node-failure
+# interruption (fail-restart semantics): the task loses its progress and
+# re-queues.
+_TRANSITIONS = {
+    TaskStatus.CREATED: {TaskStatus.RUNNING, TaskStatus.SUSPENDED, TaskStatus.DISCARDED},
+    TaskStatus.SUSPENDED: {TaskStatus.RUNNING, TaskStatus.DISCARDED, TaskStatus.SUSPENDED},
+    TaskStatus.RUNNING: {TaskStatus.COMPLETED, TaskStatus.SUSPENDED},
+    TaskStatus.COMPLETED: set(),
+    TaskStatus.DISCARDED: set(),
+}
+
+
+@dataclass(eq=False)
+class Task:
+    """One application task (Eq. 3) plus its bookkeeping timestamps.
+
+    Parameters
+    ----------
+    task_no:
+        Sequence number assigned by the job submission manager.
+    required_time:
+        Execution timeticks needed on the preferred configuration
+        (``t_required``; Table II draws it from [100, 100 000]).
+    pref_config:
+        The preferred processor configuration ``C_pref``.  May be a
+        configuration that does *not* exist in the system's configurations
+        list — Table II makes that true for 15% of tasks, forcing the
+        closest-match path.
+    data:
+        Opaque input payload (size in bytes in the synthetic workloads).
+    """
+
+    task_no: int
+    required_time: int
+    pref_config: Configuration
+    data: Any = None
+    create_time: int = UNSET
+    start_time: int = UNSET
+    completion_time: int = UNSET
+    comm_time: int = 0  # t_comm of Eq. 8 (network delay to reach the node)
+    config_time_paid: int = 0  # t_config of Eq. 8 (0 on direct allocation)
+    assigned_config: Optional[Configuration] = None
+    on_gpp: bool = False  # executed on a general-purpose processor (hybrid)
+    status: TaskStatus = TaskStatus.CREATED
+    sus_retry: int = 0  # times popped from the suspension queue for retry
+    scheduling_steps: int = 0  # search steps the scheduler spent on this task
+    _history: list[tuple[int, TaskStatus]] = field(default_factory=list, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.task_no < 0:
+            raise ValueError("task_no must be non-negative")
+        if self.required_time <= 0:
+            raise ValueError(f"required_time must be positive, got {self.required_time}")
+
+    # -- derived quantities ---------------------------------------------------
+
+    @property
+    def needed_area(self) -> int:
+        """Area the task's preferred configuration occupies."""
+        return self.pref_config.req_area
+
+    @property
+    def waiting_time(self) -> int:
+        """Eq. 8: t_start − t_create + t_comm + t_config.
+
+        Only defined once the task has started; raises otherwise.
+        """
+        if self.start_time == UNSET or self.create_time == UNSET:
+            raise TaskStateError(f"task {self.task_no} has not started; no waiting time yet")
+        return self.start_time - self.create_time + self.comm_time + self.config_time_paid
+
+    @property
+    def running_time(self) -> int:
+        """Time from arrival to completion (Table I 'average running time')."""
+        if self.completion_time == UNSET or self.create_time == UNSET:
+            raise TaskStateError(f"task {self.task_no} has not completed")
+        return self.completion_time - self.create_time
+
+    @property
+    def used_closest_match(self) -> bool:
+        """True if the task ran on a configuration other than its preference.
+
+        GPP executions are not closest matches — they bypass configuration
+        matching entirely.
+        """
+        if self.on_gpp:
+            return False
+        return self.assigned_config is not None and self.assigned_config is not self.pref_config
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    def _transition(self, new: TaskStatus, now: int) -> None:
+        if new not in _TRANSITIONS[self.status]:
+            raise TaskStateError(
+                f"task {self.task_no}: illegal transition {self.status.value} -> {new.value}"
+            )
+        self.status = new
+        self._history.append((now, new))
+
+    def mark_created(self, now: int) -> None:
+        """Record arrival into the system (CreateTask)."""
+        if self.create_time != UNSET:
+            raise TaskStateError(f"task {self.task_no} already created")
+        self.create_time = now
+        self._history.append((now, TaskStatus.CREATED))
+
+    def mark_suspended(self, now: int) -> None:
+        """Enter the suspension queue."""
+        self._transition(TaskStatus.SUSPENDED, now)
+
+    def mark_started(
+        self,
+        now: int,
+        assigned_config: Configuration,
+        comm_time: int = 0,
+        config_time_paid: int = 0,
+        on_gpp: bool = False,
+    ) -> None:
+        """Record dispatch to a node (SendTaskToNode)."""
+        self._transition(TaskStatus.RUNNING, now)
+        self.start_time = now
+        self.assigned_config = assigned_config
+        self.comm_time = comm_time
+        self.config_time_paid = config_time_paid
+        self.on_gpp = on_gpp
+
+    def mark_completed(self, now: int) -> None:
+        """Record completion (TaskCompletionProc)."""
+        self._transition(TaskStatus.COMPLETED, now)
+        self.completion_time = now
+
+    def mark_discarded(self, now: int) -> None:
+        """Record discard (no placement possible)."""
+        self._transition(TaskStatus.DISCARDED, now)
+
+    @property
+    def history(self) -> list[tuple[int, TaskStatus]]:
+        """Immutable view of (time, status) transitions, for diagnostics."""
+        return list(self._history)
+
+    def __repr__(self) -> str:
+        return (
+            f"Task(#{self.task_no}, t_req={self.required_time}, "
+            f"pref=C{self.pref_config.config_no}, status={self.status.value})"
+        )
+
+
+__all__ = ["Task", "TaskStatus", "UNSET"]

@@ -1,0 +1,34 @@
+"""Network substrate (S12) — the interconnect of Fig. 1.
+
+The paper's system diagram places the Resource Management System behind a
+mix of wired, wireless and WAN links; tasks reach nodes over the network
+(Eq. 8's ``t_comm``) and *bitstreams* are shipped to nodes for
+reconfiguration ("an existing Cᵢ on a node can be changed by sending a
+bitstream").  Table II abstracts these into fixed ranges, so the default
+simulations do too — but the framework exposes the substrate for realistic
+studies:
+
+* :mod:`repro.network.links` — link models (latency + bandwidth, classed as
+  wired/wireless/WAN presets) and transfer-time computation.
+* :mod:`repro.network.topology` — an RMS-rooted topology over the node set
+  (star by default; arbitrary graphs via networkx), path resolution and
+  per-node effective delay/bandwidth.
+* :mod:`repro.network.delays` — a :class:`NetworkModel` that the framework
+  consults for ``t_comm`` (task data over the path) and bitstream-loading
+  time (``BSize`` over the path plus the device's configuration port rate),
+  replacing Table II's fixed ranges when attached.
+"""
+
+from repro.network.delays import FixedDelayModel, NetworkModel, TransferDelayModel
+from repro.network.links import Link, LinkClass, transfer_time
+from repro.network.topology import Topology
+
+__all__ = [
+    "FixedDelayModel",
+    "Link",
+    "LinkClass",
+    "NetworkModel",
+    "Topology",
+    "TransferDelayModel",
+    "transfer_time",
+]

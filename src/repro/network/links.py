@@ -1,0 +1,66 @@
+"""Link models: latency + bandwidth with wired/wireless/WAN presets.
+
+Units follow the simulation's conventions: latency in timeticks, bandwidth
+in bytes per timetick.  Transfer time of a payload is
+``latency + ceil(bytes / bandwidth)`` (store-and-forward per link).
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass
+
+
+class LinkClass(enum.Enum):
+    """The three interconnect classes of Fig. 1."""
+
+    WIRED = "wired"
+    WIRELESS = "wireless"
+    WAN = "wan"
+
+
+# Presets: (latency ticks, bytes/tick).  Chosen so a median Table II
+# bitstream (~140 KB at 128 B/area-unit) loads in ~10-20 ticks over a wired
+# link — consistent with the paper's t_config range.
+_PRESETS: dict[LinkClass, tuple[int, int]] = {
+    LinkClass.WIRED: (1, 16_384),
+    LinkClass.WIRELESS: (3, 4_096),
+    LinkClass.WAN: (10, 8_192),
+}
+
+
+@dataclass(frozen=True)
+class Link:
+    """A point-to-point link."""
+
+    latency: int  # ticks
+    bandwidth: int  # bytes / tick
+    link_class: LinkClass = LinkClass.WIRED
+
+    def __post_init__(self) -> None:
+        if self.latency < 0:
+            raise ValueError("latency must be non-negative")
+        if self.bandwidth <= 0:
+            raise ValueError("bandwidth must be positive")
+
+    @classmethod
+    def preset(cls, link_class: LinkClass) -> "Link":
+        latency, bandwidth = _PRESETS[link_class]
+        return cls(latency=latency, bandwidth=bandwidth, link_class=link_class)
+
+    def transfer_time(self, nbytes: int) -> int:
+        """Ticks to move ``nbytes`` across this link."""
+        if nbytes < 0:
+            raise ValueError("nbytes must be non-negative")
+        if nbytes == 0:
+            return self.latency
+        return self.latency + math.ceil(nbytes / self.bandwidth)
+
+
+def transfer_time(path: list[Link], nbytes: int) -> int:
+    """Store-and-forward transfer time across a path of links."""
+    return sum(link.transfer_time(nbytes) for link in path)
+
+
+__all__ = ["Link", "LinkClass", "transfer_time"]

@@ -1,0 +1,41 @@
+"""Resource information manager (substrate S4).
+
+Implements §IV-B's "dynamic data structures for resource management":
+
+* :class:`~repro.resources.chains.IntrusiveChain` — the ``Inext``/``Bnext``
+  linked-list mechanism of Fig. 3.  The published design threads *nodes* on
+  one pointer pair, which only supports membership in a single
+  configuration's list — sufficient for full reconfiguration, where a node
+  holds one configuration.  With partial reconfiguration a node can hold idle
+  *and* busy regions of several configurations at once, so this reproduction
+  threads the chains through the **config–task entries** instead (one link
+  per region).  This preserves the published O(1) insert/remove and the
+  per-configuration search semantics while generalising them; the search-step
+  accounting is identical (one step per link traversed).
+* :class:`~repro.resources.manager.ResourceInformationManager` — the node
+  table, per-configuration idle/busy chains, the blank-node list, all
+  scheduler queries (best idle / best blank / best partially-blank /
+  FindAnyIdleNode) and all housekeeping mutations, with search-step counting
+  per Table I.
+* :class:`~repro.resources.susqueue.SuspensionQueue` — the ``SusList`` of
+  Fig. 4 (bounded-retry FIFO of suspended tasks).
+* :mod:`~repro.resources.invariants` — a full-state consistency checker used
+  by the tests and by the simulator's optional debug mode.
+"""
+
+from repro.resources.chains import ChainError, IntrusiveChain
+from repro.resources.counters import SearchCounters
+from repro.resources.invariants import InvariantViolation, check_invariants
+from repro.resources.manager import ResourceInformationManager
+from repro.resources.susqueue import SuspendedTask, SuspensionQueue
+
+__all__ = [
+    "ChainError",
+    "IntrusiveChain",
+    "InvariantViolation",
+    "ResourceInformationManager",
+    "SearchCounters",
+    "SuspendedTask",
+    "SuspensionQueue",
+    "check_invariants",
+]

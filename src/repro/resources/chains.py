@@ -1,0 +1,159 @@
+"""Intrusive doubly-linked chains — the ``Inext``/``Bnext`` mechanism.
+
+Fig. 3 of the paper threads idle and busy nodes of each configuration on
+embedded pointers so that state queries avoid scanning the full node table
+("these linked lists ease up the search effort … especially time-consuming if
+the total number of nodes is very large").
+
+:class:`IntrusiveChain` stores its links *on the member objects themselves*
+(attributes ``_chain_owner``, ``_chain_prev``, ``_chain_next``), exactly like
+the embedded C++ pointers: membership costs no allocation, and insert/remove
+are O(1).  An object can belong to at most one chain at a time — the same
+constraint the paper's single pointer pair imposes — which holds naturally
+here because a config–task entry is either idle or busy, never both.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, Optional
+
+
+class ChainError(Exception):
+    """Illegal chain operation (double insert, foreign remove, …)."""
+
+
+_OWNER = "_chain_owner"
+_PREV = "_chain_prev"
+_NEXT = "_chain_next"
+
+
+class IntrusiveChain:
+    """A named doubly-linked list with embedded links.
+
+    Parameters
+    ----------
+    name:
+        Diagnostic label, e.g. ``"idle[C17]"``.
+    """
+
+    __slots__ = ("name", "_head", "_tail", "_size")
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name
+        self._head: Optional[Any] = None
+        self._tail: Optional[Any] = None
+        self._size = 0
+
+    # -- queries -----------------------------------------------------------
+
+    @property
+    def head(self) -> Optional[Any]:
+        """First member (the paper's ``Idle_start``/``Busy_start``)."""
+        return self._head
+
+    def __len__(self) -> int:
+        return self._size
+
+    def __bool__(self) -> bool:
+        return self._size > 0
+
+    def __contains__(self, item: Any) -> bool:
+        return getattr(item, _OWNER, None) is self
+
+    def __iter__(self) -> Iterator[Any]:
+        """Walk the chain head→tail.
+
+        Callers that need Table I search-step accounting count the items they
+        consume from this iterator (one step per link traversed).
+        """
+        cur = self._head
+        while cur is not None:
+            nxt = getattr(cur, _NEXT)
+            yield cur
+            cur = nxt
+
+    # -- mutations -----------------------------------------------------------
+
+    def append(self, item: Any) -> None:
+        """Link ``item`` at the tail. O(1)."""
+        owner = getattr(item, _OWNER, None)
+        if owner is not None:
+            raise ChainError(
+                f"{item!r} already linked in chain {owner.name!r}; unlink first"
+            )
+        setattr(item, _OWNER, self)
+        setattr(item, _PREV, self._tail)
+        setattr(item, _NEXT, None)
+        if self._tail is None:
+            self._head = item
+        else:
+            setattr(self._tail, _NEXT, item)
+        self._tail = item
+        self._size += 1
+
+    def remove(self, item: Any) -> None:
+        """Unlink ``item``. O(1)."""
+        if getattr(item, _OWNER, None) is not self:
+            raise ChainError(f"{item!r} is not linked in chain {self.name!r}")
+        prev = getattr(item, _PREV)
+        nxt = getattr(item, _NEXT)
+        if prev is None:
+            self._head = nxt
+        else:
+            setattr(prev, _NEXT, nxt)
+        if nxt is None:
+            self._tail = prev
+        else:
+            setattr(nxt, _PREV, prev)
+        setattr(item, _OWNER, None)
+        setattr(item, _PREV, None)
+        setattr(item, _NEXT, None)
+        self._size -= 1
+
+    def pop_head(self) -> Any:
+        """Unlink and return the first member."""
+        if self._head is None:
+            raise ChainError(f"chain {self.name!r} is empty")
+        item = self._head
+        self.remove(item)
+        return item
+
+    def clear(self) -> None:
+        """Unlink every member."""
+        while self._head is not None:
+            self.remove(self._head)
+
+    # -- diagnostics ------------------------------------------------------------
+
+    def validate(self) -> None:
+        """Walk and verify pointer symmetry; raises :class:`ChainError`."""
+        count = 0
+        prev = None
+        cur = self._head
+        while cur is not None:
+            if getattr(cur, _OWNER, None) is not self:
+                raise ChainError(f"{cur!r} in walk of {self.name!r} but owner differs")
+            if getattr(cur, _PREV) is not prev:
+                raise ChainError(f"broken prev pointer at {cur!r} in {self.name!r}")
+            prev = cur
+            cur = getattr(cur, _NEXT)
+            count += 1
+            if count > self._size:
+                raise ChainError(f"cycle detected in chain {self.name!r}")
+        if prev is not self._tail:
+            raise ChainError(f"tail pointer mismatch in {self.name!r}")
+        if count != self._size:
+            raise ChainError(
+                f"size mismatch in {self.name!r}: counted {count}, recorded {self._size}"
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<IntrusiveChain {self.name!r} size={self._size}>"
+
+
+def chain_of(item: Any) -> Optional[IntrusiveChain]:
+    """The chain ``item`` is currently linked in, if any."""
+    return getattr(item, _OWNER, None)
+
+
+__all__ = ["IntrusiveChain", "ChainError", "chain_of"]

@@ -1,0 +1,420 @@
+"""The resource information manager — §III's information subsystem core.
+
+Maintains "all sorts of information about the nodes": the static node table,
+the dynamic per-configuration idle/busy chains of Fig. 3, the blank-node
+list, and the search-step counters of Table I.  All scheduler queries and all
+state mutations go through this class, so consistency between node state and
+chain membership is enforced in one place (and independently verified by
+:func:`repro.resources.invariants.check_invariants`).
+
+Search-step accounting: every link traversed during a *query* charges the
+counter passed by the scheduler (per-task ``SL``); every link touched during
+a *mutation* (configure/assign/complete/evict) charges housekeeping, matching
+the paper's split between "scheduling steps" and "scheduler workload".
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence
+
+from repro.model.config import Configuration
+from repro.model.errors import ConfigurationError
+from repro.model.node import ConfigTaskEntry, Node
+from repro.model.task import Task
+from repro.resources.chains import IntrusiveChain
+from repro.resources.counters import SearchCounters
+
+
+class ResourceInformationManager:
+    """Node table + per-configuration idle/busy chains + step accounting.
+
+    Parameters
+    ----------
+    nodes:
+        All reconfigurable nodes in the system (assumed blank initially;
+        nodes created with pre-loaded entries are chained appropriately).
+    configs:
+        The global configurations list (§IV-A); preferred configurations not
+        in this list trigger the closest-match path.
+    counters:
+        Shared search-step counters; a fresh one is created if omitted.
+    """
+
+    def __init__(
+        self,
+        nodes: Sequence[Node],
+        configs: Sequence[Configuration],
+        counters: Optional[SearchCounters] = None,
+    ) -> None:
+        self.nodes: list[Node] = list(nodes)
+        self.configs: list[Configuration] = list(configs)
+        self.counters = counters if counters is not None else SearchCounters()
+
+        seen_nos = set()
+        for c in self.configs:
+            if c.config_no in seen_nos:
+                raise ValueError(f"duplicate config_no {c.config_no} in configurations list")
+            seen_nos.add(c.config_no)
+
+        self._idle: dict[int, IntrusiveChain] = {
+            c.config_no: IntrusiveChain(f"idle[C{c.config_no}]") for c in self.configs
+        }
+        self._busy: dict[int, IntrusiveChain] = {
+            c.config_no: IntrusiveChain(f"busy[C{c.config_no}]") for c in self.configs
+        }
+        self._blank = IntrusiveChain("blank-nodes")
+        self._used_nodes: set[int] = set()  # node_nos that ever received a config/task
+        # Per-configuration reconfiguration counts: the (ReconfigCount)_k of
+        # Eq. 10, from which total configuration time is computed.
+        self.reconfig_count_by_config: dict[int, int] = {c.config_no: 0 for c in self.configs}
+
+        for node in self.nodes:
+            if node.is_blank:
+                self._blank.append(node)
+            else:
+                self._used_nodes.add(node.node_no)
+                for entry in node.entries:
+                    self._chain_for(entry).append(entry)
+
+        # Incremental system aggregates (kept exact by _track around every
+        # node mutation; cross-checked by invariant I9).  These make the
+        # per-event monitoring O(1) instead of O(nodes).
+        self.state_counts: dict[str, int] = {"blank": 0, "idle": 0, "busy": 0}
+        self._wasted_total = 0
+        self._configured_total = 0
+        self.running_tasks_count = 0
+        for node in self.nodes:
+            self.state_counts[self._state_key(node)] += 1
+            self._wasted_total += self._waste_of(node)
+            self._configured_total += node.configured_area
+            self.running_tasks_count += node._busy_count
+
+    # -- aggregate bookkeeping ------------------------------------------------------
+
+    @staticmethod
+    def _state_key(node: Node) -> str:
+        if node.is_blank:
+            return "blank"
+        return "busy" if node._busy_count > 0 else "idle"
+
+    @staticmethod
+    def _waste_of(node: Node) -> int:
+        """Eq. 6 contribution: available area of a configured node."""
+        return 0 if node.is_blank else node.available_area
+
+    def _track(self, node: Node, mutate):
+        """Run a node mutation, keeping the system aggregates exact."""
+        self.state_counts[self._state_key(node)] -= 1
+        self._wasted_total -= self._waste_of(node)
+        self._configured_total -= node.configured_area
+        self.running_tasks_count -= node._busy_count
+        result = mutate()
+        self.state_counts[self._state_key(node)] += 1
+        self._wasted_total += self._waste_of(node)
+        self._configured_total += node.configured_area
+        self.running_tasks_count += node._busy_count
+        return result
+
+    # -- chain helpers -----------------------------------------------------------
+
+    def _chain_for(self, entry: ConfigTaskEntry) -> IntrusiveChain:
+        table = self._idle if entry.is_idle else self._busy
+        chain = table.get(entry.config.config_no)
+        if chain is None:
+            raise ConfigurationError(
+                f"config {entry.config.config_no} is not in the configurations list"
+            )
+        return chain
+
+    def idle_chain(self, config: Configuration) -> IntrusiveChain:
+        """The Idle_start chain (Fig. 3) for one configuration."""
+        return self._idle[config.config_no]
+
+    def busy_chain(self, config: Configuration) -> IntrusiveChain:
+        """The Busy_start chain (Fig. 3) for one configuration."""
+        return self._busy[config.config_no]
+
+    @property
+    def blank_chain(self) -> IntrusiveChain:
+        return self._blank
+
+    @property
+    def total_used_nodes(self) -> int:
+        """Table I: nodes that received at least one configuration."""
+        return len(self._used_nodes)
+
+    # -- configuration lookup (FindPreferredConfig / FindClosestConfig) ----------
+
+    def find_preferred_config(self, pref: Configuration) -> Optional[Configuration]:
+        """Linear search of the configurations list for the exact match.
+
+        "Currently, a simple linear search is employed" — each element
+        visited charges one scheduling step.
+        """
+        for c in self.configs:
+            self.counters.charge_scheduling()
+            if c is pref or c.config_no == pref.config_no:
+                return c
+        return None
+
+    def find_closest_config(self, pref: Configuration) -> Optional[Configuration]:
+        """The config with minimal ``ReqArea`` among those ≥ the preference's.
+
+        Returns ``None`` when every configuration is smaller than the
+        preferred area — the task is then discarded (§V).
+        """
+        best: Optional[Configuration] = None
+        for c in self.configs:
+            self.counters.charge_scheduling()
+            if c.req_area >= pref.req_area and (best is None or c.req_area < best.req_area):
+                best = c
+        return best
+
+    # -- scheduler queries (FindBestNode / FindBestBlankNode / ...) ----------------
+
+    def find_best_idle_entry(self, config: Configuration) -> Optional[ConfigTaskEntry]:
+        """Best direct-allocation target: idle entry whose node has minimum
+        ``AvailableArea`` (§V: "so that the nodes with larger AvailableArea
+        are utilized for later re-configurations")."""
+        best: Optional[ConfigTaskEntry] = None
+        for entry in self._idle[config.config_no]:
+            self.counters.charge_scheduling()
+            node = self._node_of(entry)
+            if not node.in_service:
+                continue
+            if best is None or node.available_area < self._node_of(best).available_area:
+                best = entry
+        return best
+
+    def find_best_blank_node(self, config: Configuration) -> Optional[Node]:
+        """Blank node with minimal sufficient ``TotalArea`` for ``config``."""
+        best: Optional[Node] = None
+        for node in self._blank:
+            self.counters.charge_scheduling()
+            if not node.in_service:
+                continue
+            if node.total_area >= config.req_area and config.compatible_with_node_family(
+                node.family
+            ):
+                if best is None or node.total_area < best.total_area:
+                    best = node
+        return best
+
+    def find_best_partially_blank_node(self, config: Configuration) -> Optional[Node]:
+        """Configured node with minimal sufficient *free* region (§V partial
+        configuration: "chooses a node with minimum sufficient region")."""
+        best: Optional[Node] = None
+        for node in self.nodes:
+            self.counters.charge_scheduling()
+            if node.is_blank or not node.in_service:
+                continue
+            if node.available_area >= config.req_area and config.compatible_with_node_family(
+                node.family
+            ):
+                if best is None or node.available_area < best.available_area:
+                    best = node
+        return best
+
+    def find_any_idle_node(
+        self, config: Configuration, require_all_idle: bool = False
+    ) -> tuple[Optional[Node], list[ConfigTaskEntry]]:
+        """Alg. 1 (``FindAnyIdleNode``): first node whose free area plus the
+        area under its *idle* entries can host ``config``.
+
+        Returns ``(node, entries-to-evict)`` or ``(None, [])``.  Step
+        accounting matches the pseudocode: one scheduling step (and one
+        workload step, implied by the shared counter) per entry examined.
+
+        ``require_all_idle`` restricts candidates to nodes with no running
+        task — the *without partial reconfiguration* scenario, where reuse
+        means blanking and reconfiguring a whole idle node.
+        """
+        req = config.req_area
+        for node in self.nodes:
+            if not node.in_service or not config.compatible_with_node_family(node.family):
+                self.counters.charge_scheduling()
+                continue
+            if require_all_idle and any(e.is_busy for e in node.entries):
+                self.counters.charge_scheduling()
+                continue
+            accum = node.available_area
+            collected: list[ConfigTaskEntry] = []
+            if accum >= req and node.entries and not require_all_idle:
+                # Free region alone suffices; nothing to evict.  (Normally the
+                # partial-configuration phase catches this first.)
+                return node, []
+            for entry in node.entries:
+                self.counters.charge_scheduling()
+                if entry.is_idle:
+                    accum += entry.config.req_area
+                    collected.append(entry)
+                    if accum >= req:
+                        if require_all_idle:
+                            # Whole-node reconfiguration: evict everything.
+                            return node, list(node.entries)
+                        return node, collected
+        return None, []
+
+    def busy_candidate_exists(self, config: Configuration) -> bool:
+        """§V last resort: any *busy* node whose ``TotalArea`` could ever
+        host the configuration (the task is then worth suspending)."""
+        for node in self.nodes:
+            self.counters.charge_scheduling()
+            if node.in_service and node.state.value == "busy" and node.total_area >= config.req_area:
+                if config.compatible_with_node_family(node.family):
+                    return True
+        return False
+
+    # -- mutations (housekeeping) -----------------------------------------------------
+
+    def configure_node(self, node: Node, config: Configuration, now: int = 0) -> ConfigTaskEntry:
+        """Send a bitstream: load ``config`` onto ``node`` as an idle entry."""
+        was_blank = node.is_blank
+        entry = self._track(node, lambda: node.send_bitstream(config, now=now))
+        setattr(entry, "_node", node)
+        if was_blank and node in self._blank:
+            self._blank.remove(node)
+            self.counters.charge_housekeeping()
+        self._idle[config.config_no].append(entry)
+        self.counters.charge_housekeeping()
+        self._used_nodes.add(node.node_no)
+        self.reconfig_count_by_config[config.config_no] += 1
+        return entry
+
+    def assign_task(self, task: Task, node: Node, entry: ConfigTaskEntry) -> None:
+        """Bind a task to an idle entry and move it idle→busy chain."""
+        self._idle[entry.config.config_no].remove(entry)
+        self.counters.charge_housekeeping()
+        self._track(node, lambda: node.add_task(task, entry))
+        self._busy[entry.config.config_no].append(entry)
+        self.counters.charge_housekeeping()
+        self._used_nodes.add(node.node_no)
+
+    def complete_task(self, task: Task, node: Node) -> ConfigTaskEntry:
+        """Release a finished task's entry and move it busy→idle chain.
+
+        The configuration stays loaded — the freed region becomes a
+        zero-cost direct-allocation target.
+        """
+        entry = self._track(node, lambda: node.remove_task(task))
+        self._busy[entry.config.config_no].remove(entry)
+        self.counters.charge_housekeeping()
+        self._idle[entry.config.config_no].append(entry)
+        self.counters.charge_housekeeping()
+        return entry
+
+    def evict_entries(self, node: Node, entries: Iterable[ConfigTaskEntry]) -> int:
+        """Remove idle entries (partial re-configuration); returns area freed."""
+        entries = list(entries)
+        for entry in entries:
+            self._idle[entry.config.config_no].remove(entry)
+            self.counters.charge_housekeeping()
+        reclaimed = self._track(node, lambda: node.make_partially_blank(entries))
+        if node.is_blank and node not in self._blank:
+            self._blank.append(node)
+            self.counters.charge_housekeeping()
+        return reclaimed
+
+    def blank_node(self, node: Node) -> None:
+        """Remove *all* (idle) entries from a node — full-reconfiguration reuse."""
+        for entry in node.entries:
+            if entry.is_idle:
+                self._idle[entry.config.config_no].remove(entry)
+                self.counters.charge_housekeeping()
+        self._track(node, node.make_blank)
+        if node not in self._blank:
+            self._blank.append(node)
+            self.counters.charge_housekeeping()
+
+    # -- failure injection ---------------------------------------------------------------
+
+    def fail_node(self, node: Node) -> list[Task]:
+        """Take a node out of service (failure-injection studies).
+
+        All running tasks are interrupted (returned for the caller to
+        restart), all configurations are lost (SRAM contents do not survive),
+        and the node leaves every chain until repaired.
+        """
+        if not node.in_service:
+            raise ConfigurationError(f"node {node.node_no} is already failed")
+        interrupted: list[Task] = []
+
+        def wipe() -> None:
+            for entry in list(node.entries):
+                if entry.is_busy:
+                    task = entry.task
+                    assert task is not None
+                    self._busy[entry.config.config_no].remove(entry)
+                    entry.task = None
+                    node._busy_count -= 1
+                    interrupted.append(task)
+                else:
+                    self._idle[entry.config.config_no].remove(entry)
+                self.counters.charge_housekeeping()
+            node.make_blank()
+
+        self._track(node, wipe)
+        if node in self._blank:
+            self._blank.remove(node)
+            self.counters.charge_housekeeping()
+        node.in_service = False
+        node.failure_count += 1
+        return interrupted
+
+    def repair_node(self, node: Node) -> None:
+        """Return a repaired node to service, blank."""
+        if node.in_service:
+            raise ConfigurationError(f"node {node.node_no} is not failed")
+        node.in_service = True
+        self._blank.append(node)
+        self.counters.charge_housekeeping()
+
+    # -- statistics -------------------------------------------------------------------
+
+    def total_wasted_area(self, charge: bool = False) -> int:
+        """Eq. 6: Σ AvailableArea over nodes holding ≥ 1 configuration.
+
+        ``charge=True`` bills the walk to housekeeping (when the simulated
+        monitoring module itself performs it); metric sampling by the
+        harness passes ``False`` so measurement does not distort Table I's
+        workload counters.
+        """
+        if not charge:
+            return self._wasted_total
+        total = 0
+        for node in self.nodes:
+            self.counters.charge_housekeeping()
+            if not node.is_blank:
+                total += node.available_area
+        return total
+
+    def total_configured_area(self) -> int:
+        """Area currently occupied by loaded configurations, system-wide."""
+        return self._configured_total
+
+    def node_count_by_state(self) -> dict[str, int]:
+        """O(1) blank/idle/busy node counts (incrementally maintained)."""
+        return dict(self.state_counts)
+
+    # -- internal ----------------------------------------------------------------------
+
+    def _node_of(self, entry: ConfigTaskEntry) -> Node:
+        node = getattr(entry, "_node", None)
+        if node is None:
+            # Fall back to a table scan (only for entries created outside
+            # configure_node, e.g. hand-built test fixtures).
+            for n in self.nodes:
+                if entry in n.entries:
+                    setattr(entry, "_node", n)
+                    return n
+            raise ConfigurationError(f"entry {entry!r} belongs to no known node")
+        return node
+
+    def attach_entry_backrefs(self) -> None:
+        """Cache entry→node back-references for O(1) ``_node_of``."""
+        for node in self.nodes:
+            for entry in node.entries:
+                setattr(entry, "_node", node)
+
+
+__all__ = ["ResourceInformationManager"]

@@ -1,0 +1,179 @@
+"""Random number generation substrate (S2).
+
+The paper's ``RNG`` class is "based on the Ziggurat Method [17] using the
+algorithm described in [18] for generating Gamma variables" and exposes
+``poisson``, ``binomial``, ``gamma``, ``multinom`` and ``rand_int32``.  This
+package is a from-scratch reproduction of that stack:
+
+* :mod:`repro.rng.bitgen` — Marsaglia's KISS combined generator providing the
+  ``rand_int32`` bit stream (SHR3 xorshift + CONG LCG + MWC pair).
+* :mod:`repro.rng.ziggurat` — the Marsaglia–Tsang ziggurat for normal and
+  exponential variates (128/256 layers, published constants).
+* :mod:`repro.rng.gamma` — the Marsaglia–Tsang "simple method" for gamma
+  variables (squeeze on ``d·(1+c·x)³``).
+* :mod:`repro.rng.discrete` — exact Poisson / binomial / multinomial samplers
+  built on the gamma/beta recursions (no approximation cutoffs).
+* :mod:`repro.rng.distributions` — declarative distribution objects used by
+  the workload generator to express Table II's parameter ranges.
+
+All sampling is deterministic given a seed, which the experiment harness
+relies on for replayable simulations.
+"""
+
+from repro.rng.bitgen import KissGenerator
+from repro.rng.discrete import binomial, multinomial, poisson
+from repro.rng.distributions import (
+    Bernoulli,
+    Choice,
+    Constant,
+    Distribution,
+    Exponential,
+    GammaDist,
+    NormalDist,
+    PoissonDist,
+    Uniform,
+    UniformInt,
+    distribution_from_spec,
+)
+from repro.rng.gamma import gamma_variate
+from repro.rng.ziggurat import ZigguratTables, exponential_variate, normal_variate
+
+
+class RNG:
+    """Facade mirroring the paper's ``RNG`` class (Fig. 4).
+
+    Wraps a :class:`KissGenerator` bit stream and exposes the distribution
+    methods named in the UML diagram, plus the uniform helpers every other
+    module needs.
+
+    >>> rng = RNG(seed=42)
+    >>> 0 <= rng.rand_int32() < 2**32
+    True
+    >>> 1 <= rng.randint(1, 50) <= 50
+    True
+    """
+
+    def __init__(self, seed: int = 123456789) -> None:
+        self._bits = KissGenerator(seed)
+        self.seed = seed
+
+    # -- uniform layer ------------------------------------------------------
+
+    def rand_int32(self) -> int:
+        """Next raw 32-bit unsigned integer from the KISS stream."""
+        return self._bits.next_uint32()
+
+    def random(self) -> float:
+        """Uniform float in [0, 1)."""
+        return self._bits.next_double()
+
+    def uniform(self, low: float = 0.0, high: float = 1.0) -> float:
+        """Uniform float in [low, high)."""
+        if high < low:
+            raise ValueError(f"uniform requires low <= high, got [{low}, {high}]")
+        return low + (high - low) * self._bits.next_double()
+
+    def randint(self, low: int, high: int) -> int:
+        """Uniform integer in the *inclusive* range [low, high].
+
+        Uses rejection to avoid modulo bias — the Table II ranges (e.g. node
+        areas in [1000, 4000]) must be exactly uniform.
+        """
+        if high < low:
+            raise ValueError(f"randint requires low <= high, got [{low}, {high}]")
+        span = high - low + 1
+        # Rejection sampling from the 32-bit stream (span fits in 32 bits for
+        # every parameter in this reproduction).
+        if span > 2**32:
+            raise ValueError("randint span exceeds 32-bit generator range")
+        limit = (2**32 // span) * span
+        while True:
+            r = self._bits.next_uint32()
+            if r < limit:
+                return low + (r % span)
+
+    # -- continuous distributions -------------------------------------------
+
+    def normal(self, mu: float = 0.0, sigma: float = 1.0) -> float:
+        """Gaussian variate via the ziggurat method."""
+        if sigma < 0:
+            raise ValueError("sigma must be non-negative")
+        return mu + sigma * normal_variate(self._bits)
+
+    def exponential(self, rate: float = 1.0) -> float:
+        """Exponential variate (mean 1/rate) via the ziggurat method."""
+        if rate <= 0:
+            raise ValueError("rate must be positive")
+        return exponential_variate(self._bits) / rate
+
+    def gamma(self, shape: float, scale: float = 1.0) -> float:
+        """Gamma variate via the Marsaglia–Tsang method [18]."""
+        if shape <= 0 or scale <= 0:
+            raise ValueError("shape and scale must be positive")
+        return gamma_variate(self._bits, shape) * scale
+
+    # -- discrete distributions -----------------------------------------------
+
+    def poisson(self, lam: float) -> int:
+        """Poisson variate (exact, gamma-recursion for large means)."""
+        return poisson(self, lam)
+
+    def binomial(self, p: float, n: int) -> int:
+        """Binomial variate with the paper's (p, n) argument order."""
+        return binomial(self, n, p)
+
+    def multinom(self, n: int, weights) -> list[int]:
+        """Multinomial counts for ``n`` trials over ``weights`` categories."""
+        return multinomial(self, n, weights)
+
+    # -- misc ------------------------------------------------------------------
+
+    def shuffle(self, seq: list) -> None:
+        """In-place Fisher–Yates shuffle."""
+        for i in range(len(seq) - 1, 0, -1):
+            j = self.randint(0, i)
+            seq[i], seq[j] = seq[j], seq[i]
+
+    def choice(self, seq):
+        """Uniformly pick one element of a non-empty sequence."""
+        if not seq:
+            raise ValueError("cannot choose from an empty sequence")
+        return seq[self.randint(0, len(seq) - 1)]
+
+    def spawn(self, stream: int) -> "RNG":
+        """Derive an independent, reproducible sub-stream.
+
+        Used so task generation, node generation, and service times each get
+        their own stream: adding one more draw to a stream does not perturb
+        the others (a standard HPC-simulation reproducibility idiom).
+        """
+        # SplitMix-style mixing of (seed, stream) into a new 64-bit seed.
+        z = (self.seed + 0x9E3779B97F4A7C15 * (stream + 1)) & 0xFFFFFFFFFFFFFFFF
+        z = ((z ^ (z >> 30)) * 0xBF58476D1CE4E5B9) & 0xFFFFFFFFFFFFFFFF
+        z = ((z ^ (z >> 27)) * 0x94D049BB133111EB) & 0xFFFFFFFFFFFFFFFF
+        z ^= z >> 31
+        return RNG(seed=z or 1)
+
+
+__all__ = [
+    "RNG",
+    "KissGenerator",
+    "ZigguratTables",
+    "normal_variate",
+    "exponential_variate",
+    "gamma_variate",
+    "poisson",
+    "binomial",
+    "multinomial",
+    "Distribution",
+    "Uniform",
+    "UniformInt",
+    "Exponential",
+    "NormalDist",
+    "GammaDist",
+    "PoissonDist",
+    "Bernoulli",
+    "Constant",
+    "Choice",
+    "distribution_from_spec",
+]

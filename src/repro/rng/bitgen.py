@@ -1,0 +1,107 @@
+"""Marsaglia's KISS combined generator — the ``rand_int32`` bit stream.
+
+The ziggurat paper [17] pairs the method with Marsaglia's small, fast
+uniform generators.  KISS ("Keep It Simple Stupid") combines three
+independent generators so their defects cancel:
+
+* **CONG** — a 32-bit linear congruential generator,
+  ``x ← 69069·x + 1234567 (mod 2³²)``;
+* **SHR3** — a 3-shift xorshift register, ``y ^= y<<13; y ^= y>>17;
+  y ^= y<<5``;
+* **MWC** — a pair of 16-bit multiply-with-carry generators,
+  ``z ← 36969·(z & 65535) + (z >> 16)`` and
+  ``w ← 18000·(w & 65535) + (w >> 16)``, combined as ``(z<<16) + w``.
+
+The KISS output is ``(MWC ^ CONG) + SHR3`` modulo 2³².  Period ≈ 2¹²³.
+Implemented in pure Python with explicit 32-bit masking.
+"""
+
+from __future__ import annotations
+
+_MASK32 = 0xFFFFFFFF
+_INV_2_32 = 1.0 / 4294967296.0  # 2**-32
+_INV_2_53 = 1.0 / 9007199254740992.0  # 2**-53
+
+
+class KissGenerator:
+    """Deterministic 32-bit uniform generator (Marsaglia KISS).
+
+    Parameters
+    ----------
+    seed:
+        Any integer; expanded into the four state words with a SplitMix-style
+        scrambler so that nearby seeds yield unrelated streams.  State words
+        that the underlying generators require to be non-zero are forced
+        non-zero.
+    """
+
+    __slots__ = ("_x", "_y", "_z", "_w", "seed")
+
+    def __init__(self, seed: int = 123456789) -> None:
+        self.seed = seed
+        s = seed & 0xFFFFFFFFFFFFFFFF
+        words = []
+        for _ in range(4):
+            # SplitMix64 step, then take the top 32 bits.
+            s = (s + 0x9E3779B97F4A7C15) & 0xFFFFFFFFFFFFFFFF
+            z = s
+            z = ((z ^ (z >> 30)) * 0xBF58476D1CE4E5B9) & 0xFFFFFFFFFFFFFFFF
+            z = ((z ^ (z >> 27)) * 0x94D049BB133111EB) & 0xFFFFFFFFFFFFFFFF
+            z ^= z >> 31
+            words.append((z >> 32) & _MASK32)
+        self._x = words[0] or 123456789  # CONG state (any value is legal; avoid 0 anyway)
+        self._y = words[1] or 362436069  # SHR3 state (must be non-zero)
+        self._z = words[2] or 521288629  # MWC upper (must not be 0 or 0xFFFF-carry fixed points)
+        self._w = words[3] or 916191069  # MWC lower
+
+    def next_uint32(self) -> int:
+        """Next 32-bit unsigned integer from the combined stream."""
+        # CONG
+        self._x = (69069 * self._x + 1234567) & _MASK32
+        # SHR3
+        y = self._y
+        y ^= (y << 13) & _MASK32
+        y ^= y >> 17
+        y ^= (y << 5) & _MASK32
+        self._y = y
+        # MWC
+        self._z = (36969 * (self._z & 65535) + (self._z >> 16)) & _MASK32
+        self._w = (18000 * (self._w & 65535) + (self._w >> 16)) & _MASK32
+        mwc = (((self._z << 16) & _MASK32) + self._w) & _MASK32
+        return ((mwc ^ self._x) + y) & _MASK32
+
+    def next_int32(self) -> int:
+        """Next signed 32-bit integer (two's complement view of the stream).
+
+        The ziggurat algorithm consumes *signed* integers so the sign bit
+        doubles as the variate's sign.
+        """
+        u = self.next_uint32()
+        return u - 4294967296 if u >= 2147483648 else u
+
+    def next_double(self) -> float:
+        """Uniform double in [0, 1) with 53 random bits."""
+        high = self.next_uint32() >> 6  # 26 bits
+        low = self.next_uint32() >> 5  # 27 bits
+        return (high * 134217728.0 + low) * _INV_2_53
+
+    def next_uni(self) -> float:
+        """Single-word uniform in (0, 1) — the ziggurat's cheap UNI."""
+        return (self.next_uint32() + 0.5) * _INV_2_32
+
+    def getstate(self) -> tuple[int, int, int, int]:
+        """The four KISS state words (for checkpoint/restore)."""
+        return (self._x, self._y, self._z, self._w)
+
+    def setstate(self, state: tuple[int, int, int, int]) -> None:
+        """Restore state captured by :meth:`getstate`; validates ranges."""
+        x, y, z, w = state
+        for v in state:
+            if not 0 <= v <= _MASK32:
+                raise ValueError(f"state word {v} out of 32-bit range")
+        if y == 0:
+            raise ValueError("SHR3 state must be non-zero")
+        self._x, self._y, self._z, self._w = x, y, z, w
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"KissGenerator(seed={self.seed})"

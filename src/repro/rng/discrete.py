@@ -1,0 +1,135 @@
+"""Exact discrete samplers: Poisson, binomial, multinomial.
+
+These reuse the continuous substrates (gamma/beta) through the classical
+exact recursions (Devroye 1986, ch. X), so they are correct for *all*
+parameter values without approximation cutoffs:
+
+* **Binomial** — for small ``n``, Bernoulli summation; for large ``n``, the
+  beta-splitting recursion ``Bin(n, p)`` → order statistic ``X ~ Beta(i,
+  n+1−i)`` with ``i = ⌊(n+1)/2⌋``: if ``X ≤ p`` then ``i + Bin(n−i,
+  (p−X)/(1−X))`` else ``Bin(i−1, p/X)``.  O(log n) beta draws.
+* **Poisson** — for small means, Knuth's product-of-uniforms; for large
+  means, the gamma-splitting recursion: with ``m = ⌊0.875·λ⌋``, draw
+  ``X ~ Gamma(m)``; if ``X > λ`` return ``Bin(m−1, λ/X)`` else
+  ``m + Poisson(λ−X)``.
+* **Multinomial** — sequential conditional binomials.
+
+The function signatures take the :class:`repro.rng.RNG` facade (they need
+both the raw bit stream and the uniform helpers).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import TYPE_CHECKING, Sequence
+
+from repro.rng.gamma import beta_variate, gamma_variate
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.rng import RNG
+
+_BERNOULLI_SUM_LIMIT = 64  # below this, direct summation beats recursion
+_KNUTH_POISSON_LIMIT = 30.0  # product method fine below this mean
+
+
+def binomial(rng: "RNG", n: int, p: float) -> int:
+    """Exact Binomial(n, p) variate."""
+    if n < 0:
+        raise ValueError(f"n must be non-negative, got {n}")
+    if not 0.0 <= p <= 1.0:
+        raise ValueError(f"p must lie in [0, 1], got {p}")
+    if n == 0 or p == 0.0:
+        return 0
+    if p == 1.0:
+        return n
+    # Work with p <= 1/2 for numerical behaviour; mirror the result.
+    if p > 0.5:
+        return n - binomial(rng, n, 1.0 - p)
+
+    successes = 0
+    while True:
+        if n <= _BERNOULLI_SUM_LIMIT:
+            for _ in range(n):
+                if rng.random() < p:
+                    successes += 1
+            return successes
+        # Beta splitting around the median order statistic.
+        i = (n + 1) // 2
+        x = beta_variate(rng._bits, float(i), float(n + 1 - i))
+        if x <= p:
+            successes += i
+            n -= i
+            p = (p - x) / (1.0 - x) if x < 1.0 else 0.0
+        else:
+            n = i - 1
+            p = p / x
+        p = min(max(p, 0.0), 1.0)
+        if n <= 0:
+            return successes
+
+
+def poisson(rng: "RNG", lam: float) -> int:
+    """Exact Poisson(lam) variate."""
+    if lam < 0:
+        raise ValueError(f"lam must be non-negative, got {lam}")
+    if lam == 0.0:
+        return 0
+
+    count = 0
+    while lam > _KNUTH_POISSON_LIMIT:
+        m = int(0.875 * lam)
+        if m < 1:
+            break
+        x = gamma_variate(rng._bits, float(m))
+        if x > lam:
+            # The m-th arrival exceeded the window: fewer than m events, each
+            # of the first m-1 arrival times uniform in (0, x).
+            return count + binomial(rng, m - 1, lam / x)
+        count += m
+        lam -= x
+
+    # Knuth's method for the (small) remainder.
+    threshold = math.exp(-lam)
+    k = 0
+    prod = rng.random()
+    while prod > threshold:
+        k += 1
+        prod *= rng.random()
+    return count + k
+
+
+def multinomial(rng: "RNG", n: int, weights: Sequence[float]) -> list[int]:
+    """Multinomial counts: ``n`` trials over categories with given weights.
+
+    Weights need not be normalised; they must be non-negative with a positive
+    sum.  Returns a list of counts summing to ``n``.
+    """
+    if n < 0:
+        raise ValueError(f"n must be non-negative, got {n}")
+    ws = [float(w) for w in weights]
+    if not ws:
+        raise ValueError("weights must be non-empty")
+    if any(w < 0 for w in ws):
+        raise ValueError("weights must be non-negative")
+    total = math.fsum(ws)
+    if total <= 0:
+        raise ValueError("weights must sum to a positive value")
+
+    counts = [0] * len(ws)
+    remaining_n = n
+    remaining_w = total
+    for i, w in enumerate(ws[:-1]):
+        if remaining_n == 0:
+            break
+        if remaining_w <= 0:  # pragma: no cover - fsum guard
+            break
+        p = min(max(w / remaining_w, 0.0), 1.0)
+        c = binomial(rng, remaining_n, p)
+        counts[i] = c
+        remaining_n -= c
+        remaining_w -= w
+    counts[-1] += remaining_n
+    return counts
+
+
+__all__ = ["binomial", "poisson", "multinomial"]

@@ -1,0 +1,252 @@
+"""Declarative distribution objects for workload and resource specification.
+
+Table II of the paper expresses every simulation parameter as a range with a
+distribution ("task arrival interval … [1..50] time-ticks with uniform
+distribution").  The input subsystem accepts these as :class:`Distribution`
+objects, so a user can switch a parameter from uniform to Poisson or gamma
+arrivals without touching generator code — the "user-defined task arrival
+rate and distribution functions" feature of §III.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Mapping, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.rng import RNG
+
+
+class Distribution(abc.ABC):
+    """A sampleable univariate distribution."""
+
+    @abc.abstractmethod
+    def sample(self, rng: "RNG") -> float:
+        """Draw one variate."""
+
+    def sample_int(self, rng: "RNG") -> int:
+        """Draw one variate rounded to a non-negative integer timetick/area."""
+        return max(0, int(round(self.sample(rng))))
+
+    @abc.abstractmethod
+    def mean(self) -> float:
+        """Analytic mean (used by analysis sanity checks)."""
+
+
+@dataclass(frozen=True)
+class Constant(Distribution):
+    """Degenerate distribution: always ``value``."""
+
+    value: float
+
+    def sample(self, rng: "RNG") -> float:
+        return self.value
+
+    def mean(self) -> float:
+        return self.value
+
+
+@dataclass(frozen=True)
+class Uniform(Distribution):
+    """Continuous uniform on [low, high)."""
+
+    low: float
+    high: float
+
+    def __post_init__(self) -> None:
+        if self.high < self.low:
+            raise ValueError(f"Uniform requires low <= high, got [{self.low}, {self.high}]")
+
+    def sample(self, rng: "RNG") -> float:
+        return rng.uniform(self.low, self.high)
+
+    def mean(self) -> float:
+        return 0.5 * (self.low + self.high)
+
+
+@dataclass(frozen=True)
+class UniformInt(Distribution):
+    """Discrete uniform on the inclusive integer range [low, high].
+
+    This is the distribution of every bracketed range in Table II.
+    """
+
+    low: int
+    high: int
+
+    def __post_init__(self) -> None:
+        if self.high < self.low:
+            raise ValueError(f"UniformInt requires low <= high, got [{self.low}, {self.high}]")
+
+    def sample(self, rng: "RNG") -> float:
+        return float(rng.randint(self.low, self.high))
+
+    def sample_int(self, rng: "RNG") -> int:
+        return rng.randint(self.low, self.high)
+
+    def mean(self) -> float:
+        return 0.5 * (self.low + self.high)
+
+
+@dataclass(frozen=True)
+class Exponential(Distribution):
+    """Exponential with the given mean (inter-arrival modelling)."""
+
+    mean_value: float
+
+    def __post_init__(self) -> None:
+        if self.mean_value <= 0:
+            raise ValueError("Exponential mean must be positive")
+
+    def sample(self, rng: "RNG") -> float:
+        return rng.exponential(rate=1.0 / self.mean_value)
+
+    def mean(self) -> float:
+        return self.mean_value
+
+
+@dataclass(frozen=True)
+class NormalDist(Distribution):
+    """Gaussian; ``sample_int`` clamps at zero for time/area uses."""
+
+    mu: float
+    sigma: float
+
+    def __post_init__(self) -> None:
+        if self.sigma < 0:
+            raise ValueError("sigma must be non-negative")
+
+    def sample(self, rng: "RNG") -> float:
+        return rng.normal(self.mu, self.sigma)
+
+    def mean(self) -> float:
+        return self.mu
+
+
+@dataclass(frozen=True)
+class GammaDist(Distribution):
+    """Gamma(shape, scale) — heavy-tailed service times."""
+
+    shape: float
+    scale: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.shape <= 0 or self.scale <= 0:
+            raise ValueError("shape and scale must be positive")
+
+    def sample(self, rng: "RNG") -> float:
+        return rng.gamma(self.shape, self.scale)
+
+    def mean(self) -> float:
+        return self.shape * self.scale
+
+
+@dataclass(frozen=True)
+class PoissonDist(Distribution):
+    """Poisson with mean ``lam`` (bursty arrival counts)."""
+
+    lam: float
+
+    def __post_init__(self) -> None:
+        if self.lam < 0:
+            raise ValueError("lam must be non-negative")
+
+    def sample(self, rng: "RNG") -> float:
+        return float(rng.poisson(self.lam))
+
+    def mean(self) -> float:
+        return self.lam
+
+
+@dataclass(frozen=True)
+class Bernoulli(Distribution):
+    """Bernoulli(p) — e.g. the 15% closest-match coin of Table II."""
+
+    p: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.p <= 1.0:
+            raise ValueError("p must lie in [0, 1]")
+
+    def sample(self, rng: "RNG") -> float:
+        return 1.0 if rng.random() < self.p else 0.0
+
+    def mean(self) -> float:
+        return self.p
+
+
+class Choice(Distribution):
+    """Uniform (or weighted) choice over a finite value set."""
+
+    def __init__(self, values: Sequence[float], weights: Sequence[float] | None = None):
+        if not values:
+            raise ValueError("Choice requires at least one value")
+        self.values = list(values)
+        if weights is not None:
+            if len(weights) != len(values):
+                raise ValueError("weights must match values in length")
+            total = float(sum(weights))
+            if total <= 0 or any(w < 0 for w in weights):
+                raise ValueError("weights must be non-negative with positive sum")
+            self.cum: list[float] | None = []
+            acc = 0.0
+            for w in weights:
+                acc += w / total
+                self.cum.append(acc)
+        else:
+            self.cum = None
+
+    def sample(self, rng: "RNG") -> float:
+        if self.cum is None:
+            return float(rng.choice(self.values))
+        u = rng.random()
+        for v, c in zip(self.values, self.cum):
+            if u <= c:
+                return float(v)
+        return float(self.values[-1])
+
+    def mean(self) -> float:
+        if self.cum is None:
+            return sum(self.values) / len(self.values)
+        probs = [self.cum[0]] + [b - a for a, b in zip(self.cum, self.cum[1:])]
+        return sum(v * p for v, p in zip(self.values, probs))
+
+
+_SPEC_REGISTRY = {
+    "constant": lambda d: Constant(float(d["value"])),
+    "uniform": lambda d: Uniform(float(d["low"]), float(d["high"])),
+    "uniform_int": lambda d: UniformInt(int(d["low"]), int(d["high"])),
+    "exponential": lambda d: Exponential(float(d["mean"])),
+    "normal": lambda d: NormalDist(float(d["mu"]), float(d["sigma"])),
+    "gamma": lambda d: GammaDist(float(d["shape"]), float(d.get("scale", 1.0))),
+    "poisson": lambda d: PoissonDist(float(d["lam"])),
+    "bernoulli": lambda d: Bernoulli(float(d["p"])),
+}
+
+
+def distribution_from_spec(spec: Mapping[str, Any]) -> Distribution:
+    """Build a distribution from a plain dict, e.g. parsed from a CLI config.
+
+    >>> distribution_from_spec({"kind": "uniform_int", "low": 1, "high": 50})
+    UniformInt(low=1, high=50)
+    """
+    kind = spec.get("kind")
+    if kind not in _SPEC_REGISTRY:
+        raise ValueError(f"unknown distribution kind {kind!r}; options: {sorted(_SPEC_REGISTRY)}")
+    return _SPEC_REGISTRY[kind](spec)
+
+
+__all__ = [
+    "Distribution",
+    "Constant",
+    "Uniform",
+    "UniformInt",
+    "Exponential",
+    "NormalDist",
+    "GammaDist",
+    "PoissonDist",
+    "Bernoulli",
+    "Choice",
+    "distribution_from_spec",
+]

@@ -1,0 +1,65 @@
+"""Marsaglia–Tsang gamma variates — reference [18] of the paper.
+
+"A Simple Method for Generating Gamma Variables" (TOMS 2000): for shape
+``a ≥ 1`` set ``d = a − 1/3`` and ``c = 1/√(9d)``; draw a standard normal
+``x`` and uniform ``u`` and accept ``d·v`` with ``v = (1 + c·x)³`` when
+
+* the cheap squeeze ``u < 1 − 0.0331·x⁴`` passes, or
+* ``ln u < x²/2 + d − d·v + d·ln v``.
+
+For ``a < 1`` the standard boost is used:
+``Gamma(a) = Gamma(a+1) · U^{1/a}``.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.rng.bitgen import KissGenerator
+from repro.rng.ziggurat import normal_variate
+
+
+def gamma_variate(bits: KissGenerator, shape: float) -> float:
+    """Gamma(shape, scale=1) variate by the Marsaglia–Tsang method."""
+    if shape <= 0:
+        raise ValueError(f"shape must be positive, got {shape}")
+    if shape < 1.0:
+        # Boost: Gamma(a) = Gamma(a + 1) * U^(1/a).
+        u = bits.next_uni()
+        return gamma_variate(bits, shape + 1.0) * u ** (1.0 / shape)
+
+    d = shape - 1.0 / 3.0
+    c = 1.0 / math.sqrt(9.0 * d)
+    while True:
+        # Generate v = (1 + c*x)^3 with v > 0.
+        while True:
+            x = normal_variate(bits)
+            v = 1.0 + c * x
+            if v > 0.0:
+                break
+        v = v * v * v
+        u = bits.next_uni()
+        x2 = x * x
+        if u < 1.0 - 0.0331 * x2 * x2:
+            return d * v  # squeeze accept (vast majority of draws)
+        if math.log(u) < 0.5 * x2 + d * (1.0 - v + math.log(v)):
+            return d * v
+
+
+def beta_variate(bits: KissGenerator, alpha: float, beta: float) -> float:
+    """Beta(alpha, beta) via the two-gamma construction.
+
+    Needed by the exact binomial splitting sampler in
+    :mod:`repro.rng.discrete`.
+    """
+    if alpha <= 0 or beta <= 0:
+        raise ValueError("beta_variate requires positive shape parameters")
+    x = gamma_variate(bits, alpha)
+    y = gamma_variate(bits, beta)
+    total = x + y
+    if total == 0.0:  # pragma: no cover - vanishing probability underflow guard
+        return 0.5
+    return x / total
+
+
+__all__ = ["gamma_variate", "beta_variate"]

@@ -1,0 +1,137 @@
+"""The Marsaglia–Tsang ziggurat method for normal and exponential variates.
+
+Direct reproduction of reference [17] of the paper (Marsaglia & Tsang, "The
+Ziggurat Method for Generating Random Variables", JSS 2000): 128 rectangular
+layers for the normal density, 256 for the exponential, with the published
+tail constants.  The layer tables are *computed* at import time from the
+recurrences in the paper rather than pasted as magic arrays, so the setup
+itself is testable (monotonicity, area equality).
+
+The hot path consumes one signed 32-bit integer per normal variate and takes
+the fast rectangular exit ~97.6% of the time.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.rng.bitgen import KissGenerator
+
+# Published tail parameters (Marsaglia & Tsang 2000).
+_R_NORMAL = 3.442619855899  # x-coordinate of the bottom layer edge
+_V_NORMAL = 9.91256303526217e-3  # area of each layer
+_R_EXP = 7.69711747013104972
+_V_EXP = 3.949659822581572e-3
+
+_M31 = 2147483648.0  # 2**31, scales signed ints to layer widths
+_M32 = 4294967296.0  # 2**32, scales unsigned ints
+
+
+@dataclass
+class ZigguratTables:
+    """Precomputed layer tables for both supported densities."""
+
+    kn: list[int] = field(default_factory=list)  # normal: rectangle accept thresholds
+    wn: list[float] = field(default_factory=list)  # normal: layer widths / 2^31
+    fn: list[float] = field(default_factory=list)  # normal: density at layer edges
+    ke: list[int] = field(default_factory=list)  # exponential thresholds
+    we: list[float] = field(default_factory=list)
+    fe: list[float] = field(default_factory=list)
+
+    @classmethod
+    def build(cls) -> "ZigguratTables":
+        t = cls()
+        t._build_normal()
+        t._build_exponential()
+        return t
+
+    def _build_normal(self) -> None:
+        n = 128
+        kn = [0] * n
+        wn = [0.0] * n
+        fn = [0.0] * n
+        dn = tn = _R_NORMAL
+        vn = _V_NORMAL
+        q = vn / math.exp(-0.5 * dn * dn)
+        kn[0] = int((dn / q) * _M31)
+        kn[1] = 0
+        wn[0] = q / _M31
+        wn[n - 1] = dn / _M31
+        fn[0] = 1.0
+        fn[n - 1] = math.exp(-0.5 * dn * dn)
+        for i in range(n - 2, 0, -1):
+            dn = math.sqrt(-2.0 * math.log(vn / dn + math.exp(-0.5 * dn * dn)))
+            kn[i + 1] = int((dn / tn) * _M31)
+            tn = dn
+            fn[i] = math.exp(-0.5 * dn * dn)
+            wn[i] = dn / _M31
+        self.kn, self.wn, self.fn = kn, wn, fn
+
+    def _build_exponential(self) -> None:
+        n = 256
+        ke = [0] * n
+        we = [0.0] * n
+        fe = [0.0] * n
+        de = te = _R_EXP
+        ve = _V_EXP
+        q = ve / math.exp(-de)
+        ke[0] = int((de / q) * _M32)
+        ke[1] = 0
+        we[0] = q / _M32
+        we[n - 1] = de / _M32
+        fe[0] = 1.0
+        fe[n - 1] = math.exp(-de)
+        for i in range(n - 2, 0, -1):
+            de = -math.log(ve / de + math.exp(-de))
+            ke[i + 1] = int((de / te) * _M32)
+            te = de
+            fe[i] = math.exp(-de)
+            we[i] = de / _M32
+        self.ke, self.we, self.fe = ke, we, fe
+
+
+_TABLES = ZigguratTables.build()
+
+
+def normal_variate(bits: KissGenerator, tables: ZigguratTables = _TABLES) -> float:
+    """Standard normal variate (the paper's RNOR procedure)."""
+    kn, wn, fn = tables.kn, tables.wn, tables.fn
+    while True:
+        hz = bits.next_int32()
+        iz = hz & 127
+        if abs(hz) < kn[iz]:
+            # Fast path: point lies inside the rectangular core of layer iz.
+            return hz * wn[iz]
+        # nfix: edge or tail handling.
+        if iz == 0:
+            # Tail beyond r: Marsaglia's exact tail method.
+            while True:
+                x = -math.log(bits.next_uni()) / _R_NORMAL
+                y = -math.log(bits.next_uni())
+                if y + y >= x * x:
+                    break
+            return _R_NORMAL + x if hz > 0 else -(_R_NORMAL + x)
+        x = hz * wn[iz]
+        if fn[iz] + bits.next_uni() * (fn[iz - 1] - fn[iz]) < math.exp(-0.5 * x * x):
+            return x
+        # else: resample from the top of the loop
+
+
+def exponential_variate(bits: KissGenerator, tables: ZigguratTables = _TABLES) -> float:
+    """Standard exponential variate, mean 1 (the paper's REXP procedure)."""
+    ke, we, fe = tables.ke, tables.we, tables.fe
+    while True:
+        jz = bits.next_uint32()
+        iz = jz & 255
+        if jz < ke[iz]:
+            return jz * we[iz]
+        # efix
+        if iz == 0:
+            return _R_EXP - math.log(bits.next_uni())
+        x = jz * we[iz]
+        if fe[iz] + bits.next_uni() * (fe[iz - 1] - fe[iz]) < math.exp(-x):
+            return x
+
+
+__all__ = ["ZigguratTables", "normal_variate", "exponential_variate"]

@@ -1,0 +1,198 @@
+"""The event-driven simulation environment.
+
+:class:`Environment` owns the event queue (a binary heap keyed on
+``(time, priority, sequence)``) and the simulation clock.  It is the
+from-scratch substrate replacing the explicit ``IncreaseTimeTick`` loop of the
+original C++ DReAMSim; see :class:`repro.sim.tick.TickDriver` for the
+tick-compatible driver.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Optional
+
+from repro.sim.core import (
+    PRIORITY_NORMAL,
+    Event,
+    EventStatus,
+    Process,
+    ProcessGenerator,
+    SimulationError,
+    StopSimulation,
+    Timeout,
+)
+
+
+class Environment:
+    """Event-driven execution environment.
+
+    Parameters
+    ----------
+    initial_time:
+        Simulation clock start (timeticks).
+    tracer:
+        Optional :class:`repro.sim.trace.Tracer`; every scheduled event is
+        reported to it, which the tick-equivalence tests use.
+    """
+
+    def __init__(self, initial_time: float = 0, tracer: Optional[Any] = None) -> None:
+        self._now = initial_time
+        self._queue: list[tuple[float, int, int, Event]] = []
+        self._seq = 0
+        self._active_process: Optional[Process] = None
+        self.tracer = tracer
+        self._event_count = 0
+
+    # -- clock ----------------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        """Current simulation time in timeticks."""
+        return self._now
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        """The process currently executing, if any."""
+        return self._active_process
+
+    @property
+    def events_processed(self) -> int:
+        """Total number of events fired so far (kernel statistics)."""
+        return self._event_count
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` if none."""
+        return self._queue[0][0] if self._queue else float("inf")
+
+    # -- scheduling -------------------------------------------------------------
+
+    def schedule(self, event: Event, delay: float = 0, priority: int = PRIORITY_NORMAL) -> None:
+        """Place ``event`` in the queue ``delay`` ticks from now."""
+        if delay < 0:
+            raise ValueError(f"negative delay {delay!r}")
+        if event._status is EventStatus.FIRED:
+            raise SimulationError("cannot schedule an event that already fired")
+        event._status = EventStatus.SCHEDULED
+        self._seq += 1
+        heapq.heappush(self._queue, (self._now + delay, priority, self._seq, event))
+        if self.tracer is not None:
+            self.tracer.on_schedule(self._now, self._now + delay, event)
+
+    # -- factories ---------------------------------------------------------------
+
+    def event(self) -> Event:
+        """Create a fresh pending event."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """Create an event firing ``delay`` ticks from now."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator: ProcessGenerator, name: str = "") -> Process:
+        """Spawn a process from a generator."""
+        return Process(self, generator, name=name)
+
+    def exit(self, value: Any = None) -> None:
+        """Terminate :meth:`run` from inside a process."""
+        raise StopSimulation(value)
+
+    # -- execution ----------------------------------------------------------------
+
+    def step(self) -> None:
+        """Fire the single next event.
+
+        Raises
+        ------
+        SimulationError
+            If the queue is empty, or an undefused event failed with an
+            unhandled exception (crash propagation).
+        """
+        if not self._queue:
+            raise SimulationError("event queue is empty")
+        when, _prio, _seq, event = heapq.heappop(self._queue)
+        self._now = when
+        event._status = EventStatus.FIRED
+        self._event_count += 1
+        if self.tracer is not None:
+            self.tracer.on_fire(when, event)
+        callbacks, event.callbacks = event.callbacks, []
+        for callback in callbacks:
+            callback(event)
+        if not event._ok and not event._defused:
+            exc = event._value
+            raise exc if isinstance(exc, BaseException) else SimulationError(repr(exc))
+
+    def run(self, until: Optional[Any] = None) -> Any:
+        """Run until the queue drains, a time is reached, or an event fires.
+
+        Parameters
+        ----------
+        until:
+            * ``None`` — run until no events remain.
+            * a number — run until the clock reaches that time (the clock is
+              set to exactly that value on return).
+            * an :class:`Event` — run until that event fires; its value is
+              returned (its failure is raised).
+        """
+        stop_at: Optional[float] = None
+        stop_event: Optional[Event] = None
+        if until is None:
+            pass
+        elif isinstance(until, Event):
+            stop_event = until
+            if stop_event._status is EventStatus.FIRED:
+                if stop_event._ok:
+                    return stop_event._value
+                raise stop_event._value
+            stop_event.callbacks.append(self._stop_on_event)
+        else:
+            stop_at = float(until)
+            if stop_at < self._now:
+                raise ValueError(f"until={stop_at} is in the past (now={self._now})")
+
+        try:
+            while self._queue:
+                if stop_at is not None and self.peek() > stop_at:
+                    break
+                self.step()
+        except StopSimulation as stop:
+            return stop.value
+
+        if stop_at is not None:
+            self._now = max(self._now, stop_at)
+        if stop_event is not None and stop_event._status is not EventStatus.FIRED:
+            raise SimulationError("run(until=event) exhausted the queue before the event fired")
+        return None
+
+    @staticmethod
+    def _stop_on_event(event: Event) -> None:
+        if not event._ok:
+            event._defused = True
+            raise event._value
+        raise StopSimulation(event._value)
+
+    # -- convenience -----------------------------------------------------------------
+
+    def run_all(self, limit: int = 10_000_000) -> int:
+        """Drain the queue with a hard safety limit; returns events fired."""
+        fired = 0
+        while self._queue:
+            self.step()
+            fired += 1
+            if fired > limit:
+                raise SimulationError(f"exceeded event limit {limit}")
+        return fired
+
+    def call_at(self, when: float, fn: Callable[[], None]) -> Event:
+        """Schedule a plain function call at an absolute time."""
+        if when < self._now:
+            raise ValueError(f"cannot schedule in the past ({when} < {self._now})")
+        ev = Event(self)
+        ev._ok = True
+        ev.callbacks.append(lambda _e: fn())
+        self.schedule(ev, delay=when - self._now)
+        return ev
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Environment now={self._now} queued={len(self._queue)}>"

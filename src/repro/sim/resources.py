@@ -1,0 +1,331 @@
+"""Generic shared resources for the DES kernel.
+
+These are not used by the scheduler core (which has its own domain-specific
+resource information manager, :mod:`repro.resources`) but are part of the
+simulation substrate: they let users model the *other* parts of a distributed
+system — network links, bitstream repositories, staging queues — alongside the
+reconfigurable nodes.  ``Resource`` models capacity slots, ``Container``
+models a continuous quantity, ``Store`` models a queue of Python objects.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Optional
+
+from repro.sim.core import Event, EventStatus, SimulationError
+from repro.sim.environment import Environment
+
+
+class _BaseRequest(Event):
+    """An event representing a pending acquisition of some resource."""
+
+    __slots__ = ("resource",)
+
+    def __init__(self, resource: "_BaseResource") -> None:
+        super().__init__(resource.env)
+        self.resource = resource
+
+    def cancel(self) -> None:
+        """Withdraw an un-granted request from its queue."""
+        self.resource._remove_request(self)
+
+
+class Request(_BaseRequest):
+    """Request one capacity slot of a :class:`Resource`.
+
+    Usable as a context manager inside a process::
+
+        with resource.request() as req:
+            yield req
+            ...  # slot held
+        # slot released
+    """
+
+    __slots__ = ("priority", "_key")
+
+    def __init__(self, resource: "Resource", priority: int = 0) -> None:
+        self.priority = priority
+        super().__init__(resource)
+        resource._add_request(self)
+
+    def __enter__(self) -> "Request":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.resource.release(self)
+
+
+class Release(Event):
+    """Immediate-firing event confirming a release (for symmetry with DES APIs)."""
+
+    __slots__ = ()
+
+    def __init__(self, env: Environment) -> None:
+        super().__init__(env)
+        self.succeed()
+
+
+class _BaseResource:
+    def __init__(self, env: Environment) -> None:
+        self.env = env
+
+    def _remove_request(self, request: _BaseRequest) -> None:  # pragma: no cover
+        raise NotImplementedError
+
+
+class Resource(_BaseResource):
+    """A resource with ``capacity`` identical slots, FIFO grant order."""
+
+    def __init__(self, env: Environment, capacity: int = 1) -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        super().__init__(env)
+        self.capacity = capacity
+        self.users: list[Request] = []
+        self.queue: list[Request] = []
+
+    @property
+    def count(self) -> int:
+        """Number of slots currently held."""
+        return len(self.users)
+
+    def request(self) -> Request:
+        """Ask for one slot; yield the returned event to wait for the grant."""
+        return Request(self)
+
+    def _add_request(self, request: Request) -> None:
+        if len(self.users) < self.capacity:
+            self.users.append(request)
+            request.succeed(request)
+        else:
+            self.queue.append(request)
+
+    def release(self, request: Request) -> Release:
+        """Free a held slot; grants the oldest queued request, if any."""
+        try:
+            self.users.remove(request)
+        except ValueError:
+            # Request never granted: withdraw from the queue instead.
+            self._remove_request(request)
+            return Release(self.env)
+        while self.queue and len(self.users) < self.capacity:
+            nxt = self.queue.pop(0)
+            self.users.append(nxt)
+            nxt.succeed(nxt)
+        return Release(self.env)
+
+    def _remove_request(self, request: _BaseRequest) -> None:
+        try:
+            self.queue.remove(request)  # type: ignore[arg-type]
+        except ValueError:
+            pass
+
+
+class PriorityResource(Resource):
+    """A :class:`Resource` whose queue grants lowest-``priority`` first.
+
+    Ties resolve by request order (stable), matching the deterministic-replay
+    requirement of the kernel.
+    """
+
+    def __init__(self, env: Environment, capacity: int = 1) -> None:
+        super().__init__(env, capacity)
+        self._pqueue: list[tuple[int, int, Request]] = []
+        self._seq = 0
+
+    def request(self, priority: int = 0) -> Request:  # type: ignore[override]
+        """Ask for one slot; lower ``priority`` values are granted first."""
+        return Request(self, priority=priority)
+
+    def _add_request(self, request: Request) -> None:
+        if len(self.users) < self.capacity:
+            self.users.append(request)
+            request.succeed(request)
+        else:
+            self._seq += 1
+            heapq.heappush(self._pqueue, (request.priority, self._seq, request))
+
+    def release(self, request: Request) -> Release:
+        try:
+            self.users.remove(request)
+        except ValueError:
+            self._remove_request(request)
+            return Release(self.env)
+        while self._pqueue and len(self.users) < self.capacity:
+            _, _, nxt = heapq.heappop(self._pqueue)
+            if nxt._status is not EventStatus.PENDING:
+                continue  # cancelled while queued
+            self.users.append(nxt)
+            nxt.succeed(nxt)
+        return Release(self.env)
+
+    def _remove_request(self, request: _BaseRequest) -> None:
+        # Lazy deletion: mark by firing with failure? Simplest: filter heap.
+        self._pqueue = [(p, s, r) for (p, s, r) in self._pqueue if r is not request]
+        heapq.heapify(self._pqueue)
+
+    @property
+    def queue(self):  # type: ignore[override]
+        return [r for (_, _, r) in sorted(self._pqueue)]
+
+    @queue.setter
+    def queue(self, value) -> None:
+        # Base-class __init__ assigns []; accept and ignore the plain list.
+        if value:
+            raise SimulationError("PriorityResource queue cannot be assigned directly")
+
+
+class ContainerGet(_BaseRequest):
+    """Pending withdrawal of a quantity from a :class:`Container`."""
+
+    __slots__ = ("amount",)
+
+    def __init__(self, container: "Container", amount: float) -> None:
+        if amount <= 0:
+            raise ValueError("amount must be positive")
+        self.amount = amount
+        super().__init__(container)
+        container._gets.append(self)
+        container._trigger()
+
+
+class ContainerPut(_BaseRequest):
+    """Pending deposit of a quantity into a :class:`Container`."""
+
+    __slots__ = ("amount",)
+
+    def __init__(self, container: "Container", amount: float) -> None:
+        if amount <= 0:
+            raise ValueError("amount must be positive")
+        self.amount = amount
+        super().__init__(container)
+        container._puts.append(self)
+        container._trigger()
+
+
+class Container(_BaseResource):
+    """A continuous quantity with bounded level (e.g. configuration bandwidth)."""
+
+    def __init__(
+        self, env: Environment, capacity: float = float("inf"), init: float = 0
+    ) -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        if not 0 <= init <= capacity:
+            raise ValueError("init must lie within [0, capacity]")
+        super().__init__(env)
+        self.capacity = capacity
+        self._level = init
+        self._gets: list[ContainerGet] = []
+        self._puts: list[ContainerPut] = []
+
+    @property
+    def level(self) -> float:
+        return self._level
+
+    def get(self, amount: float) -> ContainerGet:
+        """Withdraw ``amount``; fires when the level suffices."""
+        return ContainerGet(self, amount)
+
+    def put(self, amount: float) -> ContainerPut:
+        """Deposit ``amount``; fires when capacity allows."""
+        return ContainerPut(self, amount)
+
+    def _trigger(self) -> None:
+        progressed = True
+        while progressed:
+            progressed = False
+            if self._puts and self._level + self._puts[0].amount <= self.capacity:
+                put = self._puts.pop(0)
+                self._level += put.amount
+                put.succeed()
+                progressed = True
+            if self._gets and self._level >= self._gets[0].amount:
+                get = self._gets.pop(0)
+                self._level -= get.amount
+                get.succeed()
+                progressed = True
+
+    def _remove_request(self, request: _BaseRequest) -> None:
+        for lst in (self._gets, self._puts):
+            try:
+                lst.remove(request)  # type: ignore[arg-type]
+                return
+            except ValueError:
+                pass
+
+
+class StoreGet(_BaseRequest):
+    """Pending retrieval of an item from a :class:`Store`."""
+
+    __slots__ = ("filter",)
+
+    def __init__(self, store: "Store", filter: Optional[Callable[[Any], bool]] = None) -> None:
+        self.filter = filter
+        super().__init__(store)
+        store._gets.append(self)
+        store._trigger()
+
+
+class StorePut(_BaseRequest):
+    """Pending insertion of an item into a :class:`Store`."""
+
+    __slots__ = ("item",)
+
+    def __init__(self, store: "Store", item: Any) -> None:
+        self.item = item
+        super().__init__(store)
+        store._puts.append(self)
+        store._trigger()
+
+
+class Store(_BaseResource):
+    """A FIFO store of Python objects with optional capacity and filtered gets."""
+
+    def __init__(self, env: Environment, capacity: float = float("inf")) -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        super().__init__(env)
+        self.capacity = capacity
+        self.items: list[Any] = []
+        self._gets: list[StoreGet] = []
+        self._puts: list[StorePut] = []
+
+    def put(self, item: Any) -> StorePut:
+        """Insert ``item``; fires when the store has room."""
+        return StorePut(self, item)
+
+    def get(self, filter: Optional[Callable[[Any], bool]] = None) -> StoreGet:
+        """Retrieve the first item (matching ``filter`` if given)."""
+        return StoreGet(self, filter)
+
+    def _trigger(self) -> None:
+        progressed = True
+        while progressed:
+            progressed = False
+            if self._puts and len(self.items) < self.capacity:
+                put = self._puts.pop(0)
+                self.items.append(put.item)
+                put.succeed()
+                progressed = True
+            for get in list(self._gets):
+                idx = None
+                for i, item in enumerate(self.items):
+                    if get.filter is None or get.filter(item):
+                        idx = i
+                        break
+                if idx is not None:
+                    self._gets.remove(get)
+                    get.succeed(self.items.pop(idx))
+                    progressed = True
+                elif get.filter is None:
+                    break  # FIFO: an unfiltered get blocks on empty store
+
+    def _remove_request(self, request: _BaseRequest) -> None:
+        for lst in (self._gets, self._puts):
+            try:
+                lst.remove(request)  # type: ignore[arg-type]
+                return
+            except ValueError:
+                pass

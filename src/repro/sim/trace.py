@@ -1,0 +1,84 @@
+"""Event tracing for the DES kernel.
+
+A :class:`Tracer` records every schedule/fire transition.  The reproduction
+uses it in two places: the tick-equivalence tests (the event-driven and
+tick-driven runs must produce identical fire sequences) and the monitoring
+module, which samples system state over time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterator, Optional
+
+
+@dataclass(frozen=True)
+class TraceEntry:
+    """One recorded kernel transition."""
+
+    kind: str  # "schedule" | "fire"
+    time: float  # when it happened (fire) / was issued (schedule)
+    at: float  # scheduled firing time (schedule only; == time for fire)
+    event_type: str
+    event_id: int
+
+
+@dataclass
+class Tracer:
+    """Collects :class:`TraceEntry` records.
+
+    Parameters
+    ----------
+    record_schedules:
+        Also record schedule operations, not only fires.
+    max_entries:
+        Ring-buffer bound; oldest entries are dropped past this size
+        (``None`` = unbounded).
+    """
+
+    record_schedules: bool = False
+    max_entries: Optional[int] = None
+    entries: list[TraceEntry] = field(default_factory=list)
+    _ids: dict[int, int] = field(default_factory=dict)
+    _next_id: int = 0
+
+    def _event_id(self, event: Any) -> int:
+        key = id(event)
+        if key not in self._ids:
+            self._ids[key] = self._next_id
+            self._next_id += 1
+        return self._ids[key]
+
+    def _append(self, entry: TraceEntry) -> None:
+        self.entries.append(entry)
+        if self.max_entries is not None and len(self.entries) > self.max_entries:
+            del self.entries[0 : len(self.entries) - self.max_entries]
+
+    def on_schedule(self, now: float, at: float, event: Any) -> None:
+        """Kernel hook: an event was queued for time ``at``."""
+        if not self.record_schedules:
+            return
+        self._append(
+            TraceEntry("schedule", now, at, type(event).__name__, self._event_id(event))
+        )
+
+    def on_fire(self, now: float, event: Any) -> None:
+        """Kernel hook: an event fired at ``now``."""
+        self._append(TraceEntry("fire", now, now, type(event).__name__, self._event_id(event)))
+
+    # -- queries -----------------------------------------------------------
+
+    def fires(self) -> Iterator[TraceEntry]:
+        """All fire entries in order."""
+        return (e for e in self.entries if e.kind == "fire")
+
+    def fire_times(self) -> list[float]:
+        """Times of every fire entry, in firing order."""
+        return [e.time for e in self.fires()]
+
+    def clear(self) -> None:
+        """Drop all recorded entries."""
+        self.entries.clear()
+
+    def __len__(self) -> int:
+        return len(self.entries)

@@ -1,0 +1,41 @@
+"""Task-graph scheduling (S9) — the paper's declared future work.
+
+§VII: "We will implement scheduling policies to schedule task graphs on the
+distributed system with reconfigurable nodes."  This package delivers that
+extension:
+
+* :mod:`repro.taskgraph.dag` — a task-graph model (DAG of
+  :class:`GraphTask` nodes with communication-weighted edges), validation,
+  and generators for the standard benchmark shapes (layered random graphs,
+  pipelines, fork–join, map–reduce).
+* :mod:`repro.taskgraph.listsched` — list scheduling on reconfigurable
+  nodes: HEFT-style upward-rank prioritisation feeding the paper's
+  four-phase scheduler as tasks become ready, with a FIFO baseline for
+  comparison.
+"""
+
+from repro.taskgraph.dag import (
+    GraphTask,
+    TaskGraph,
+    fork_join,
+    layered_random,
+    map_reduce,
+    pipeline,
+)
+from repro.taskgraph.listsched import (
+    GraphScheduleResult,
+    TaskGraphScheduler,
+    upward_ranks,
+)
+
+__all__ = [
+    "GraphScheduleResult",
+    "GraphTask",
+    "TaskGraph",
+    "TaskGraphScheduler",
+    "fork_join",
+    "layered_random",
+    "map_reduce",
+    "pipeline",
+    "upward_ranks",
+]

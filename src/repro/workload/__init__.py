@@ -1,0 +1,44 @@
+"""Workload and resource specification — the input subsystem (S5, §III).
+
+"It allows a user to set application specifications as well as user-defined
+resource specifications.  It generates synthetic tasks … It can also support
+real workloads and user constraints."
+
+* :mod:`repro.workload.spec` — declarative specs for nodes, configurations
+  and tasks, with Table II's defaults.
+* :mod:`repro.workload.generator` — the synthetic generators: node tables,
+  configuration lists, and the task arrival stream (including the
+  closest-match share: a fraction of tasks prefer a configuration that is
+  *not* in the system list).
+* :mod:`repro.workload.swf` — Standard Workload Format reader/writer, the
+  "real workloads" input path (SWF is the de-facto archive format for
+  production cluster traces).
+* :mod:`repro.workload.constraints` — user constraints applied to any task
+  stream (admission windows, area/time caps).
+"""
+
+from repro.workload.constraints import ConstraintViolation, UserConstraints
+from repro.workload.generator import (
+    TaskStream,
+    generate_configs,
+    generate_nodes,
+    generate_task_stream,
+)
+from repro.workload.spec import ConfigSpec, NodeSpec, TaskSpec
+from repro.workload.swf import SwfJob, read_swf, tasks_from_swf, write_swf
+
+__all__ = [
+    "ConfigSpec",
+    "ConstraintViolation",
+    "NodeSpec",
+    "SwfJob",
+    "TaskSpec",
+    "TaskStream",
+    "UserConstraints",
+    "generate_configs",
+    "generate_nodes",
+    "generate_task_stream",
+    "read_swf",
+    "tasks_from_swf",
+    "write_swf",
+]

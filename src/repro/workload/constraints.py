@@ -1,0 +1,85 @@
+"""User constraints — §III's "user constraints" input module.
+
+Constraints filter or clamp a task stream before it reaches the job
+submission manager: admission windows, per-task area/time caps, and a total
+count cap.  They compose: a task must satisfy every active constraint to be
+admitted; rejected tasks are reported so experiments can account for them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Optional
+
+from repro.workload.generator import TaskArrival
+
+
+class ConstraintViolation(Exception):
+    """Raised by :meth:`UserConstraints.validate` in strict mode."""
+
+
+@dataclass
+class UserConstraints:
+    """Admission rules applied to a task stream.
+
+    Parameters
+    ----------
+    max_tasks:
+        Stop admitting after this many tasks.
+    earliest_arrival / latest_arrival:
+        Admission window on arrival timeticks.
+    max_required_time:
+        Reject tasks needing more execution time than this.
+    max_task_area:
+        Reject tasks whose preferred configuration needs more area than this
+        (e.g. the largest node in the system — such tasks can never run).
+    strict:
+        If True, a rejected task raises instead of being skipped.
+    """
+
+    max_tasks: Optional[int] = None
+    earliest_arrival: Optional[int] = None
+    latest_arrival: Optional[int] = None
+    max_required_time: Optional[int] = None
+    max_task_area: Optional[int] = None
+    strict: bool = False
+    rejected: list[TaskArrival] = field(default_factory=list)
+
+    def _reason(self, arrival: TaskArrival) -> Optional[str]:
+        t = arrival.task
+        if self.earliest_arrival is not None and arrival.at < self.earliest_arrival:
+            return f"arrival {arrival.at} before window start {self.earliest_arrival}"
+        if self.latest_arrival is not None and arrival.at > self.latest_arrival:
+            return f"arrival {arrival.at} after window end {self.latest_arrival}"
+        if self.max_required_time is not None and t.required_time > self.max_required_time:
+            return f"required_time {t.required_time} exceeds cap {self.max_required_time}"
+        if self.max_task_area is not None and t.needed_area > self.max_task_area:
+            return f"needed_area {t.needed_area} exceeds cap {self.max_task_area}"
+        return None
+
+    def admits(self, arrival: TaskArrival) -> bool:
+        """Check one arrival without recording it."""
+        return self._reason(arrival) is None
+
+    def validate(self, arrival: TaskArrival) -> bool:
+        """Check one arrival; record (or raise, in strict mode) rejections."""
+        reason = self._reason(arrival)
+        if reason is None:
+            return True
+        if self.strict:
+            raise ConstraintViolation(f"task {arrival.task.task_no}: {reason}")
+        self.rejected.append(arrival)
+        return False
+
+    def apply(self, stream: Iterable[TaskArrival]) -> Iterator[TaskArrival]:
+        """Filter a stream lazily, honouring ``max_tasks``."""
+        admitted = 0
+        for arrival in stream:
+            if self.max_tasks is not None and admitted >= self.max_tasks:
+                return
+            if self.validate(arrival):
+                admitted += 1
+                yield arrival
+
+
+__all__ = ["UserConstraints", "ConstraintViolation"]

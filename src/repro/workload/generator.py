@@ -1,0 +1,173 @@
+"""Synthetic resource and task generators — §III's input subsystem.
+
+Node and configuration generation correspond to ``InitNodes`` /
+``InitConfigs``; task generation to the job submission manager ("simulates
+the task arrivals corresponding to a user-defined task arrival rate and
+distribution function").
+
+Each generator consumes its own derived RNG stream (see :meth:`RNG.spawn`)
+so that, e.g., changing the number of tasks does not change the generated
+node table — a requirement for clean full-vs-partial A/B comparisons.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Optional, Sequence
+
+from repro.model.config import Configuration, ProcessorParams, Ptype
+from repro.model.node import Node
+from repro.model.task import Task
+from repro.rng import RNG
+from repro.workload.spec import ConfigSpec, NodeSpec, TaskSpec
+
+# RNG sub-stream indices (stable across versions; part of the replay contract).
+STREAM_NODES = 1
+STREAM_CONFIGS = 2
+STREAM_ARRIVALS = 3
+STREAM_TASK_ATTRS = 4
+
+
+def generate_nodes(spec: NodeSpec, rng: RNG) -> list[Node]:
+    """Create the node table (``InitNodes``): areas drawn from the spec."""
+    stream = rng.spawn(STREAM_NODES)
+    nodes = []
+    for i in range(spec.count):
+        nodes.append(
+            Node(
+                node_no=i,
+                total_area=max(1, spec.total_area.sample_int(stream)),
+                family=spec.family,
+                caps=spec.caps,
+                network_delay=spec.network_delay.sample_int(stream),
+            )
+        )
+    return nodes
+
+
+def _params_for(ptype: Ptype, stream: RNG) -> ProcessorParams:
+    """Plausible architectural parameters per processor type (ρ-VEX style)."""
+    if ptype is Ptype.VLIW:
+        return ProcessorParams(
+            issue_width=stream.choice([2, 4, 8]),
+            alus=stream.randint(2, 8),
+            multipliers=stream.randint(1, 4),
+            cluster_cores=stream.choice([1, 2, 4]),
+            memory_slots=stream.randint(1, 4),
+        )
+    if ptype is Ptype.MULTIPLIER:
+        return ProcessorParams(alus=1, multipliers=stream.randint(1, 16))
+    if ptype is Ptype.SYSTOLIC_ARRAY:
+        return ProcessorParams(
+            alus=stream.randint(4, 64),
+            cluster_cores=stream.choice([1, 2]),
+            extras=(("array_dim", float(stream.choice([4, 8, 16]))),),
+        )
+    return ProcessorParams(
+        issue_width=stream.choice([1, 2]),
+        alus=stream.randint(1, 4),
+        multipliers=stream.randint(0, 2),
+    )
+
+
+def generate_configs(spec: ConfigSpec, rng: RNG) -> list[Configuration]:
+    """Create the configurations list (``InitConfigs``)."""
+    stream = rng.spawn(STREAM_CONFIGS)
+    configs = []
+    for i in range(spec.count):
+        area = max(1, spec.req_area.sample_int(stream))
+        ptype = stream.choice(list(spec.ptypes))
+        configs.append(
+            Configuration(
+                config_no=i,
+                req_area=area,
+                config_time=spec.config_time.sample_int(stream),
+                bsize=area * spec.bsize_per_area,
+                ptype=ptype,
+                params=_params_for(ptype, stream),
+                family=spec.family,
+            )
+        )
+    return configs
+
+
+@dataclass(frozen=True)
+class TaskArrival:
+    """One scheduled arrival: the task plus its absolute arrival timetick."""
+
+    at: int
+    task: Task
+
+
+class TaskStream:
+    """Lazy task arrival stream (the job submission manager's input).
+
+    Iterating yields :class:`TaskArrival` records with non-decreasing
+    ``at`` times.  The stream is deterministic for a given (rng seed, spec,
+    configs) triple and is independent of how the consumer interleaves
+    iteration with simulation.
+    """
+
+    def __init__(
+        self,
+        spec: TaskSpec,
+        configs: Sequence[Configuration],
+        rng: RNG,
+        start_time: int = 0,
+        first_task_no: int = 0,
+    ) -> None:
+        if not configs:
+            raise ValueError("configs must be non-empty")
+        self.spec = spec
+        self.configs = list(configs)
+        self._arrivals = rng.spawn(STREAM_ARRIVALS)
+        self._attrs = rng.spawn(STREAM_TASK_ATTRS)
+        self.start_time = start_time
+        self.first_task_no = first_task_no
+        # Unknown preferred configurations get config numbers beyond the
+        # system list so they can never produce a spurious exact match.
+        self._unknown_no = max(c.config_no for c in self.configs) + 1
+
+    def __iter__(self) -> Iterator[TaskArrival]:
+        now = self.start_time
+        for i in range(self.spec.count):
+            now += max(1, self.spec.arrival_interval.sample_int(self._arrivals))
+            yield TaskArrival(at=now, task=self._make_task(self.first_task_no + i))
+
+    def _make_task(self, task_no: int) -> Task:
+        spec = self.spec
+        if self._attrs.random() < spec.closest_match_pct:
+            # Fabricate a preference absent from the system list.
+            pref = Configuration(
+                config_no=self._unknown_no,
+                req_area=max(1, spec.unknown_req_area.sample_int(self._attrs)),
+                config_time=spec.unknown_config_time.sample_int(self._attrs),
+            )
+            self._unknown_no += 1
+        else:
+            pref = self._attrs.choice(self.configs)
+        return Task(
+            task_no=task_no,
+            required_time=max(1, spec.required_time.sample_int(self._attrs)),
+            pref_config=pref,
+            data=spec.data_size.sample_int(self._attrs) or None,
+        )
+
+
+def generate_task_stream(
+    spec: TaskSpec,
+    configs: Sequence[Configuration],
+    rng: RNG,
+    start_time: int = 0,
+) -> TaskStream:
+    """Convenience constructor matching the other two generators."""
+    return TaskStream(spec, configs, rng, start_time=start_time)
+
+
+__all__ = [
+    "TaskArrival",
+    "TaskStream",
+    "generate_configs",
+    "generate_nodes",
+    "generate_task_stream",
+]

@@ -1,0 +1,103 @@
+"""Declarative specs for nodes, configurations and tasks.
+
+Defaults reproduce Table II exactly:
+
+====================================  =======================
+Total nodes                           100 / 200 (caller picks)
+Total configurations                  50
+Total tasks generated                 1 000 … 100 000
+Next task generation interval         uniform [1, 50] ticks
+Configuration ReqArea range           uniform [200, 2000]
+Node TotalArea range                  uniform [1000, 4000]
+Task t_required range                 uniform [100, 100 000]
+t_config range                        uniform [10, 20]
+CClosestMatch percentage              15 %
+====================================  =======================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from repro.model.config import Ptype
+from repro.model.family import Capability, DeviceFamily
+from repro.rng.distributions import Constant, Distribution, UniformInt
+
+
+@dataclass(frozen=True)
+class NodeSpec:
+    """User-defined resource specification for node generation (§III).
+
+    "It can produce nodes with various reconfigurable area sizes … a user can
+    specify the node upper and lower area limits."
+    """
+
+    count: int = 200
+    total_area: Distribution = field(default_factory=lambda: UniformInt(1000, 4000))
+    network_delay: Distribution = field(default_factory=lambda: Constant(0))
+    family: Optional[DeviceFamily] = None
+    caps: frozenset[Capability] = frozenset({Capability.PARTIAL_RECONFIG})
+
+    def __post_init__(self) -> None:
+        if self.count <= 0:
+            raise ValueError("node count must be positive")
+
+
+@dataclass(frozen=True)
+class ConfigSpec:
+    """Specification of the processor configurations list.
+
+    ``bsize_per_area`` converts required area to bitstream bytes (bitstream
+    size scales with region size on real devices).
+    """
+
+    count: int = 50
+    req_area: Distribution = field(default_factory=lambda: UniformInt(200, 2000))
+    config_time: Distribution = field(default_factory=lambda: UniformInt(10, 20))
+    bsize_per_area: int = 128  # bytes of bitstream per area unit
+    ptypes: Sequence[Ptype] = (
+        Ptype.SOFT_CORE,
+        Ptype.MULTIPLIER,
+        Ptype.SYSTOLIC_ARRAY,
+        Ptype.SIGNAL_PROCESSOR,
+        Ptype.VLIW,
+    )
+    family: Optional[DeviceFamily] = None
+
+    def __post_init__(self) -> None:
+        if self.count <= 0:
+            raise ValueError("config count must be positive")
+        if self.bsize_per_area < 0:
+            raise ValueError("bsize_per_area must be non-negative")
+        if not self.ptypes:
+            raise ValueError("ptypes must be non-empty")
+
+
+@dataclass(frozen=True)
+class TaskSpec:
+    """Application specification for the synthetic task generator (§III).
+
+    ``closest_match_pct`` is Table II's "CClosestMatch percentage": that
+    fraction of tasks prefer a configuration absent from the system list, so
+    the scheduler must take the closest-match path.
+    """
+
+    count: int = 10_000
+    arrival_interval: Distribution = field(default_factory=lambda: UniformInt(1, 50))
+    required_time: Distribution = field(default_factory=lambda: UniformInt(100, 100_000))
+    closest_match_pct: float = 0.15
+    data_size: Distribution = field(default_factory=lambda: Constant(0))
+    # Area range used when fabricating the unknown preferred configurations
+    # of the closest-match share (same range as the system configs).
+    unknown_req_area: Distribution = field(default_factory=lambda: UniformInt(200, 2000))
+    unknown_config_time: Distribution = field(default_factory=lambda: UniformInt(10, 20))
+
+    def __post_init__(self) -> None:
+        if self.count <= 0:
+            raise ValueError("task count must be positive")
+        if not 0.0 <= self.closest_match_pct <= 1.0:
+            raise ValueError("closest_match_pct must lie in [0, 1]")
+
+
+__all__ = ["NodeSpec", "ConfigSpec", "TaskSpec"]

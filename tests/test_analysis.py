@@ -1,0 +1,155 @@
+"""Tests for the analysis layer: scenarios, runner, figures, claims, plots."""
+
+import pytest
+
+from repro.analysis import (
+    CLAIMS,
+    FIGURES,
+    Scenario,
+    build_figure,
+    check_claims,
+    paper_scale_scenarios,
+    run_scenario,
+    run_sweep,
+    table2_scenarios,
+)
+from repro.analysis.asciiplot import ascii_plot, series_table
+from repro.analysis.compare import scorecard
+from repro.analysis.paperconfig import PAPER_TASK_SWEEP, scenario_pair
+from repro.analysis.runner import clear_cache
+
+
+class TestScenarios:
+    def test_table2_grid_covers_modes_and_nodes(self):
+        grid = table2_scenarios(node_counts=(100, 200), task_sweep=(1000, 2000))
+        assert len(grid) == 8
+        assert {s.partial for s in grid} == {True, False}
+        assert {s.nodes for s in grid} == {100, 200}
+
+    def test_paper_scale_uses_full_sweep(self):
+        grid = paper_scale_scenarios()
+        assert {s.tasks for s in grid} == set(PAPER_TASK_SWEEP)
+        assert max(s.tasks for s in grid) == 100_000
+
+    def test_scenario_pair_shares_workload(self):
+        p, f = scenario_pair(100, 1000)
+        assert p.partial and not f.partial
+        assert (p.nodes, p.tasks, p.seed) == (f.nodes, f.tasks, f.seed)
+
+    def test_label(self):
+        assert Scenario(nodes=100, tasks=500, partial=True).label() == "n100-t500-partial"
+
+
+class TestRunner:
+    def test_run_scenario_caches(self):
+        clear_cache()
+        sc = Scenario(nodes=8, tasks=50, partial=True, configs=5, seed=1)
+        a = run_scenario(sc)
+        b = run_scenario(sc)
+        assert a is b  # cached object identity
+        c = run_scenario(sc, use_cache=False)
+        assert c is not a
+        assert c.as_dict() == a.as_dict()  # but deterministic content
+
+    def test_run_sweep_structure(self):
+        sweep = run_sweep(8, [30, 60], seed=2)
+        assert sweep.task_counts == [30, 60]
+        assert len(sweep.partial) == 2 and len(sweep.full) == 2
+        series = sweep.series("avg_waiting_time_per_task", partial=True)
+        assert len(series) == 2 and all(v >= 0 for v in series)
+
+
+class TestFigures:
+    @pytest.fixture(scope="class")
+    def sweep100(self):
+        return run_sweep(100, [200, 400], seed=3)
+
+    def test_build_known_figures(self, sweep100):
+        fig = build_figure("fig6a", sweep100)
+        assert fig.nodes == 100
+        assert fig.x == [200, 400]
+        assert len(fig.partial) == 2
+
+    def test_unknown_figure_rejected(self, sweep100):
+        with pytest.raises(ValueError, match="unknown figure"):
+            build_figure("fig99", sweep100)
+
+    def test_node_count_mismatch_rejected(self, sweep100):
+        with pytest.raises(ValueError, match="nodes"):
+            build_figure("fig6b", sweep100)  # fig6b wants 200 nodes
+
+    def test_shape_validation_reports_violations(self):
+        from repro.analysis.figures import FigureSeries
+
+        bad = FigureSeries(
+            figure_id="figX",
+            title="t",
+            nodes=1,
+            metric="m",
+            x=[1, 2],
+            partial=[5.0, 1.0],
+            full=[4.0, 2.0],
+            partial_should_be_lower=True,
+        )
+        problems = bad.validate_shape()
+        assert len(problems) == 1 and "@ 1 tasks" in problems[0]
+        assert not bad.winner_consistent
+
+    def test_mean_ratio_direction(self):
+        from repro.analysis.figures import FigureSeries
+
+        fig = FigureSeries(
+            figure_id="f",
+            title="t",
+            nodes=1,
+            metric="m",
+            x=[1],
+            partial=[2.0],
+            full=[4.0],
+            partial_should_be_lower=True,
+        )
+        assert fig.mean_ratio() == pytest.approx(2.0)
+
+    def test_every_declared_figure_buildable(self):
+        sweeps = {
+            100: run_sweep(100, [200], seed=4),
+            200: run_sweep(200, [200], seed=4),
+        }
+        for fid, spec in FIGURES.items():
+            fig = build_figure(fid, sweeps[spec["nodes"]])
+            assert fig.figure_id == fid
+
+
+class TestClaims:
+    def test_all_claims_pass_at_test_scale(self):
+        checks = check_claims([300, 600], seed=20120521, node_counts=(50, 100))
+        failed = [c.claim.claim_id for c in checks if not c.passed]
+        assert not failed, f"claims failed: {failed}"
+        assert len(checks) == len(CLAIMS)
+
+    def test_scorecard_format(self):
+        checks = check_claims([200], seed=7, node_counts=(30, 60))
+        text = scorecard(checks)
+        assert "claims reproduced" in text
+        assert "fig6-winner" in text
+
+
+class TestAsciiPlot:
+    def test_plot_contains_markers_and_bounds(self):
+        text = ascii_plot([1, 2, 3], {"a": [1.0, 2.0, 3.0], "b": [3.0, 2.0, 1.0]})
+        assert "*" in text and "o" in text
+        assert "y: [1 .. 3]" in text
+        assert "*=a" in text
+
+    def test_plot_empty(self):
+        assert ascii_plot([], {}) == "(no data)"
+
+    def test_flat_series(self):
+        text = ascii_plot([1, 2], {"flat": [5.0, 5.0]})
+        assert "*" in text
+
+    def test_series_table_alignment(self):
+        text = series_table([100, 200], {"partial": [1.5, 2.5], "full": [3.0, 4.0]})
+        lines = text.splitlines()
+        assert lines[0].split() == ["tasks", "partial", "full"]
+        assert len(lines) == 3

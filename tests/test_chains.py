@@ -1,0 +1,159 @@
+"""Unit + property tests for the intrusive Inext/Bnext chains."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.resources.chains import ChainError, IntrusiveChain, chain_of
+
+
+class Item:
+    """Minimal chainable object."""
+
+    def __init__(self, tag):
+        self.tag = tag
+
+    def __repr__(self):
+        return f"Item({self.tag})"
+
+
+class TestBasics:
+    def test_empty(self):
+        c = IntrusiveChain("t")
+        assert len(c) == 0
+        assert not c
+        assert c.head is None
+        assert list(c) == []
+
+    def test_append_and_iterate_in_order(self):
+        c = IntrusiveChain("t")
+        items = [Item(i) for i in range(5)]
+        for it in items:
+            c.append(it)
+        assert list(c) == items
+        assert c.head is items[0]
+        assert len(c) == 5
+
+    def test_membership(self):
+        c = IntrusiveChain("t")
+        a, b = Item("a"), Item("b")
+        c.append(a)
+        assert a in c and b not in c
+        assert chain_of(a) is c
+        assert chain_of(b) is None
+
+    def test_double_append_rejected(self):
+        c1, c2 = IntrusiveChain("one"), IntrusiveChain("two")
+        a = Item("a")
+        c1.append(a)
+        with pytest.raises(ChainError):
+            c1.append(a)
+        with pytest.raises(ChainError):
+            c2.append(a)  # membership is exclusive, like a single pointer pair
+
+    def test_remove_head_middle_tail(self):
+        c = IntrusiveChain("t")
+        items = [Item(i) for i in range(5)]
+        for it in items:
+            c.append(it)
+        c.remove(items[0])  # head
+        c.remove(items[2])  # middle
+        c.remove(items[4])  # tail
+        assert list(c) == [items[1], items[3]]
+        c.validate()
+
+    def test_remove_foreign_rejected(self):
+        c = IntrusiveChain("t")
+        with pytest.raises(ChainError):
+            c.remove(Item("x"))
+
+    def test_reinsertion_after_removal(self):
+        c = IntrusiveChain("t")
+        a = Item("a")
+        c.append(a)
+        c.remove(a)
+        c.append(a)  # legal again
+        assert list(c) == [a]
+
+    def test_pop_head(self):
+        c = IntrusiveChain("t")
+        a, b = Item("a"), Item("b")
+        c.append(a)
+        c.append(b)
+        assert c.pop_head() is a
+        assert c.head is b
+        c.pop_head()
+        with pytest.raises(ChainError):
+            c.pop_head()
+
+    def test_clear(self):
+        c = IntrusiveChain("t")
+        items = [Item(i) for i in range(3)]
+        for it in items:
+            c.append(it)
+        c.clear()
+        assert len(c) == 0
+        assert all(chain_of(it) is None for it in items)
+
+    def test_move_between_chains(self):
+        idle, busy = IntrusiveChain("idle"), IntrusiveChain("busy")
+        a = Item("a")
+        idle.append(a)
+        idle.remove(a)
+        busy.append(a)
+        assert a not in idle and a in busy
+
+    def test_removal_during_iteration_of_current(self):
+        # The iterator prefetches next, so removing the yielded item is safe —
+        # the pattern the manager uses when evicting idle entries.
+        c = IntrusiveChain("t")
+        items = [Item(i) for i in range(6)]
+        for it in items:
+            c.append(it)
+        seen = []
+        for it in c:
+            seen.append(it)
+            if it.tag % 2 == 0:
+                c.remove(it)
+        assert seen == items
+        assert [i.tag for i in c] == [1, 3, 5]
+        c.validate()
+
+
+@settings(max_examples=200, deadline=None)
+@given(
+    ops=st.lists(
+        st.tuples(st.sampled_from(["append", "remove", "pop"]), st.integers(0, 9)),
+        max_size=60,
+    )
+)
+def test_chain_matches_reference_list(ops):
+    """Property: the chain behaves exactly like a plain Python list."""
+    chain = IntrusiveChain("prop")
+    reference = []
+    pool = [Item(i) for i in range(10)]
+    for op, idx in ops:
+        item = pool[idx]
+        if op == "append":
+            if item in reference:
+                with pytest.raises(ChainError):
+                    chain.append(item)
+            else:
+                chain.append(item)
+                reference.append(item)
+        elif op == "remove":
+            if item in reference:
+                chain.remove(item)
+                reference.remove(item)
+            else:
+                with pytest.raises(ChainError):
+                    chain.remove(item)
+        else:  # pop
+            if reference:
+                assert chain.pop_head() is reference.pop(0)
+            else:
+                with pytest.raises(ChainError):
+                    chain.pop_head()
+        chain.validate()
+        assert list(chain) == reference
+        assert len(chain) == len(reference)

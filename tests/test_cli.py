@@ -1,0 +1,187 @@
+"""Tests for the dreamsim CLI."""
+
+import pytest
+
+from repro.cli.main import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run"])
+        assert args.nodes == 200
+        assert args.mode == "partial"
+
+    def test_figure_choices(self):
+        args = build_parser().parse_args(["figures", "--figure", "fig6a"])
+        assert args.figure == "fig6a"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["figures", "--figure", "nope"])
+
+
+class TestRunCommand:
+    def test_prints_table1(self, capsys):
+        rc = main(["run", "--nodes", "8", "--tasks", "40", "--configs", "5", "--seed", "1"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "avg_waiting_time_per_task" in out
+        assert "total_simulation_time" in out
+
+    def test_writes_xml(self, tmp_path, capsys):
+        xml = tmp_path / "r.xml"
+        rc = main(
+            ["run", "--nodes", "8", "--tasks", "40", "--configs", "5", "--xml", str(xml)]
+        )
+        assert rc == 0
+        assert xml.exists()
+        from repro.framework import parse_report_xml
+
+        parsed = parse_report_xml(xml)
+        assert parsed["params"]["nodes"] == 8
+
+    def test_full_mode(self, capsys):
+        rc = main(["run", "--nodes", "8", "--tasks", "40", "--configs", "5", "--mode", "full"])
+        assert rc == 0
+        assert "full / 8 nodes" in capsys.readouterr().out
+
+
+class TestSweepCommand:
+    def test_prints_metric_table(self, capsys):
+        rc = main(
+            ["sweep", "--nodes", "8", "--tasks", "30", "60", "--configs", "5", "--seed", "2"]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "partial" in out and "full" in out
+        assert "30" in out and "60" in out
+
+
+class TestFiguresCommand:
+    def test_single_figure(self, capsys):
+        rc = main(
+            [
+                "figures", "--figure", "fig8a", "--tasks", "100", "200",
+                "--configs", "5", "--seed", "3",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert "fig8a" in out
+        assert "Average waiting time" in out
+        assert rc in (0, 1)  # shape may be noisy at this tiny scale
+
+    def test_save_load_csv_roundtrip(self, tmp_path, capsys):
+        sweeps = tmp_path / "sweeps"
+        csvs = tmp_path / "csv"
+        main(
+            [
+                "figures", "--figure", "fig8a", "--tasks", "100", "200",
+                "--configs", "5", "--seed", "3",
+                "--save-sweeps", str(sweeps), "--csv", str(csvs),
+            ]
+        )
+        out1 = capsys.readouterr().out
+        assert (sweeps / "sweep_n100.json").exists()
+        csv_text = (csvs / "fig8a.csv").read_text()
+        assert csv_text.startswith("# fig8a")
+        assert "tasks,partial,full" in csv_text
+        # Reload: must print the same table without re-simulating.
+        main(
+            [
+                "figures", "--figure", "fig8a", "--tasks", "100", "200",
+                "--configs", "5", "--seed", "3", "--load-sweeps", str(sweeps),
+            ]
+        )
+        out2 = capsys.readouterr().out
+        assert out1.splitlines()[:5] == out2.splitlines()[:5]
+
+    def test_plot_flag(self, capsys):
+        main(
+            [
+                "figures", "--figure", "fig8a", "--tasks", "100", "200",
+                "--configs", "5", "--seed", "3", "--plot",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert "x: [" in out  # the ascii plot footer
+
+
+class TestClaimsCommand:
+    def test_scorecard_exit_code(self, capsys):
+        rc = main(
+            [
+                "claims", "--tasks", "300", "600", "--nodes", "50", "100",
+                "--seed", "20120521",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert "claims reproduced" in out
+        assert rc == 0  # all pass at this seed/scale (same as test_analysis)
+
+
+class TestRunConfigAndTimeline:
+    def test_run_with_config_file(self, tmp_path, capsys):
+        import json
+
+        cfg = {
+            "nodes": {"count": 8},
+            "configs": {"count": 5},
+            "tasks": {"count": 40},
+            "simulation": {"seed": 2},
+        }
+        path = tmp_path / "exp.json"
+        path.write_text(json.dumps(cfg))
+        rc = main(["run", "--config", str(path)])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "total_tasks_generated" in out
+        assert "40" in out
+
+    def test_timeline_plots(self, capsys):
+        rc = main(
+            ["run", "--nodes", "8", "--tasks", "60", "--configs", "5", "--timeline"]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "busy_nodes" in out
+
+
+class TestReplicateCommand:
+    def test_prints_ci_table(self, capsys):
+        rc = main(
+            [
+                "replicate", "--nodes", "8", "--tasks", "40", "--configs", "4",
+                "--replications", "2", "--seed", "9",
+                "--metric", "avg_waiting_time_per_task",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "±95% CI" in out
+        assert "partial" in out and "full" in out
+
+
+class TestGraphCommand:
+    @pytest.mark.parametrize("shape", ["layered", "pipeline", "forkjoin", "mapreduce"])
+    def test_shapes_run(self, shape, capsys):
+        rc = main(
+            [
+                "graph", "--shape", shape, "--size", "8", "--nodes", "10",
+                "--configs", "5", "--seed", "4",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "makespan" in out
+        assert "critical path bound" in out
+
+    def test_fifo_priority(self, capsys):
+        rc = main(
+            [
+                "graph", "--shape", "pipeline", "--size", "5", "--nodes", "10",
+                "--configs", "5", "--priority", "fifo",
+            ]
+        )
+        assert rc == 0

@@ -1,0 +1,75 @@
+"""Tests for user constraints on task streams."""
+
+import pytest
+
+from repro.model import Configuration, Task
+from repro.workload import ConstraintViolation, UserConstraints
+from repro.workload.generator import TaskArrival
+
+
+def arrival(at, no=0, t=100, area=500):
+    cfg = Configuration(config_no=0, req_area=area, config_time=10)
+    return TaskArrival(at=at, task=Task(task_no=no, required_time=t, pref_config=cfg))
+
+
+class TestIndividualRules:
+    def test_admission_window(self):
+        c = UserConstraints(earliest_arrival=10, latest_arrival=20)
+        assert not c.admits(arrival(5))
+        assert c.admits(arrival(15))
+        assert not c.admits(arrival(25))
+
+    def test_required_time_cap(self):
+        c = UserConstraints(max_required_time=1000)
+        assert c.admits(arrival(0, t=1000))
+        assert not c.admits(arrival(0, t=1001))
+
+    def test_area_cap(self):
+        c = UserConstraints(max_task_area=800)
+        assert c.admits(arrival(0, area=800))
+        assert not c.admits(arrival(0, area=900))
+
+    def test_no_rules_admits_everything(self):
+        c = UserConstraints()
+        assert c.admits(arrival(0, t=10**9, area=10**6))
+
+
+class TestValidation:
+    def test_rejections_recorded(self):
+        c = UserConstraints(max_task_area=100)
+        a = arrival(0, area=500)
+        assert not c.validate(a)
+        assert c.rejected == [a]
+
+    def test_strict_mode_raises(self):
+        c = UserConstraints(max_task_area=100, strict=True)
+        with pytest.raises(ConstraintViolation, match="needed_area"):
+            c.validate(arrival(0, area=500))
+
+
+class TestApply:
+    def test_filters_stream(self):
+        c = UserConstraints(max_required_time=50)
+        stream = [arrival(i, no=i, t=10 * (i + 1)) for i in range(10)]
+        admitted = list(c.apply(stream))
+        assert [a.task.task_no for a in admitted] == [0, 1, 2, 3, 4]
+        assert len(c.rejected) == 5
+
+    def test_max_tasks_truncates(self):
+        c = UserConstraints(max_tasks=3)
+        stream = (arrival(i, no=i) for i in range(100))
+        admitted = list(c.apply(stream))
+        assert len(admitted) == 3
+
+    def test_lazy_evaluation(self):
+        """apply() must not exhaust the stream past max_tasks."""
+        pulled = []
+
+        def stream():
+            for i in range(100):
+                pulled.append(i)
+                yield arrival(i, no=i)
+
+        c = UserConstraints(max_tasks=2)
+        list(c.apply(stream()))
+        assert len(pulled) <= 3

@@ -1,0 +1,120 @@
+"""Tests for the JSON experiment-configuration interface."""
+
+import json
+
+import pytest
+
+from repro.framework.expconfig import (
+    ExperimentConfigError,
+    load_experiment,
+)
+from repro.rng.distributions import UniformInt
+
+FULL_DOC = {
+    "nodes": {
+        "count": 20,
+        "total_area": {"kind": "uniform_int", "low": 1000, "high": 4000},
+    },
+    "configs": {
+        "count": 8,
+        "req_area": {"kind": "uniform_int", "low": 200, "high": 2000},
+        "config_time": {"kind": "uniform_int", "low": 10, "high": 20},
+    },
+    "tasks": {
+        "count": 100,
+        "arrival_interval": {"kind": "uniform_int", "low": 1, "high": 50},
+        "required_time": {"kind": "uniform_int", "low": 100, "high": 5000},
+        "closest_match_pct": 0.15,
+    },
+    "simulation": {"partial": True, "seed": 7, "queue_order": "sjf"},
+}
+
+
+class TestParsing:
+    def test_full_document(self):
+        cfg = load_experiment(FULL_DOC)
+        assert cfg.node_spec.count == 20
+        assert cfg.config_spec.count == 8
+        assert cfg.task_spec.count == 100
+        assert cfg.task_spec.arrival_interval == UniformInt(1, 50)
+        assert cfg.seed == 7
+        assert cfg.queue_order == "sjf"
+
+    def test_empty_document_gives_table2_defaults(self):
+        cfg = load_experiment({})
+        assert cfg.node_spec.count == 200
+        assert cfg.config_spec.count == 50
+        assert cfg.task_spec.closest_match_pct == 0.15
+        assert cfg.partial is True
+
+    def test_from_json_string(self):
+        cfg = load_experiment(json.dumps(FULL_DOC))
+        assert cfg.node_spec.count == 20
+
+    def test_from_file(self, tmp_path):
+        path = tmp_path / "exp.json"
+        path.write_text(json.dumps(FULL_DOC))
+        cfg = load_experiment(path)
+        assert cfg.task_spec.count == 100
+
+    def test_gpp_section(self):
+        doc = {"simulation": {"gpp": {"count": 4, "cores": 2, "slowdown": 8.0}}}
+        cfg = load_experiment(doc)
+        assert cfg.gpp is not None
+        assert cfg.gpp.capacity == 8
+
+    def test_unknown_section_rejected(self):
+        with pytest.raises(ExperimentConfigError, match="unknown sections"):
+            load_experiment({"nodez": {}})
+
+    def test_unknown_sim_option_rejected(self):
+        with pytest.raises(ExperimentConfigError, match="unknown simulation"):
+            load_experiment({"simulation": {"warp_speed": True}})
+
+    def test_bad_distribution_rejected(self):
+        with pytest.raises(ExperimentConfigError, match="tasks.required_time"):
+            load_experiment(
+                {"tasks": {"required_time": {"kind": "zipf", "s": 2}}}
+            )
+
+    def test_non_object_distribution_rejected(self):
+        with pytest.raises(ExperimentConfigError, match="distribution object"):
+            load_experiment({"nodes": {"total_area": 5}})
+
+    def test_invalid_spec_value_rejected(self):
+        with pytest.raises(ExperimentConfigError, match="tasks"):
+            load_experiment({"tasks": {"count": 0}})
+
+    def test_invalid_json_rejected(self):
+        with pytest.raises(ExperimentConfigError, match="invalid JSON"):
+            load_experiment("{not json")
+
+    def test_invalid_gpp_rejected(self):
+        with pytest.raises(ExperimentConfigError, match="gpp"):
+            load_experiment({"simulation": {"gpp": {"count": 0}}})
+
+
+class TestBuildAndRun:
+    def test_build_runs_to_completion(self):
+        cfg = load_experiment(FULL_DOC)
+        result = cfg.build().run()
+        rep = result.report
+        assert rep.total_tasks_generated == 100
+        assert rep.total_completed_tasks + rep.total_discarded_tasks == 100
+
+    def test_deterministic_across_builds(self):
+        a = load_experiment(FULL_DOC).build().run().report
+        b = load_experiment(FULL_DOC).build().run().report
+        assert a.as_dict() == b.as_dict()
+
+    def test_describe_parameters(self):
+        cfg = load_experiment(FULL_DOC)
+        d = cfg.describe()
+        assert d["nodes"] == 20 and d["tasks"] == 100 and d["gpp"] == 0
+
+    def test_hybrid_build(self):
+        doc = dict(FULL_DOC)
+        doc["simulation"] = {"seed": 3, "gpp": {"count": 3, "slowdown": 4.0}}
+        cfg = load_experiment(doc)
+        result = cfg.build().run()
+        assert result.report.total_completed_tasks > 0

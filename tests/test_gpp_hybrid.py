@@ -1,0 +1,144 @@
+"""Tests for the hybrid GPP fallback (Fig. 1's mixed system)."""
+
+import pytest
+
+from repro.core import DreamScheduler, PlacementKind, ScheduleResult
+from repro.framework import DReAMSim
+from repro.model import Configuration, Node, Task, TaskStatus
+from repro.model.gpp import GPP_CONFIG, GppPool
+from repro.resources import ResourceInformationManager
+from repro.rng import RNG
+from repro.workload import ConfigSpec, NodeSpec, TaskSpec
+from repro.workload.generator import (
+    generate_configs,
+    generate_nodes,
+    generate_task_stream,
+)
+
+
+def cfg(no=0, area=500):
+    return Configuration(config_no=no, req_area=area, config_time=10)
+
+
+class TestGppPool:
+    def test_capacity_and_slots(self):
+        pool = GppPool(count=2, cores=3)
+        assert pool.capacity == 6
+        assert pool.free_slots == 6
+
+    def test_acquire_release_cycle(self):
+        pool = GppPool(count=1, cores=1, slowdown=4.0)
+        t = Task(task_no=0, required_time=100, pref_config=cfg())
+        slot = pool.acquire(t)
+        assert slot is not None and pool.free_slots == 0
+        assert pool.acquire(t) is None  # saturated
+        pool.release(slot)
+        assert pool.free_slots == 1
+        with pytest.raises(ValueError):
+            pool.release(slot)  # double release
+
+    def test_exec_time_slowdown(self):
+        pool = GppPool(count=1, slowdown=8.0)
+        t = Task(task_no=0, required_time=100, pref_config=cfg())
+        assert pool.exec_time(t) == 800
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            GppPool(count=0)
+        with pytest.raises(ValueError):
+            GppPool(count=1, slowdown=0.5)
+        with pytest.raises(ValueError):
+            GppPool(count=1, network_delay=-1)
+
+    def test_stats_accumulate(self):
+        pool = GppPool(count=2, slowdown=2.0)
+        t = Task(task_no=0, required_time=100, pref_config=cfg())
+        pool.acquire(t)
+        assert pool.tasks_executed == 1
+        assert pool.total_slowed_ticks == 100  # 200 - 100
+
+
+class TestSchedulerGppPhase:
+    def _build(self, gpp_pool):
+        nodes = [Node(node_no=0, total_area=1000)]
+        configs = [cfg(0, 400), cfg(1, 900)]
+        rim = ResourceInformationManager(nodes, configs)
+        return rim, DreamScheduler(rim, gpp_pool=gpp_pool)
+
+    def _arrive(self, sched, no, pref, t=100):
+        task = Task(task_no=no, required_time=t, pref_config=pref)
+        task.mark_created(0)
+        return sched.schedule(task, 0)
+
+    def test_offload_instead_of_suspension(self):
+        pool = GppPool(count=1, slowdown=4.0)
+        rim, sched = self._build(pool)
+        self._arrive(sched, 0, rim.configs[0], t=1000)  # occupies the node
+        out = self._arrive(sched, 1, rim.configs[1])  # would suspend
+        assert out.result is ScheduleResult.SCHEDULED
+        assert out.placement.kind is PlacementKind.GPP_OFFLOAD
+        assert out.placement.exec_time == 400
+        assert out.task.on_gpp
+        assert out.task.assigned_config is GPP_CONFIG
+        assert not out.task.used_closest_match
+
+    def test_saturated_pool_falls_back_to_suspension(self):
+        pool = GppPool(count=1, slowdown=4.0)
+        rim, sched = self._build(pool)
+        self._arrive(sched, 0, rim.configs[0], t=1000)
+        self._arrive(sched, 1, rim.configs[1])  # takes the only GPP core
+        out = self._arrive(sched, 2, rim.configs[1])
+        assert out.result is ScheduleResult.SUSPENDED
+
+    def test_reconfigurable_placement_preferred_over_gpp(self):
+        pool = GppPool(count=4, slowdown=4.0)
+        rim, sched = self._build(pool)
+        out = self._arrive(sched, 0, rim.configs[0])
+        assert out.placement.kind is PlacementKind.CONFIGURATION
+        assert pool.tasks_executed == 0
+
+
+class TestHybridSimulation:
+    def _run(self, gpp, seed=17, tasks=200):
+        rng = RNG(seed=seed)
+        nodes = generate_nodes(NodeSpec(count=8), rng)
+        configs = generate_configs(ConfigSpec(count=6), rng)
+        stream = generate_task_stream(TaskSpec(count=tasks), configs, rng)
+        return DReAMSim(nodes, configs, stream, partial=True, gpp=gpp).run()
+
+    def test_hybrid_run_conserves_tasks(self):
+        pool = GppPool(count=4, cores=2, slowdown=6.0)
+        result = self._run(pool)
+        rep = result.report
+        assert rep.total_completed_tasks + rep.total_discarded_tasks == 200
+        assert pool.tasks_executed > 0
+        assert pool.free_slots == pool.capacity  # all released at the end
+
+    def test_gpp_tasks_marked(self):
+        pool = GppPool(count=4, cores=2, slowdown=6.0)
+        result = self._run(pool)
+        on_gpp = [t for t in result.tasks if t.on_gpp]
+        assert len(on_gpp) == pool.tasks_executed
+        for t in on_gpp:
+            assert t.status is TaskStatus.COMPLETED
+            # GPP execution duration shows in the completion timestamp.
+            assert t.completion_time - t.start_time >= t.required_time
+
+    def test_gpps_reduce_waiting(self):
+        base = self._run(None)
+        hybrid = self._run(GppPool(count=6, cores=2, slowdown=4.0))
+        assert (
+            hybrid.report.avg_waiting_time_per_task
+            < base.report.avg_waiting_time_per_task
+        )
+
+    def test_gpps_lengthen_individual_runtimes(self):
+        """Offloaded tasks run slower, so mean running time can rise even as
+        waits fall; check only offloaded tasks' residency stretched."""
+        pool = GppPool(count=6, cores=2, slowdown=8.0)
+        result = self._run(pool)
+        offloaded = [t for t in result.tasks if t.on_gpp]
+        assert offloaded
+        for t in offloaded:
+            span = t.completion_time - t.start_time - t.comm_time
+            assert span == pool.exec_time(t)

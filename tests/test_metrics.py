@@ -1,0 +1,197 @@
+"""Tests for metrics: RunningStats, accumulators, Table I report, Eq. 10."""
+
+import numpy as np
+import pytest
+
+from repro.core.base import SchedulerStats
+from repro.metrics import RunningStats, WastedAreaAccumulator, compute_report
+from repro.metrics.table1 import total_configuration_time
+from repro.model import Configuration, Node, Task
+from repro.resources.counters import SearchCounters
+
+
+class TestRunningStats:
+    def test_empty(self):
+        s = RunningStats()
+        assert s.n == 0
+        assert s.mean == 0.0
+        assert s.variance == 0.0
+
+    def test_matches_numpy(self):
+        rng = np.random.default_rng(7)
+        data = rng.normal(50, 12, size=500)
+        s = RunningStats()
+        for x in data:
+            s.add(float(x))
+        assert s.mean == pytest.approx(np.mean(data))
+        assert s.variance == pytest.approx(np.var(data, ddof=1))
+        assert s.min == pytest.approx(np.min(data))
+        assert s.max == pytest.approx(np.max(data))
+        assert s.total == pytest.approx(np.sum(data))
+
+    def test_single_value(self):
+        s = RunningStats()
+        s.add(3.0)
+        assert s.mean == 3.0
+        assert s.variance == 0.0
+        assert s.stddev == 0.0
+
+    def test_merge_equals_combined(self):
+        rng = np.random.default_rng(8)
+        a_data, b_data = rng.normal(size=300), rng.normal(5, 2, size=200)
+        a, b = RunningStats(), RunningStats()
+        for x in a_data:
+            a.add(float(x))
+        for x in b_data:
+            b.add(float(x))
+        merged = a.merge(b)
+        combined = np.concatenate([a_data, b_data])
+        assert merged.n == 500
+        assert merged.mean == pytest.approx(np.mean(combined))
+        assert merged.variance == pytest.approx(np.var(combined, ddof=1))
+
+    def test_merge_with_empty(self):
+        a = RunningStats()
+        b = RunningStats()
+        b.add(4.0)
+        assert a.merge(b).mean == 4.0
+        assert b.merge(a).mean == 4.0
+
+    def test_snapshot_keys(self):
+        s = RunningStats()
+        s.add(1.0)
+        snap = s.snapshot()
+        assert set(snap) == {"n", "mean", "stddev", "min", "max", "total"}
+
+
+class TestWastedAreaAccumulator:
+    def test_eq7_average(self):
+        acc = WastedAreaAccumulator()
+        for w in (100, 200, 300):
+            acc.sample(w)
+        assert acc.average_per_task(3) == pytest.approx(200.0)
+        assert acc.average_per_task(6) == pytest.approx(100.0)  # robust to discards
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            WastedAreaAccumulator().sample(-1)
+
+    def test_zero_tasks(self):
+        assert WastedAreaAccumulator().average_per_task(0) == 0.0
+
+
+class TestEq10:
+    def test_total_configuration_time(self):
+        configs = [
+            Configuration(config_no=0, req_area=100, config_time=10),
+            Configuration(config_no=1, req_area=100, config_time=20),
+        ]
+        counts = {0: 3, 1: 2}
+        assert total_configuration_time(configs, counts) == 3 * 10 + 2 * 20
+
+    def test_missing_counts_are_zero(self):
+        configs = [Configuration(config_no=0, req_area=100, config_time=10)]
+        assert total_configuration_time(configs, {}) == 0
+
+
+class TestComputeReport:
+    def _simple_state(self):
+        c = Configuration(config_no=0, req_area=500, config_time=10)
+        nodes = [Node(node_no=i, total_area=2000) for i in range(2)]
+        tasks = []
+        for i in range(3):
+            t = Task(task_no=i, required_time=100, pref_config=c)
+            t.mark_created(i * 10)
+            t.mark_started(i * 10 + 5, c, comm_time=0, config_time_paid=10)
+            t.mark_completed(i * 10 + 105)
+            tasks.append(t)
+        bad = Task(task_no=9, required_time=100, pref_config=c)
+        bad.mark_created(50)
+        bad.mark_discarded(50)
+        tasks.append(bad)
+        nodes[0].reconfig_count = 3
+        return tasks, nodes, [c]
+
+    def test_report_fields(self):
+        tasks, nodes, configs = self._simple_state()
+        report = compute_report(
+            tasks=tasks,
+            nodes=nodes,
+            configs=configs,
+            counters=SearchCounters(scheduling_steps=400, housekeeping_steps=100),
+            scheduler_stats=SchedulerStats(scheduled=3, discarded=1),
+            reconfig_count_by_config={0: 3},
+            final_time=500,
+            total_used_nodes=1,
+        )
+        assert report.total_tasks_generated == 4
+        assert report.total_completed_tasks == 3
+        assert report.total_discarded_tasks == 1
+        assert report.avg_waiting_time_per_task == pytest.approx(15.0)  # 5 + 10
+        assert report.avg_running_time_per_task == pytest.approx(105.0)
+        assert report.avg_reconfig_count_per_node == pytest.approx(1.5)
+        assert report.avg_reconfig_time_per_task == pytest.approx(30 / 4)
+        assert report.avg_scheduling_steps_per_task == pytest.approx(100.0)
+        assert report.total_scheduler_workload == 500
+        assert report.total_simulation_time == 500
+        assert report.total_used_nodes == 1
+
+    def test_as_dict_roundtrip_fields(self):
+        tasks, nodes, configs = self._simple_state()
+        report = compute_report(
+            tasks=tasks,
+            nodes=nodes,
+            configs=configs,
+            counters=SearchCounters(),
+            scheduler_stats=SchedulerStats(),
+            reconfig_count_by_config={0: 3},
+            final_time=500,
+            total_used_nodes=1,
+        )
+        d = report.as_dict()
+        assert d["total_completed_tasks"] == 3
+        assert "placements_by_kind" in d
+
+    def test_empty_run(self):
+        report = compute_report(
+            tasks=[],
+            nodes=[],
+            configs=[],
+            counters=SearchCounters(),
+            scheduler_stats=SchedulerStats(),
+            reconfig_count_by_config={},
+            final_time=0,
+            total_used_nodes=0,
+        )
+        assert report.avg_waiting_time_per_task == 0.0
+        assert report.avg_reconfig_count_per_node == 0.0
+
+
+class TestSearchCounters:
+    def test_total_workload_is_sum(self):
+        c = SearchCounters()
+        c.charge_scheduling(5)
+        c.charge_housekeeping(7)
+        assert c.total_workload == 12
+
+    def test_negative_rejected(self):
+        c = SearchCounters()
+        with pytest.raises(ValueError):
+            c.charge_scheduling(-1)
+        with pytest.raises(ValueError):
+            c.charge_housekeeping(-1)
+
+    def test_reset(self):
+        c = SearchCounters()
+        c.charge_scheduling(5)
+        c.reset()
+        assert c.total_workload == 0
+
+    def test_snapshot(self):
+        c = SearchCounters()
+        c.charge_scheduling(2)
+        assert c.snapshot() == {
+            "scheduling_steps": 2,
+            "housekeeping_steps": 0,
+            "total_workload": 2,
+        }

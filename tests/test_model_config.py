@@ -1,0 +1,93 @@
+"""Unit tests for Configuration, ProcessorParams, Ptype and DeviceFamily."""
+
+import pytest
+
+from repro.model import Configuration, ProcessorParams, Ptype
+from repro.model.family import Capability, DeviceFamily, make_families
+
+
+class TestConfiguration:
+    def test_valid(self):
+        c = Configuration(
+            config_no=3, req_area=800, config_time=12, bsize=1024, ptype=Ptype.VLIW
+        )
+        assert c.req_area == 800
+        assert "vliw" in repr(c)
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            Configuration(config_no=-1, req_area=10, config_time=1)
+        with pytest.raises(ValueError):
+            Configuration(config_no=0, req_area=0, config_time=1)
+        with pytest.raises(ValueError):
+            Configuration(config_no=0, req_area=10, config_time=-1)
+        with pytest.raises(ValueError):
+            Configuration(config_no=0, req_area=10, config_time=1, bsize=-1)
+
+    def test_identity_semantics(self):
+        a = Configuration(config_no=0, req_area=100, config_time=5)
+        b = Configuration(config_no=0, req_area=100, config_time=5)
+        assert a != b  # compared by identity, like the C++ pointers
+        assert a == a
+
+    def test_frozen(self):
+        c = Configuration(config_no=0, req_area=100, config_time=5)
+        with pytest.raises(AttributeError):
+            c.req_area = 200
+
+    def test_family_compat_default_universal(self):
+        c = Configuration(config_no=0, req_area=100, config_time=5)
+        assert c.compatible_with_node_family(None)
+        assert c.compatible_with_node_family(DeviceFamily(name="x"))
+
+
+class TestProcessorParams:
+    def test_defaults(self):
+        p = ProcessorParams()
+        assert p.issue_width == 1
+        assert p.as_dict()["alus"] == 1
+
+    def test_rho_vex_style(self):
+        p = ProcessorParams(issue_width=4, alus=4, multipliers=2, cluster_cores=2, memory_slots=2)
+        d = p.as_dict()
+        assert d["issue_width"] == 4 and d["multipliers"] == 2
+
+    def test_extras_included(self):
+        p = ProcessorParams(extras=(("array_dim", 8.0),))
+        assert p.as_dict()["array_dim"] == 8.0
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            ProcessorParams(issue_width=0)
+        with pytest.raises(ValueError):
+            ProcessorParams(multipliers=-1)
+
+
+class TestDeviceFamily:
+    def test_accepts_self(self):
+        f = DeviceFamily(name="v7")
+        assert f.accepts(f)
+
+    def test_directional_compatibility(self):
+        old = DeviceFamily(name="v6")
+        new = DeviceFamily(name="v7", compatible_with=frozenset({"v6"}))
+        assert new.accepts(old)
+        assert not old.accepts(new)
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            DeviceFamily(name="")
+        with pytest.raises(ValueError):
+            DeviceFamily(name="x", generation=0)
+
+    def test_universal_default(self):
+        assert DeviceFamily.universal().name == "generic"
+
+    def test_make_families(self):
+        fams = make_families(["a", "b"])
+        assert set(fams) == {"a", "b"}
+        assert not fams["a"].accepts(fams["b"])
+
+    def test_capability_enum_values_unique(self):
+        values = [c.value for c in Capability]
+        assert len(values) == len(set(values))

@@ -1,0 +1,221 @@
+"""Unit tests for Node and ConfigTaskEntry — Eq. 1 and Eq. 4 semantics."""
+
+import pytest
+
+from repro.model import (
+    AreaError,
+    Configuration,
+    ConfigurationError,
+    Node,
+    NodeState,
+    Task,
+)
+from repro.model.family import Capability, DeviceFamily
+
+
+def cfg(no=0, area=500, ctime=10):
+    return Configuration(config_no=no, req_area=area, config_time=ctime)
+
+
+def task(no=0, c=None):
+    c = c or cfg()
+    t = Task(task_no=no, required_time=100, pref_config=c)
+    t.mark_created(0)
+    return t
+
+
+class TestConstruction:
+    def test_valid_node(self):
+        n = Node(node_no=3, total_area=2000)
+        assert n.available_area == 2000
+        assert n.is_blank
+        assert n.state is NodeState.IDLE
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            Node(node_no=-1, total_area=100)
+        with pytest.raises(ValueError):
+            Node(node_no=0, total_area=0)
+        with pytest.raises(ValueError):
+            Node(node_no=0, total_area=100, network_delay=-1)
+
+
+class TestSendBitstream:
+    def test_adjusts_available_area(self):
+        n = Node(node_no=0, total_area=2000)
+        entry = n.send_bitstream(cfg(area=700))
+        assert n.available_area == 1300
+        assert entry.is_idle
+        assert n.reconfig_count == 1
+        assert not n.is_blank
+
+    def test_multiple_configs_eq4(self):
+        n = Node(node_no=0, total_area=3000)
+        areas = [500, 700, 900]
+        for i, a in enumerate(areas):
+            n.send_bitstream(cfg(no=i, area=a))
+        assert n.available_area == 3000 - sum(areas)  # Eq. 4
+        n.check_area_invariant()
+
+    def test_insufficient_area_rejected(self):
+        n = Node(node_no=0, total_area=600)
+        with pytest.raises(AreaError):
+            n.send_bitstream(cfg(area=700))
+        assert n.is_blank  # unchanged
+
+    def test_exact_fit_allowed(self):
+        n = Node(node_no=0, total_area=500)
+        n.send_bitstream(cfg(area=500))
+        assert n.available_area == 0
+        assert not n.is_partially_blank
+
+    def test_family_compatibility_enforced(self):
+        fam_a = DeviceFamily(name="a")
+        fam_b = DeviceFamily(name="b")
+        n = Node(node_no=0, total_area=2000, family=fam_a)
+        c = Configuration(config_no=0, req_area=100, config_time=5, family=fam_b)
+        with pytest.raises(ConfigurationError):
+            n.send_bitstream(c)
+
+    def test_compatible_family_accepted(self):
+        fam_a = DeviceFamily(name="a", compatible_with=frozenset({"b"}))
+        fam_b = DeviceFamily(name="b")
+        n = Node(node_no=0, total_area=2000, family=fam_a)
+        c = Configuration(config_no=0, req_area=100, config_time=5, family=fam_b)
+        n.send_bitstream(c)  # should not raise
+
+
+class TestBlankOperations:
+    def test_make_blank_restores_area(self):
+        n = Node(node_no=0, total_area=2000)
+        n.send_bitstream(cfg(no=0, area=400))
+        n.send_bitstream(cfg(no=1, area=600))
+        removed = n.make_blank()
+        assert len(removed) == 2
+        assert n.available_area == 2000
+        assert n.is_blank
+
+    def test_make_blank_with_running_task_rejected(self):
+        n = Node(node_no=0, total_area=2000)
+        c = cfg()
+        e = n.send_bitstream(c)
+        t = task(c=c)
+        t.mark_started(1, c)
+        n.add_task(t, e)
+        with pytest.raises(ConfigurationError):
+            n.make_blank()
+
+    def test_make_partially_blank(self):
+        n = Node(node_no=0, total_area=2000)
+        e1 = n.send_bitstream(cfg(no=0, area=400))
+        n.send_bitstream(cfg(no=1, area=600))
+        reclaimed = n.make_partially_blank([e1])
+        assert reclaimed == 400
+        assert n.available_area == 2000 - 600
+        assert len(n.entries) == 1
+
+    def test_partially_blank_busy_entry_rejected(self):
+        n = Node(node_no=0, total_area=2000)
+        c = cfg()
+        e = n.send_bitstream(c)
+        t = task(c=c)
+        t.mark_started(1, c)
+        n.add_task(t, e)
+        with pytest.raises(ConfigurationError):
+            n.make_partially_blank([e])
+
+    def test_partially_blank_foreign_entry_rejected(self):
+        n1 = Node(node_no=0, total_area=2000)
+        n2 = Node(node_no=1, total_area=2000)
+        e = n1.send_bitstream(cfg())
+        with pytest.raises(ConfigurationError):
+            n2.make_partially_blank([e])
+
+
+class TestTaskBinding:
+    def test_add_and_remove_task(self):
+        n = Node(node_no=0, total_area=2000)
+        c = cfg()
+        e = n.send_bitstream(c)
+        t = task(c=c)
+        t.mark_started(1, c)
+        n.add_task(t, e)
+        assert e.is_busy
+        assert n.state is NodeState.BUSY
+        assert n.running_tasks == [t]
+        returned = n.remove_task(t)
+        assert returned is e
+        assert e.is_idle
+        assert n.state is NodeState.IDLE
+
+    def test_add_task_to_busy_entry_rejected(self):
+        n = Node(node_no=0, total_area=2000)
+        c = cfg()
+        e = n.send_bitstream(c)
+        t1, t2 = task(0, c), task(1, c)
+        t1.mark_started(1, c)
+        n.add_task(t1, e)
+        t2.mark_started(1, c)
+        with pytest.raises(ConfigurationError):
+            n.add_task(t2, e)
+
+    def test_add_task_with_mismatched_config_rejected(self):
+        n = Node(node_no=0, total_area=2000)
+        c1, c2 = cfg(0), cfg(1)
+        e1 = n.send_bitstream(c1)
+        t = task(c=c2)
+        t.mark_started(1, c2)
+        with pytest.raises(ConfigurationError):
+            n.add_task(t, e1)
+
+    def test_remove_unknown_task_rejected(self):
+        n = Node(node_no=0, total_area=2000)
+        with pytest.raises(ConfigurationError):
+            n.remove_task(task())
+
+    def test_remove_keeps_configuration_loaded(self):
+        n = Node(node_no=0, total_area=2000)
+        c = cfg(area=800)
+        e = n.send_bitstream(c)
+        t = task(c=c)
+        t.mark_started(1, c)
+        n.add_task(t, e)
+        n.remove_task(t)
+        assert n.available_area == 1200  # config still occupies its region
+        assert n.find_idle_entry(c) is e
+
+
+class TestDerivedQueries:
+    def test_reclaimable_area(self):
+        n = Node(node_no=0, total_area=3000)
+        c1, c2 = cfg(0, 500), cfg(1, 700)
+        e1 = n.send_bitstream(c1)
+        n.send_bitstream(c2)
+        t = task(c=c1)
+        t.mark_started(1, c1)
+        n.add_task(t, e1)
+        # free 1800 + idle 700 (c2); busy c1 region not reclaimable
+        assert n.reclaimable_area() == 1800 + 700
+
+    def test_partially_blank_flags(self):
+        n = Node(node_no=0, total_area=1000)
+        assert not n.is_partially_blank  # blank, not partially blank
+        n.send_bitstream(cfg(area=400))
+        assert n.is_partially_blank
+        n.send_bitstream(cfg(no=1, area=600))
+        assert not n.is_partially_blank  # full
+
+    def test_capabilities(self):
+        n = Node(
+            node_no=0,
+            total_area=1000,
+            caps=frozenset({Capability.DSP_SLICES}),
+        )
+        assert n.has_capability(Capability.DSP_SLICES)
+        assert not n.has_capability(Capability.EMBEDDED_MEMORY)
+
+    def test_config_count_is_m(self):
+        n = Node(node_no=0, total_area=5000)
+        for i in range(4):
+            n.send_bitstream(cfg(no=i, area=1000))
+        assert n.config_count == 4

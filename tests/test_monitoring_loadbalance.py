@@ -1,0 +1,105 @@
+"""Tests for the monitoring and load-balancing modules."""
+
+import pytest
+
+from repro.framework.loadbalance import LoadBalancer, node_load
+from repro.framework.monitoring import Monitor
+from repro.model import Configuration, Node, Task
+from repro.resources import ResourceInformationManager, SuspensionQueue
+
+
+def build():
+    nodes = [Node(node_no=i, total_area=2000) for i in range(4)]
+    configs = [Configuration(config_no=0, req_area=1000, config_time=10)]
+    return ResourceInformationManager(nodes, configs)
+
+
+def run_task_on(rim, node, no=0):
+    c = rim.configs[0]
+    entry = rim.configure_node(node, c)
+    t = Task(task_no=no, required_time=100, pref_config=c)
+    t.mark_created(0)
+    t.mark_started(0, c)
+    rim.assign_task(t, node, entry)
+    return t
+
+
+class TestMonitor:
+    def test_sample_counts_states(self):
+        rim = build()
+        q = SuspensionQueue()
+        run_task_on(rim, rim.nodes[0])
+        rim.configure_node(rim.nodes[1], rim.configs[0])  # idle configured
+        mon = Monitor()
+        snap = mon.sample(10, rim, q)
+        assert snap.busy_nodes == 1
+        assert snap.idle_nodes == 1
+        assert snap.blank_nodes == 2
+        assert snap.running_tasks == 1
+        assert snap.wasted_area == 1000 + 1000  # two configured nodes, half waste
+
+    def test_utilization(self):
+        rim = build()
+        q = SuspensionQueue()
+        run_task_on(rim, rim.nodes[0])
+        snap = Monitor().sample(0, rim, q)
+        assert snap.utilization == 1.0  # 1 busy / 1 configured
+
+    def test_rate_limiting(self):
+        rim = build()
+        q = SuspensionQueue()
+        mon = Monitor(min_interval=100)
+        assert mon.sample(0, rim, q) is not None
+        assert mon.sample(50, rim, q) is None  # inside interval
+        assert mon.sample(100, rim, q) is not None
+        assert len(mon) == 2
+
+    def test_series_accumulate(self):
+        rim = build()
+        q = SuspensionQueue()
+        mon = Monitor()
+        mon.sample(0, rim, q)
+        run_task_on(rim, rim.nodes[0])
+        mon.sample(10, rim, q)
+        assert list(mon.busy_nodes) == [(0, 0), (10, 1)]
+
+
+class TestLoadBalancer:
+    def test_node_load_fraction(self):
+        rim = build()
+        node = rim.nodes[0]
+        assert node_load(node) == 0.0
+        run_task_on(rim, node)
+        assert node_load(node) == 0.5  # 1000 busy of 2000
+
+    def test_perfect_balance_metrics(self):
+        rim = build()
+        for i, n in enumerate(rim.nodes):
+            run_task_on(rim, n, no=i)
+        lb = LoadBalancer(rim)
+        snap = lb.observe(0)
+        assert snap.cv == pytest.approx(0.0)
+        assert snap.jain == pytest.approx(1.0)
+
+    def test_imbalance_detected(self):
+        rim = build()
+        run_task_on(rim, rim.nodes[0])
+        lb = LoadBalancer(rim)
+        snap = lb.observe(0)
+        assert snap.cv > 1.0  # one loaded node of four
+        assert snap.jain < 0.5
+
+    def test_idle_system(self):
+        rim = build()
+        snap = LoadBalancer(rim).observe(0)
+        assert snap.mean_load == 0.0
+        assert snap.jain == 1.0
+
+    def test_series_means(self):
+        rim = build()
+        lb = LoadBalancer(rim)
+        lb.observe(0)
+        run_task_on(rim, rim.nodes[0])
+        lb.observe(10)
+        assert 0 <= lb.mean_cv
+        assert 0 <= lb.mean_jain <= 1.0

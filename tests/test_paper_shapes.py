@@ -1,0 +1,122 @@
+"""The §VI-A reproduction claims, asserted at test scale.
+
+Each test checks one qualitative claim of the paper's results discussion —
+"who wins" between the *with partial reconfiguration* and *without* scenarios
+for every figure, plus the node-count orderings.  These are the same
+assertions the figure benches make at larger scale.
+"""
+
+import pytest
+
+from repro import quick_simulation
+
+SEED = 20120521  # IPDPSW 2012 ;-)
+
+
+@pytest.fixture(scope="module")
+def runs():
+    """Paired runs for 2 node counts x 2 modes over identical workloads."""
+    out = {}
+    for nodes in (50, 100):
+        for partial in (True, False):
+            out[(nodes, partial)] = quick_simulation(
+                nodes=nodes, configs=25, tasks=600, partial=partial, seed=SEED
+            ).report
+    return out
+
+
+class TestFig6WastedArea:
+    def test_partial_wastes_less_than_full(self, runs):
+        for nodes in (50, 100):
+            assert (
+                runs[(nodes, True)].avg_system_wasted_area_per_task
+                < runs[(nodes, False)].avg_system_wasted_area_per_task
+            )
+
+    def test_placement_reading_agrees(self, runs):
+        for nodes in (50, 100):
+            assert (
+                runs[(nodes, True)].avg_wasted_area_per_task
+                < runs[(nodes, False)].avg_wasted_area_per_task
+            )
+
+    def test_more_nodes_more_waste(self, runs):
+        for partial in (True, False):
+            assert (
+                runs[(100, partial)].avg_system_wasted_area_per_task
+                > runs[(50, partial)].avg_system_wasted_area_per_task
+            )
+
+
+class TestFig7ReconfigCount:
+    def test_partial_reconfigures_more_per_node(self, runs):
+        for nodes in (50, 100):
+            assert (
+                runs[(nodes, True)].avg_reconfig_count_per_node
+                > runs[(nodes, False)].avg_reconfig_count_per_node
+            )
+
+    def test_fewer_nodes_higher_count(self, runs):
+        for partial in (True, False):
+            assert (
+                runs[(50, partial)].avg_reconfig_count_per_node
+                > runs[(100, partial)].avg_reconfig_count_per_node
+            )
+
+
+class TestFig8WaitingTime:
+    def test_partial_waits_less(self, runs):
+        for nodes in (50, 100):
+            assert (
+                runs[(nodes, True)].avg_waiting_time_per_task
+                < runs[(nodes, False)].avg_waiting_time_per_task
+            )
+
+    def test_fewer_nodes_longer_waits(self, runs):
+        for partial in (True, False):
+            assert (
+                runs[(50, partial)].avg_waiting_time_per_task
+                > runs[(100, partial)].avg_waiting_time_per_task
+            )
+
+
+class TestFig9SchedulerEffort:
+    def test_partial_needs_fewer_steps_per_task(self, runs):
+        for nodes in (50, 100):
+            assert (
+                runs[(nodes, True)].avg_scheduling_steps_per_task
+                < runs[(nodes, False)].avg_scheduling_steps_per_task
+            )
+
+    def test_partial_needs_less_total_workload(self, runs):
+        for nodes in (50, 100):
+            assert (
+                runs[(nodes, True)].total_scheduler_workload
+                < runs[(nodes, False)].total_scheduler_workload
+            )
+
+
+class TestFig10ConfigTime:
+    def test_partial_pays_more_config_time_per_task(self, runs):
+        for nodes in (50, 100):
+            assert (
+                runs[(nodes, True)].avg_reconfig_time_per_task
+                > runs[(nodes, False)].avg_reconfig_time_per_task
+            )
+
+
+class TestThroughput:
+    def test_partial_finishes_sooner(self, runs):
+        """Multiple tasks per node => the same workload drains faster."""
+        for nodes in (50, 100):
+            assert (
+                runs[(nodes, True)].total_simulation_time
+                < runs[(nodes, False)].total_simulation_time
+            )
+
+    def test_both_modes_complete_same_workload(self, runs):
+        for nodes in (50, 100):
+            assert (
+                runs[(nodes, True)].total_tasks_generated
+                == runs[(nodes, False)].total_tasks_generated
+            )

@@ -1,0 +1,149 @@
+"""Tests for the analytic queueing module, including theory-vs-simulation."""
+
+import math
+
+import pytest
+
+from repro.analysis.queueing import (
+    effective_servers,
+    erlang_c,
+    gg_c_wait,
+    predict,
+    uniform_scv,
+)
+from repro.framework import DReAMSim
+from repro.model import Configuration, Node, TaskStatus
+from repro.rng import RNG
+from repro.rng.distributions import UniformInt
+from repro.workload import ConfigSpec, NodeSpec, TaskSpec
+from repro.workload.generator import (
+    generate_configs,
+    generate_nodes,
+    generate_task_stream,
+)
+
+
+class TestErlangC:
+    def test_single_server_equals_rho(self):
+        # M/M/1: P(wait) = rho.
+        assert erlang_c(1, 0.5) == pytest.approx(0.5)
+        assert erlang_c(1, 0.9) == pytest.approx(0.9)
+
+    def test_known_value(self):
+        # Classic call-centre example: c=10, a=8 -> P(wait) ~ 0.409.
+        assert erlang_c(10, 8.0) == pytest.approx(0.409, abs=0.005)
+
+    def test_saturation_returns_one(self):
+        assert erlang_c(4, 4.0) == 1.0
+        assert erlang_c(4, 9.0) == 1.0
+
+    def test_light_load_near_zero(self):
+        assert erlang_c(20, 1.0) < 1e-8
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            erlang_c(0, 1.0)
+        with pytest.raises(ValueError):
+            erlang_c(2, -1.0)
+
+
+class TestGGcWait:
+    def test_mm1_matches_closed_form(self):
+        # M/M/1: Wq = rho/(mu - lambda).
+        lam, es = 0.5, 1.0
+        expected = (lam * es) * es / (1 - lam * es)
+        assert gg_c_wait(lam, es, 1) == pytest.approx(expected)
+
+    def test_lower_variability_means_less_waiting(self):
+        smooth = gg_c_wait(0.8, 1.0, 1, ca2=0.2, cs2=0.2)
+        bursty = gg_c_wait(0.8, 1.0, 1, ca2=2.0, cs2=2.0)
+        assert smooth < bursty
+
+    def test_unstable_is_infinite(self):
+        assert gg_c_wait(2.0, 1.0, 1) == math.inf
+
+
+class TestEffectiveServers:
+    def _system(self):
+        nodes = [Node(node_no=i, total_area=3000) for i in range(4)]
+        configs = [Configuration(config_no=0, req_area=1000, config_time=10)]
+        return nodes, configs
+
+    def test_full_mode_one_per_node(self):
+        nodes, configs = self._system()
+        assert effective_servers(nodes, configs, partial=False) == 4
+
+    def test_partial_mode_packs_regions(self):
+        nodes, configs = self._system()
+        assert effective_servers(nodes, configs, partial=True) == 12  # 3 each
+
+    def test_tiny_nodes_excluded(self):
+        nodes = [Node(node_no=0, total_area=500)]
+        configs = [Configuration(config_no=0, req_area=1000, config_time=10)]
+        assert effective_servers(nodes, configs, partial=True) == 0
+
+
+class TestUniformScv:
+    def test_table2_values(self):
+        # U[1,50]: var=200.08, mean=25.5 -> scv ~ 0.308
+        assert uniform_scv(1, 50) == pytest.approx(0.3077, abs=0.001)
+        assert uniform_scv(5, 5) == 0.0
+
+
+class TestTheoryVsSimulation:
+    """The independent cross-check: analytic Wq vs simulated mean wait."""
+
+    def _run(self, partial, interarrival=(60, 140), service=(500, 3000), seed=77):
+        rng = RNG(seed=seed)
+        nodes = generate_nodes(NodeSpec(count=25), rng)
+        configs = generate_configs(ConfigSpec(count=12), rng)
+        stream = generate_task_stream(
+            TaskSpec(
+                count=600,
+                arrival_interval=UniformInt(*interarrival),
+                required_time=UniformInt(*service),
+            ),
+            configs,
+            rng,
+        )
+        result = DReAMSim(nodes, configs, stream, partial=partial).run()
+        pred = predict(
+            nodes,
+            configs,
+            mean_interarrival=sum(interarrival) / 2,
+            mean_service=sum(service) / 2,
+            partial=partial,
+            ca2=uniform_scv(*interarrival),
+            cs2=uniform_scv(*service),
+        )
+        waits = [
+            t.waiting_time - t.config_time_paid - t.comm_time
+            for t in result.tasks
+            if t.status is TaskStatus.COMPLETED
+        ]
+        return pred, sum(waits) / len(waits)
+
+    def test_full_mode_moderate_load_same_magnitude(self):
+        pred, simulated = self._run(partial=False)
+        assert pred.stable
+        assert 0.3 < pred.utilization < 0.95
+        # Approximation + placement frictions: demand same order of magnitude.
+        assert simulated <= max(10.0, pred.mean_wait * 8)
+        assert simulated >= pred.mean_wait / 8
+
+    def test_partial_mode_predicted_far_less_waiting(self):
+        pred_full, sim_full = self._run(partial=False)
+        pred_part, sim_part = self._run(partial=True)
+        # Theory predicts the Fig. 8 ordering from capacity alone.
+        assert pred_part.servers > pred_full.servers
+        assert pred_part.mean_wait < pred_full.mean_wait
+        assert sim_part < sim_full
+
+    def test_saturated_prediction_flags_instability(self):
+        nodes = [Node(node_no=0, total_area=2000)]
+        configs = [Configuration(config_no=0, req_area=1000, config_time=10)]
+        pred = predict(
+            nodes, configs, mean_interarrival=10, mean_service=1000, partial=False
+        )
+        assert not pred.stable
+        assert pred.mean_wait == math.inf

@@ -1,0 +1,90 @@
+"""Tests for multi-seed replication and statistically backed comparisons."""
+
+import pytest
+
+from repro.analysis.paperconfig import Scenario
+from repro.analysis.replicate import (
+    MetricSummary,
+    compare_modes,
+    replicate,
+    t_critical_95,
+)
+
+SEEDS = [11, 22, 33, 44]
+
+
+@pytest.fixture(scope="module")
+def small_rep():
+    sc = Scenario(nodes=10, tasks=80, partial=True, configs=6)
+    return replicate(sc, SEEDS)
+
+
+class TestTTable:
+    def test_known_values(self):
+        assert t_critical_95(1) == pytest.approx(12.706)
+        assert t_critical_95(10) == pytest.approx(2.228)
+
+    def test_interpolates_down_to_nearest(self):
+        assert t_critical_95(17) == t_critical_95(15)
+
+    def test_large_dof_near_normal(self):
+        assert t_critical_95(500) == pytest.approx(2.042)
+
+    def test_zero_dof_infinite(self):
+        assert t_critical_95(0) == float("inf")
+
+
+class TestReplicate:
+    def test_one_report_per_seed(self, small_rep):
+        assert len(small_rep.reports) == len(SEEDS)
+        assert small_rep.seeds == SEEDS
+
+    def test_summaries_cover_metrics(self, small_rep):
+        s = small_rep.summary("avg_waiting_time_per_task")
+        assert s.n == len(SEEDS)
+        assert s.ci_low <= s.mean <= s.ci_high
+
+    def test_seeds_actually_vary(self, small_rep):
+        waits = [r.avg_waiting_time_per_task for r in small_rep.reports]
+        assert len(set(waits)) > 1
+
+    def test_unknown_metric_rejected(self, small_rep):
+        with pytest.raises(KeyError):
+            small_rep.summary("nope")
+
+    def test_empty_seeds_rejected(self):
+        with pytest.raises(ValueError):
+            replicate(Scenario(nodes=5, tasks=10, partial=True), [])
+
+    def test_ci_zero_for_single_seed(self):
+        rep = replicate(Scenario(nodes=5, tasks=20, partial=True, configs=4), [7])
+        assert rep.summary("avg_waiting_time_per_task").ci95_half_width == 0.0
+
+
+class TestMetricSummary:
+    def test_overlap_detection(self):
+        a = MetricSummary("m", 3, mean=10.0, stddev=1.0, ci95_half_width=2.0)
+        b = MetricSummary("m", 3, mean=13.0, stddev=1.0, ci95_half_width=2.0)
+        c = MetricSummary("m", 3, mean=20.0, stddev=1.0, ci95_half_width=2.0)
+        assert a.overlaps(b)
+        assert not a.overlaps(c)
+
+
+class TestCompareModes:
+    @pytest.fixture(scope="class")
+    def cmp(self):
+        return compare_modes(nodes=12, tasks=100, seeds=[1, 2, 3])
+
+    def test_waiting_time_partial_wins_every_seed(self, cmp):
+        wait = cmp["avg_waiting_time_per_task"]
+        assert wait.partial_win_rate == 1.0
+        assert wait.partial_wins(lower_is_better=True)
+
+    def test_reconfig_count_full_wins(self, cmp):
+        rc = cmp["avg_reconfig_count_per_node"]
+        assert rc.partial_wins(lower_is_better=False)
+
+    def test_structure(self, cmp):
+        for comparison in cmp.values():
+            assert comparison.partial.n == 3
+            assert 0.0 <= comparison.partial_win_rate <= 1.0

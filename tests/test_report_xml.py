@@ -1,0 +1,74 @@
+"""Tests for the XML output subsystem (generation + parse-back)."""
+
+import xml.etree.ElementTree as ET
+
+import pytest
+
+from repro import quick_simulation
+from repro.framework import parse_report_xml, report_to_xml, write_report_xml
+
+
+@pytest.fixture(scope="module")
+def result():
+    return quick_simulation(nodes=10, configs=5, tasks=80, seed=3)
+
+
+class TestGeneration:
+    def test_well_formed_xml(self, result):
+        text = report_to_xml(result.report, params={"nodes": 10})
+        root = ET.fromstring(text)
+        assert root.tag == "dreamsim-report"
+        assert root.get("version") == "1"
+
+    def test_contains_all_table1_metrics(self, result):
+        text = report_to_xml(result.report)
+        root = ET.fromstring(text)
+        names = {m.get("name") for m in root.findall("./metrics/metric")}
+        for required in (
+            "avg_wasted_area_per_task",
+            "avg_running_time_per_task",
+            "avg_reconfig_count_per_node",
+            "avg_reconfig_time_per_task",
+            "avg_waiting_time_per_task",
+            "avg_scheduling_steps_per_task",
+            "total_discarded_tasks",
+            "total_scheduler_workload",
+            "total_used_nodes",
+            "total_simulation_time",
+        ):
+            assert required in names, f"missing Table I metric {required}"
+
+    def test_placements_section(self, result):
+        root = ET.fromstring(report_to_xml(result.report))
+        kinds = {p.get("kind") for p in root.findall("./placements/placement")}
+        assert "configuration" in kinds or "allocation" in kinds
+
+    def test_params_serialised(self, result):
+        root = ET.fromstring(report_to_xml(result.report, params={"seed": 3, "partial": True}))
+        params = {p.get("name"): p.get("value") for p in root.findall("./parameters/param")}
+        assert params == {"seed": "3", "partial": "True"}
+
+
+class TestRoundTrip:
+    def test_file_roundtrip(self, result, tmp_path):
+        path = tmp_path / "report.xml"
+        write_report_xml(result.report, path, params={"nodes": 10, "rate": 0.5})
+        parsed = parse_report_xml(path)
+        assert parsed["params"]["nodes"] == 10
+        assert parsed["params"]["rate"] == 0.5
+        assert parsed["metrics"]["total_tasks_generated"] == 80
+        assert parsed["metrics"]["avg_waiting_time_per_task"] == pytest.approx(
+            result.report.avg_waiting_time_per_task
+        )
+        assert sum(parsed["placements"].values()) == result.report.total_completed_tasks
+
+    def test_string_roundtrip(self, result):
+        text = report_to_xml(result.report)
+        parsed = parse_report_xml(text)
+        assert parsed["metrics"]["total_completed_tasks"] == (
+            result.report.total_completed_tasks
+        )
+
+    def test_non_report_rejected(self):
+        with pytest.raises(ValueError):
+            parse_report_xml("<other/>")

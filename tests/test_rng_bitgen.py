@@ -1,0 +1,91 @@
+"""Unit tests for the KISS bit generator."""
+
+import pytest
+
+from repro.rng.bitgen import KissGenerator
+
+
+class TestKiss:
+    def test_deterministic_for_seed(self):
+        a = [KissGenerator(42).next_uint32() for _ in range(100)]
+        b = [KissGenerator(42).next_uint32() for _ in range(100)]
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        a = [KissGenerator(1).next_uint32() for _ in range(10)]
+        b = [KissGenerator(2).next_uint32() for _ in range(10)]
+        assert a != b
+
+    def test_output_in_32bit_range(self):
+        g = KissGenerator(7)
+        for _ in range(1000):
+            v = g.next_uint32()
+            assert 0 <= v < 2**32
+
+    def test_signed_view_matches_unsigned(self):
+        g1, g2 = KissGenerator(7), KissGenerator(7)
+        for _ in range(200):
+            u = g1.next_uint32()
+            s = g2.next_int32()
+            assert s == (u - 2**32 if u >= 2**31 else u)
+
+    def test_double_in_unit_interval(self):
+        g = KissGenerator(3)
+        vals = [g.next_double() for _ in range(5000)]
+        assert all(0.0 <= v < 1.0 for v in vals)
+        # Should fill the interval reasonably.
+        assert min(vals) < 0.01 and max(vals) > 0.99
+
+    def test_uni_never_zero_or_one(self):
+        g = KissGenerator(5)
+        for _ in range(5000):
+            v = g.next_uni()
+            assert 0.0 < v < 1.0
+
+    def test_uniformity_chi_square(self):
+        # 16 equal bins over the top 4 bits; chi-square critical value for
+        # 15 dof at alpha=0.001 is 37.7.
+        g = KissGenerator(123)
+        n = 32000
+        bins = [0] * 16
+        for _ in range(n):
+            bins[g.next_uint32() >> 28] += 1
+        expected = n / 16
+        chi2 = sum((b - expected) ** 2 / expected for b in bins)
+        assert chi2 < 37.7, f"chi2={chi2:.1f}"
+
+    def test_bit_balance(self):
+        # Each of the 32 bits should be set ~50% of the time.
+        g = KissGenerator(77)
+        n = 20000
+        counts = [0] * 32
+        for _ in range(n):
+            v = g.next_uint32()
+            for bit in range(32):
+                if v >> bit & 1:
+                    counts[bit] += 1
+        for bit, c in enumerate(counts):
+            assert abs(c / n - 0.5) < 0.02, f"bit {bit} biased: {c / n:.3f}"
+
+    def test_state_roundtrip(self):
+        g = KissGenerator(9)
+        for _ in range(10):
+            g.next_uint32()
+        state = g.getstate()
+        expected = [g.next_uint32() for _ in range(20)]
+        g2 = KissGenerator(0)
+        g2.setstate(state)
+        assert [g2.next_uint32() for _ in range(20)] == expected
+
+    def test_setstate_validates(self):
+        g = KissGenerator(1)
+        with pytest.raises(ValueError):
+            g.setstate((0, 0, 1, 1))  # SHR3 state must be non-zero
+        with pytest.raises(ValueError):
+            g.setstate((2**33, 1, 1, 1))
+
+    def test_no_short_cycles(self):
+        g = KissGenerator(11)
+        first = g.next_uint32()
+        seen_again = sum(1 for _ in range(10000) if g.next_uint32() == first)
+        assert seen_again <= 2  # a short cycle would repeat constantly

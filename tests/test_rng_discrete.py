@@ -1,0 +1,194 @@
+"""Statistical tests for the exact Poisson/binomial/multinomial samplers."""
+
+import math
+
+import pytest
+from scipy import stats
+
+from repro.rng import RNG
+
+
+@pytest.fixture
+def rng():
+    return RNG(seed=20240701)
+
+
+class TestBinomial:
+    @pytest.mark.parametrize("n,p", [(10, 0.5), (50, 0.1), (500, 0.3), (5000, 0.02), (200, 0.9)])
+    def test_chi_square_fit(self, rng, n, p):
+        draws = [rng.binomial(p, n) for _ in range(4000)]
+        # Aggregate into bins with expected count >= 5 around the mode.
+        observed = {}
+        for d in draws:
+            observed[d] = observed.get(d, 0) + 1
+        ks = sorted(observed)
+        exp = {k: stats.binom.pmf(k, n, p) * len(draws) for k in ks}
+        # Merge sparse bins.
+        chi2, dof = 0.0, 0
+        o_acc = e_acc = 0.0
+        for k in ks:
+            o_acc += observed[k]
+            e_acc += exp[k]
+            if e_acc >= 5:
+                chi2 += (o_acc - e_acc) ** 2 / e_acc
+                dof += 1
+                o_acc = e_acc = 0.0
+        if dof > 1:
+            p_val = stats.chi2.sf(chi2, dof - 1)
+            assert p_val > 1e-4, f"n={n} p={p}: chi2={chi2:.1f} dof={dof} p={p_val}"
+
+    def test_mean_large_n(self, rng):
+        n, p = 10000, 0.37
+        draws = [rng.binomial(p, n) for _ in range(500)]
+        mean = sum(draws) / len(draws)
+        sigma = math.sqrt(n * p * (1 - p) / len(draws))
+        assert abs(mean - n * p) < 5 * sigma
+
+    def test_edge_cases(self, rng):
+        assert rng.binomial(0.0, 100) == 0
+        assert rng.binomial(1.0, 100) == 100
+        assert rng.binomial(0.5, 0) == 0
+
+    def test_bounds_respected(self, rng):
+        for _ in range(500):
+            v = rng.binomial(0.5, 37)
+            assert 0 <= v <= 37
+
+    def test_invalid_args_rejected(self, rng):
+        with pytest.raises(ValueError):
+            rng.binomial(1.5, 10)
+        with pytest.raises(ValueError):
+            rng.binomial(0.5, -1)
+
+
+class TestPoisson:
+    @pytest.mark.parametrize("lam", [0.5, 4.0, 25.0, 100.0, 1000.0])
+    def test_mean_and_variance(self, rng, lam):
+        n = 4000
+        draws = [rng.poisson(lam) for _ in range(n)]
+        mean = sum(draws) / n
+        var = sum((x - mean) ** 2 for x in draws) / (n - 1)
+        se = math.sqrt(lam / n)
+        assert abs(mean - lam) < 5 * se, f"lam={lam}: mean={mean}"
+        assert var == pytest.approx(lam, rel=0.15), f"lam={lam}: var={var}"
+
+    @pytest.mark.parametrize("lam", [3.0, 40.0])
+    def test_chi_square_fit(self, rng, lam):
+        draws = [rng.poisson(lam) for _ in range(4000)]
+        observed = {}
+        for d in draws:
+            observed[d] = observed.get(d, 0) + 1
+        chi2, dof = 0.0, 0
+        o_acc = e_acc = 0.0
+        for k in sorted(observed):
+            o_acc += observed[k]
+            e_acc += stats.poisson.pmf(k, lam) * len(draws)
+            if e_acc >= 5:
+                chi2 += (o_acc - e_acc) ** 2 / e_acc
+                dof += 1
+                o_acc = e_acc = 0.0
+        p_val = stats.chi2.sf(chi2, dof - 1)
+        assert p_val > 1e-4, f"lam={lam}: chi2={chi2:.1f} dof={dof} p={p_val}"
+
+    def test_zero_lambda(self, rng):
+        assert rng.poisson(0.0) == 0
+
+    def test_negative_lambda_rejected(self, rng):
+        with pytest.raises(ValueError):
+            rng.poisson(-1.0)
+
+    def test_nonnegative(self, rng):
+        assert all(rng.poisson(7.7) >= 0 for _ in range(1000))
+
+
+class TestMultinomial:
+    def test_counts_sum_to_n(self, rng):
+        for _ in range(100):
+            counts = rng.multinom(1000, [1, 2, 3, 4])
+            assert sum(counts) == 1000
+            assert all(c >= 0 for c in counts)
+
+    def test_expected_proportions(self, rng):
+        totals = [0, 0, 0]
+        reps = 300
+        for _ in range(reps):
+            c = rng.multinom(900, [1, 2, 6])
+            for i in range(3):
+                totals[i] += c[i]
+        grand = 900 * reps
+        assert totals[0] / grand == pytest.approx(1 / 9, abs=0.01)
+        assert totals[1] / grand == pytest.approx(2 / 9, abs=0.01)
+        assert totals[2] / grand == pytest.approx(6 / 9, abs=0.015)
+
+    def test_zero_weight_category_gets_nothing(self, rng):
+        for _ in range(50):
+            counts = rng.multinom(100, [1.0, 0.0, 1.0])
+            assert counts[1] == 0
+
+    def test_single_category(self, rng):
+        assert rng.multinom(42, [3.0]) == [42]
+
+    def test_zero_trials(self, rng):
+        assert rng.multinom(0, [1, 1]) == [0, 0]
+
+    def test_invalid_weights_rejected(self, rng):
+        with pytest.raises(ValueError):
+            rng.multinom(10, [])
+        with pytest.raises(ValueError):
+            rng.multinom(10, [-1, 2])
+        with pytest.raises(ValueError):
+            rng.multinom(10, [0.0, 0.0])
+
+
+class TestRngFacade:
+    def test_randint_inclusive_and_uniform(self, rng):
+        draws = [rng.randint(1, 6) for _ in range(12000)]
+        assert min(draws) == 1 and max(draws) == 6
+        counts = [draws.count(v) for v in range(1, 7)]
+        expected = len(draws) / 6
+        chi2 = sum((c - expected) ** 2 / expected for c in counts)
+        assert chi2 < 20.5  # 5 dof, alpha=0.001
+
+    def test_randint_single_value(self, rng):
+        assert rng.randint(5, 5) == 5
+
+    def test_randint_invalid(self, rng):
+        with pytest.raises(ValueError):
+            rng.randint(5, 4)
+
+    def test_uniform_range(self, rng):
+        for _ in range(1000):
+            assert 2.0 <= rng.uniform(2.0, 3.5) < 3.5
+
+    def test_shuffle_is_permutation(self, rng):
+        xs = list(range(50))
+        shuffled = xs.copy()
+        rng.shuffle(shuffled)
+        assert sorted(shuffled) == xs
+        assert shuffled != xs  # astronomically unlikely to be identity
+
+    def test_choice_empty_rejected(self, rng):
+        with pytest.raises(ValueError):
+            rng.choice([])
+
+    def test_spawn_streams_independent(self):
+        root = RNG(seed=555)
+        s1 = root.spawn(1)
+        s2 = root.spawn(2)
+        s1_again = RNG(seed=555).spawn(1)
+        a = [s1.rand_int32() for _ in range(10)]
+        b = [s2.rand_int32() for _ in range(10)]
+        c = [s1_again.rand_int32() for _ in range(10)]
+        assert a != b  # different streams
+        assert a == c  # reproducible
+
+    def test_exponential_mean(self, rng):
+        draws = [rng.exponential(rate=2.0) for _ in range(20000)]
+        assert sum(draws) / len(draws) == pytest.approx(0.5, rel=0.05)
+
+    def test_normal_params(self, rng):
+        draws = [rng.normal(10.0, 3.0) for _ in range(20000)]
+        mean = sum(draws) / len(draws)
+        var = sum((x - mean) ** 2 for x in draws) / (len(draws) - 1)
+        assert mean == pytest.approx(10.0, abs=0.1)
+        assert math.sqrt(var) == pytest.approx(3.0, rel=0.05)

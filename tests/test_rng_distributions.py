@@ -1,0 +1,122 @@
+"""Unit tests for the declarative distribution objects."""
+
+import pytest
+
+from repro.rng import RNG
+from repro.rng.distributions import (
+    Bernoulli,
+    Choice,
+    Constant,
+    Exponential,
+    GammaDist,
+    NormalDist,
+    PoissonDist,
+    Uniform,
+    UniformInt,
+    distribution_from_spec,
+)
+
+
+@pytest.fixture
+def rng():
+    return RNG(seed=1)
+
+
+class TestBasicDistributions:
+    def test_constant(self, rng):
+        d = Constant(7.5)
+        assert d.sample(rng) == 7.5
+        assert d.mean() == 7.5
+        assert d.sample_int(rng) == 8  # rounds
+
+    def test_uniform_bounds_and_mean(self, rng):
+        d = Uniform(10, 20)
+        vals = [d.sample(rng) for _ in range(5000)]
+        assert all(10 <= v < 20 for v in vals)
+        assert sum(vals) / len(vals) == pytest.approx(d.mean(), rel=0.02)
+
+    def test_uniform_invalid(self):
+        with pytest.raises(ValueError):
+            Uniform(5, 1)
+
+    def test_uniform_int_inclusive(self, rng):
+        d = UniformInt(1, 50)
+        vals = [d.sample_int(rng) for _ in range(5000)]
+        assert min(vals) == 1 and max(vals) == 50
+        assert d.mean() == 25.5
+
+    def test_exponential_mean(self, rng):
+        d = Exponential(mean_value=40.0)
+        vals = [d.sample(rng) for _ in range(20000)]
+        assert sum(vals) / len(vals) == pytest.approx(40.0, rel=0.05)
+
+    def test_normal_clamps_to_zero_for_int(self, rng):
+        d = NormalDist(mu=-100, sigma=1)
+        assert d.sample_int(rng) == 0
+
+    def test_gamma_mean(self, rng):
+        d = GammaDist(shape=4.0, scale=2.5)
+        vals = [d.sample(rng) for _ in range(20000)]
+        assert sum(vals) / len(vals) == pytest.approx(10.0, rel=0.05)
+
+    def test_poisson_mean(self, rng):
+        d = PoissonDist(lam=12.0)
+        vals = [d.sample_int(rng) for _ in range(5000)]
+        assert sum(vals) / len(vals) == pytest.approx(12.0, rel=0.05)
+
+    def test_bernoulli_rate(self, rng):
+        d = Bernoulli(p=0.15)
+        hits = sum(d.sample(rng) for _ in range(20000))
+        assert hits / 20000 == pytest.approx(0.15, abs=0.01)
+
+    def test_bernoulli_invalid(self):
+        with pytest.raises(ValueError):
+            Bernoulli(p=1.5)
+
+
+class TestChoice:
+    def test_uniform_choice(self, rng):
+        d = Choice([1, 2, 3])
+        vals = [d.sample(rng) for _ in range(9000)]
+        for v in (1, 2, 3):
+            assert vals.count(v) == pytest.approx(3000, rel=0.1)
+        assert d.mean() == 2.0
+
+    def test_weighted_choice(self, rng):
+        d = Choice([0, 1], weights=[1, 3])
+        vals = [d.sample(rng) for _ in range(20000)]
+        assert sum(vals) / len(vals) == pytest.approx(0.75, abs=0.01)
+        assert d.mean() == pytest.approx(0.75)
+
+    def test_invalid_weights(self):
+        with pytest.raises(ValueError):
+            Choice([1, 2], weights=[1])
+        with pytest.raises(ValueError):
+            Choice([1, 2], weights=[-1, 1])
+        with pytest.raises(ValueError):
+            Choice([])
+
+
+class TestSpecParsing:
+    def test_uniform_int_spec(self):
+        d = distribution_from_spec({"kind": "uniform_int", "low": 1, "high": 50})
+        assert d == UniformInt(1, 50)
+
+    def test_all_kinds_parse(self):
+        specs = [
+            {"kind": "constant", "value": 3},
+            {"kind": "uniform", "low": 0, "high": 1},
+            {"kind": "uniform_int", "low": 0, "high": 9},
+            {"kind": "exponential", "mean": 25},
+            {"kind": "normal", "mu": 0, "sigma": 1},
+            {"kind": "gamma", "shape": 2, "scale": 3},
+            {"kind": "poisson", "lam": 4},
+            {"kind": "bernoulli", "p": 0.5},
+        ]
+        for spec in specs:
+            d = distribution_from_spec(spec)
+            assert hasattr(d, "sample")
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown distribution"):
+            distribution_from_spec({"kind": "zipf"})

@@ -1,0 +1,65 @@
+"""Statistical tests for the Marsaglia–Tsang gamma (and derived beta)."""
+
+import pytest
+from scipy import stats
+
+from repro.rng.bitgen import KissGenerator
+from repro.rng.gamma import beta_variate, gamma_variate
+
+
+class TestGammaVariate:
+    @pytest.mark.parametrize("shape", [0.5, 1.0, 2.5, 9.0, 50.0])
+    def test_ks_against_scipy_gamma(self, shape):
+        bits = KissGenerator(int(shape * 1000) + 17)
+        sample = [gamma_variate(bits, shape) for _ in range(15000)]
+        _, p = stats.kstest(sample, "gamma", args=(shape,))
+        assert p > 1e-4, f"shape={shape}, KS p={p}"
+
+    @pytest.mark.parametrize("shape", [0.3, 1.0, 4.0, 20.0])
+    def test_moments(self, shape):
+        bits = KissGenerator(1234)
+        n = 30000
+        sample = [gamma_variate(bits, shape) for _ in range(n)]
+        mean = sum(sample) / n
+        var = sum((x - mean) ** 2 for x in sample) / (n - 1)
+        assert mean == pytest.approx(shape, rel=0.05)
+        assert var == pytest.approx(shape, rel=0.12)
+
+    def test_all_positive(self):
+        bits = KissGenerator(5)
+        assert all(gamma_variate(bits, 0.7) > 0 for _ in range(2000))
+
+    def test_invalid_shape_rejected(self):
+        bits = KissGenerator(1)
+        with pytest.raises(ValueError):
+            gamma_variate(bits, 0.0)
+        with pytest.raises(ValueError):
+            gamma_variate(bits, -2.0)
+
+    def test_small_shape_boost_path(self):
+        # shape < 1 goes through the U^(1/a) boost; distribution must still
+        # be correct.
+        bits = KissGenerator(4242)
+        sample = [gamma_variate(bits, 0.25) for _ in range(15000)]
+        _, p = stats.kstest(sample, "gamma", args=(0.25,))
+        assert p > 1e-4
+
+
+class TestBetaVariate:
+    @pytest.mark.parametrize("a,b", [(1.0, 1.0), (2.0, 5.0), (0.5, 0.5), (10.0, 3.0)])
+    def test_ks_against_scipy_beta(self, a, b):
+        bits = KissGenerator(int(a * 100 + b) + 3)
+        sample = [beta_variate(bits, a, b) for _ in range(15000)]
+        _, p = stats.kstest(sample, "beta", args=(a, b))
+        assert p > 1e-4, f"a={a}, b={b}, KS p={p}"
+
+    def test_in_unit_interval(self):
+        bits = KissGenerator(8)
+        assert all(0.0 <= beta_variate(bits, 2, 3) <= 1.0 for _ in range(2000))
+
+    def test_invalid_params_rejected(self):
+        bits = KissGenerator(1)
+        with pytest.raises(ValueError):
+            beta_variate(bits, 0, 1)
+        with pytest.raises(ValueError):
+            beta_variate(bits, 1, -1)

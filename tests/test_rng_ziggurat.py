@@ -1,0 +1,115 @@
+"""Statistical and structural tests for the ziggurat normal/exponential."""
+
+import math
+
+import pytest
+from scipy import stats
+
+from repro.rng.bitgen import KissGenerator
+from repro.rng.ziggurat import (
+    ZigguratTables,
+    exponential_variate,
+    normal_variate,
+)
+
+
+@pytest.fixture(scope="module")
+def tables():
+    return ZigguratTables.build()
+
+
+class TestTableConstruction:
+    def test_table_sizes(self, tables):
+        assert len(tables.kn) == len(tables.wn) == len(tables.fn) == 128
+        assert len(tables.ke) == len(tables.we) == len(tables.fe) == 256
+
+    def test_normal_density_values_monotone(self, tables):
+        # fn holds exp(-x²/2) at increasing layer edges: decreasing in i.
+        for i in range(1, 128):
+            assert tables.fn[i] <= tables.fn[i - 1] + 1e-12
+
+    def test_normal_density_endpoints(self, tables):
+        assert tables.fn[0] == pytest.approx(1.0)
+        assert tables.fn[127] == pytest.approx(math.exp(-0.5 * 3.442619855899**2))
+
+    def test_exponential_density_endpoints(self, tables):
+        assert tables.fe[0] == pytest.approx(1.0)
+        assert tables.fe[255] == pytest.approx(math.exp(-7.69711747013104972))
+
+    def test_layer_widths_positive(self, tables):
+        assert all(w > 0 for w in tables.wn)
+        assert all(w > 0 for w in tables.we)
+
+    def test_thresholds_nonnegative_ints(self, tables):
+        assert all(isinstance(k, int) and k >= 0 for k in tables.kn)
+        assert all(isinstance(k, int) and k >= 0 for k in tables.ke)
+
+    def test_fast_path_fraction_high(self, tables):
+        # The rectangular fast path should cover the vast majority of draws.
+        bits = KissGenerator(2024)
+        fast = 0
+        n = 20000
+        for _ in range(n):
+            hz = bits.next_int32()
+            iz = hz & 127
+            if abs(hz) < tables.kn[iz]:
+                fast += 1
+        assert fast / n > 0.95
+
+
+class TestNormalVariate:
+    @pytest.fixture(scope="class")
+    def sample(self):
+        bits = KissGenerator(31337)
+        return [normal_variate(bits) for _ in range(40000)]
+
+    def test_ks_against_standard_normal(self, sample):
+        _, p = stats.kstest(sample, "norm")
+        assert p > 1e-4, f"KS p-value {p}"
+
+    def test_moments(self, sample):
+        n = len(sample)
+        mean = sum(sample) / n
+        var = sum((x - mean) ** 2 for x in sample) / (n - 1)
+        assert abs(mean) < 0.02
+        assert abs(var - 1.0) < 0.03
+
+    def test_symmetry(self, sample):
+        pos = sum(1 for x in sample if x > 0)
+        assert abs(pos / len(sample) - 0.5) < 0.01
+
+    def test_tail_reached(self, sample):
+        # Beyond the r=3.44 tail boundary some samples must appear
+        # (P(|X|>3.44) ≈ 5.8e-4 → expect ~23 in 40k).
+        tail = sum(1 for x in sample if abs(x) > 3.442619855899)
+        assert tail >= 3
+
+    def test_deterministic(self):
+        a = [normal_variate(KissGenerator(5)) for _ in range(1)]
+        b = [normal_variate(KissGenerator(5)) for _ in range(1)]
+        assert a == b
+
+
+class TestExponentialVariate:
+    @pytest.fixture(scope="class")
+    def sample(self):
+        bits = KissGenerator(99991)
+        return [exponential_variate(bits) for _ in range(40000)]
+
+    def test_all_positive(self, sample):
+        assert all(x >= 0 for x in sample)
+
+    def test_ks_against_expon(self, sample):
+        _, p = stats.kstest(sample, "expon")
+        assert p > 1e-4, f"KS p-value {p}"
+
+    def test_mean_and_variance(self, sample):
+        n = len(sample)
+        mean = sum(sample) / n
+        var = sum((x - mean) ** 2 for x in sample) / (n - 1)
+        assert abs(mean - 1.0) < 0.03
+        assert abs(var - 1.0) < 0.08
+
+    def test_tail_reached(self, sample):
+        # P(X > 7.7) ≈ 4.5e-4 → expect ~18 in 40k draws.
+        assert sum(1 for x in sample if x > 7.69711747013104972) >= 2

@@ -1,0 +1,129 @@
+"""Unit tests for the Environment event loop (repro.sim.environment)."""
+
+import pytest
+
+from repro.sim import Environment, SimulationError
+from repro.sim.trace import Tracer
+
+
+@pytest.fixture
+def env():
+    return Environment()
+
+
+class TestClock:
+    def test_initial_time(self):
+        assert Environment().now == 0
+        assert Environment(initial_time=100).now == 100
+
+    def test_peek_empty_is_inf(self, env):
+        assert env.peek() == float("inf")
+
+    def test_peek_returns_next_event_time(self, env):
+        env.timeout(7)
+        env.timeout(3)
+        assert env.peek() == 3
+
+    def test_clock_jumps_to_event_times(self, env):
+        times = []
+        for d in (2, 9):
+            t = env.timeout(d)
+            t.callbacks.append(lambda e: times.append(env.now))
+        env.run()
+        assert times == [2, 9]
+
+
+class TestRun:
+    def test_run_until_time_sets_clock(self, env):
+        env.timeout(100)
+        env.run(until=50)
+        assert env.now == 50
+        assert env.peek() == 100  # event still queued
+
+    def test_run_until_past_raises(self, env):
+        env.timeout(5)
+        env.run()
+        with pytest.raises(ValueError):
+            env.run(until=1)
+
+    def test_run_until_event_returns_its_value(self, env):
+        t = env.timeout(4, value="payload")
+        assert env.run(until=t) == "payload"
+        assert env.now == 4
+
+    def test_run_until_unreachable_event_raises(self, env):
+        ev = env.event()  # never triggered
+        env.timeout(1)
+        with pytest.raises(SimulationError):
+            env.run(until=ev)
+
+    def test_step_on_empty_queue_raises(self, env):
+        with pytest.raises(SimulationError):
+            env.step()
+
+    def test_events_processed_counter(self, env):
+        for d in range(5):
+            env.timeout(d)
+        env.run()
+        assert env.events_processed == 5
+
+    def test_run_all_respects_limit(self, env):
+        def chain():
+            # self-perpetuating event chain
+            ev = env.timeout(1)
+            ev.callbacks.append(lambda e: chain())
+
+        chain()
+        with pytest.raises(SimulationError):
+            env.run_all(limit=10)
+
+
+class TestCallAt:
+    def test_call_at_executes_at_time(self, env):
+        seen = []
+        env.call_at(12, lambda: seen.append(env.now))
+        env.run()
+        assert seen == [12]
+
+    def test_call_at_past_raises(self, env):
+        env.timeout(5)
+        env.run()
+        with pytest.raises(ValueError):
+            env.call_at(2, lambda: None)
+
+    def test_call_at_now_is_allowed(self, env):
+        seen = []
+        env.call_at(0, lambda: seen.append(True))
+        env.run()
+        assert seen == [True]
+
+
+class TestDeterminism:
+    def _run_program(self):
+        env = Environment(tracer=Tracer())
+        import random
+
+        rnd = random.Random(99)
+        for _ in range(200):
+            env.timeout(rnd.randint(0, 50))
+        env.run()
+        return env.tracer.fire_times()
+
+    def test_identical_programs_replay_identically(self):
+        assert self._run_program() == self._run_program()
+
+    def test_fire_times_nondecreasing(self):
+        times = self._run_program()
+        assert times == sorted(times)
+
+
+class TestExit:
+    def test_exit_stops_run_with_value(self, env):
+        def proc(env):
+            yield env.timeout(3)
+            env.exit("early")
+            yield env.timeout(100)  # pragma: no cover - never reached
+
+        env.process(proc(env))
+        assert env.run() == "early"
+        assert env.now == 3

@@ -1,0 +1,185 @@
+"""Unit tests for generator-based processes and interrupts."""
+
+import pytest
+
+from repro.sim import Environment, Interrupt, SimulationError
+
+
+@pytest.fixture
+def env():
+    return Environment()
+
+
+class TestProcessBasics:
+    def test_process_runs_and_advances_time(self, env):
+        trace = []
+
+        def worker(env):
+            trace.append(env.now)
+            yield env.timeout(5)
+            trace.append(env.now)
+            yield env.timeout(2)
+            trace.append(env.now)
+
+        env.process(worker(env))
+        env.run()
+        assert trace == [0, 5, 7]
+
+    def test_process_return_value(self, env):
+        def worker(env):
+            yield env.timeout(1)
+            return "result"
+
+        p = env.process(worker(env))
+        assert env.run(until=p) == "result"
+
+    def test_waiting_on_another_process(self, env):
+        def child(env):
+            yield env.timeout(4)
+            return 99
+
+        def parent(env):
+            value = yield env.process(child(env))
+            return value + 1
+
+        p = env.process(parent(env))
+        assert env.run(until=p) == 100
+        assert env.now == 4
+
+    def test_non_generator_rejected(self, env):
+        with pytest.raises(TypeError):
+            env.process(lambda: None)
+
+    def test_yielding_non_event_fails_process(self, env):
+        def bad(env):
+            yield 42
+
+        p = env.process(bad(env))
+        with pytest.raises(SimulationError):
+            env.run(until=p)
+
+    def test_crash_in_process_propagates(self, env):
+        def crasher(env):
+            yield env.timeout(1)
+            raise RuntimeError("kaput")
+
+        p = env.process(crasher(env))
+        with pytest.raises(RuntimeError, match="kaput"):
+            env.run(until=p)
+
+    def test_process_is_alive_until_done(self, env):
+        def worker(env):
+            yield env.timeout(10)
+
+        p = env.process(worker(env))
+        env.run(until=5)
+        assert p.is_alive
+        env.run()
+        assert not p.is_alive
+
+    def test_two_processes_interleave(self, env):
+        log = []
+
+        def worker(env, name, step):
+            for _ in range(3):
+                yield env.timeout(step)
+                log.append((env.now, name))
+
+        env.process(worker(env, "a", 2))
+        env.process(worker(env, "b", 3))
+        env.run()
+        # At t=6 both fire; "b" scheduled its timeout earlier (t=3 vs t=4),
+        # so insertion-order tie-breaking fires it first.
+        assert log == [(2, "a"), (3, "b"), (4, "a"), (6, "b"), (6, "a"), (9, "b")]
+
+
+class TestInterrupts:
+    def test_interrupt_delivers_cause(self, env):
+        caught = []
+
+        def victim(env):
+            try:
+                yield env.timeout(100)
+            except Interrupt as i:
+                caught.append((env.now, i.cause))
+
+        def attacker(env, victim_proc):
+            yield env.timeout(3)
+            victim_proc.interrupt("preempted")
+
+        v = env.process(victim(env))
+        env.process(attacker(env, v))
+        env.run()
+        assert caught == [(3, "preempted")]
+
+    def test_interrupted_process_can_continue(self, env):
+        def victim(env):
+            try:
+                yield env.timeout(100)
+            except Interrupt:
+                pass
+            yield env.timeout(5)
+            return env.now
+
+        def attacker(env, v):
+            yield env.timeout(2)
+            v.interrupt()
+
+        v = env.process(victim(env))
+        env.process(attacker(env, v))
+        assert env.run(until=v) == 7
+
+    def test_interrupting_dead_process_raises(self, env):
+        def quick(env):
+            yield env.timeout(1)
+
+        p = env.process(quick(env))
+        env.run()
+        with pytest.raises(SimulationError):
+            p.interrupt()
+
+    def test_self_interrupt_rejected(self, env):
+        def selfish(env, ref):
+            yield env.timeout(0)
+            ref[0].interrupt()
+
+        ref = [None]
+        p = env.process(selfish(env, ref))
+        ref[0] = p
+        with pytest.raises(SimulationError):
+            env.run(until=p)
+
+    def test_unhandled_interrupt_kills_process(self, env):
+        def victim(env):
+            yield env.timeout(100)
+
+        def attacker(env, v):
+            yield env.timeout(1)
+            v.interrupt("die")
+
+        v = env.process(victim(env))
+        env.process(attacker(env, v))
+        with pytest.raises(Interrupt):
+            env.run(until=v)
+
+    def test_original_target_does_not_double_resume(self, env):
+        resumes = []
+
+        def victim(env):
+            try:
+                yield env.timeout(10)
+            except Interrupt:
+                resumes.append(("interrupt", env.now))
+            yield env.timeout(50)
+            resumes.append(("done", env.now))
+
+        def attacker(env, v):
+            yield env.timeout(4)
+            v.interrupt()
+
+        v = env.process(victim(env))
+        env.process(attacker(env, v))
+        env.run()
+        # The original timeout(10) firing at t=10 must NOT wake the process a
+        # second time; next wake is t=4+50.
+        assert resumes == [("interrupt", 4), ("done", 54)]

@@ -1,0 +1,222 @@
+"""Unit tests for the generic DES resources (Resource/Container/Store)."""
+
+import pytest
+
+from repro.sim import Container, Environment, PriorityResource, Resource, Store
+
+
+@pytest.fixture
+def env():
+    return Environment()
+
+
+class TestResource:
+    def test_capacity_must_be_positive(self, env):
+        with pytest.raises(ValueError):
+            Resource(env, capacity=0)
+
+    def test_grants_up_to_capacity(self, env):
+        res = Resource(env, capacity=2)
+        log = []
+
+        def user(env, name):
+            with res.request() as req:
+                yield req
+                log.append((env.now, name, "got"))
+                yield env.timeout(10)
+
+        for n in "abc":
+            env.process(user(env, n))
+        env.run()
+        got = [(t, n) for (t, n, _) in log]
+        assert got == [(0, "a"), (0, "b"), (10, "c")]
+
+    def test_release_grants_fifo(self, env):
+        res = Resource(env, capacity=1)
+        order = []
+
+        def user(env, name, hold):
+            with res.request() as req:
+                yield req
+                order.append(name)
+                yield env.timeout(hold)
+
+        env.process(user(env, "first", 5))
+        env.process(user(env, "second", 1))
+        env.process(user(env, "third", 1))
+        env.run()
+        assert order == ["first", "second", "third"]
+
+    def test_count_tracks_users(self, env):
+        res = Resource(env, capacity=3)
+
+        def user(env):
+            with res.request() as req:
+                yield req
+                yield env.timeout(5)
+
+        for _ in range(2):
+            env.process(user(env))
+        env.run(until=1)
+        assert res.count == 2
+        env.run()
+        assert res.count == 0
+
+    def test_cancel_queued_request(self, env):
+        res = Resource(env, capacity=1)
+        r1 = res.request()
+        r2 = res.request()
+        assert r1.processed or r1.triggered
+        r2.cancel()
+        res.release(r1)
+        env.run()
+        assert res.count == 0
+        assert not r2.triggered
+
+
+class TestPriorityResource:
+    def test_lower_priority_value_granted_first(self, env):
+        res = PriorityResource(env, capacity=1)
+        order = []
+
+        def user(env, name, prio, start):
+            yield env.timeout(start)
+            req = res.request(priority=prio)
+            yield req
+            order.append(name)
+            yield env.timeout(10)
+            res.release(req)
+
+        env.process(user(env, "holder", 0, 0))
+        env.process(user(env, "low", 5, 1))
+        env.process(user(env, "high", 1, 2))
+        env.run()
+        assert order == ["holder", "high", "low"]
+
+    def test_ties_resolve_fifo(self, env):
+        res = PriorityResource(env, capacity=1)
+        order = []
+
+        def user(env, name, start):
+            yield env.timeout(start)
+            req = res.request(priority=3)
+            yield req
+            order.append(name)
+            yield env.timeout(5)
+            res.release(req)
+
+        env.process(user(env, "a", 0))
+        env.process(user(env, "b", 1))
+        env.process(user(env, "c", 2))
+        env.run()
+        assert order == ["a", "b", "c"]
+
+
+class TestContainer:
+    def test_init_bounds_checked(self, env):
+        with pytest.raises(ValueError):
+            Container(env, capacity=10, init=11)
+        with pytest.raises(ValueError):
+            Container(env, capacity=0)
+
+    def test_get_blocks_until_level(self, env):
+        tank = Container(env, capacity=100, init=0)
+        log = []
+
+        def consumer(env):
+            yield tank.get(30)
+            log.append(("got", env.now))
+
+        def producer(env):
+            yield env.timeout(5)
+            yield tank.put(50)
+
+        env.process(consumer(env))
+        env.process(producer(env))
+        env.run()
+        assert log == [("got", 5)]
+        assert tank.level == 20
+
+    def test_put_blocks_at_capacity(self, env):
+        tank = Container(env, capacity=10, init=10)
+        log = []
+
+        def producer(env):
+            yield tank.put(5)
+            log.append(env.now)
+
+        def consumer(env):
+            yield env.timeout(3)
+            yield tank.get(6)
+
+        env.process(producer(env))
+        env.process(consumer(env))
+        env.run()
+        assert log == [3]
+        assert tank.level == 9
+
+    def test_nonpositive_amounts_rejected(self, env):
+        tank = Container(env, capacity=10, init=5)
+        with pytest.raises(ValueError):
+            tank.get(0)
+        with pytest.raises(ValueError):
+            tank.put(-1)
+
+
+class TestStore:
+    def test_fifo_order(self, env):
+        store = Store(env)
+        got = []
+
+        def consumer(env):
+            for _ in range(3):
+                item = yield store.get()
+                got.append(item)
+
+        def producer(env):
+            for item in "xyz":
+                yield env.timeout(1)
+                yield store.put(item)
+
+        env.process(consumer(env))
+        env.process(producer(env))
+        env.run()
+        assert got == ["x", "y", "z"]
+
+    def test_capacity_blocks_put(self, env):
+        store = Store(env, capacity=1)
+        log = []
+
+        def producer(env):
+            yield store.put("a")
+            yield store.put("b")
+            log.append(("b-stored", env.now))
+
+        def consumer(env):
+            yield env.timeout(7)
+            item = yield store.get()
+            log.append((item, env.now))
+
+        env.process(producer(env))
+        env.process(consumer(env))
+        env.run()
+        assert ("b-stored", 7) in log
+
+    def test_filtered_get(self, env):
+        store = Store(env)
+        got = []
+
+        def consumer(env):
+            item = yield store.get(filter=lambda x: x % 2 == 0)
+            got.append(item)
+
+        def producer(env):
+            for v in (1, 3, 4):
+                yield env.timeout(1)
+                yield store.put(v)
+
+        env.process(consumer(env))
+        env.process(producer(env))
+        env.run()
+        assert got == [4]
+        assert store.items == [1, 3]

@@ -1,0 +1,209 @@
+"""Tests for the task-graph extension (DAG model + list scheduling)."""
+
+import pytest
+
+from repro.rng import RNG
+from repro.taskgraph import (
+    TaskGraph,
+    TaskGraphScheduler,
+    fork_join,
+    layered_random,
+    map_reduce,
+    pipeline,
+    upward_ranks,
+)
+from repro.workload import ConfigSpec, NodeSpec
+from repro.workload.generator import generate_configs, generate_nodes
+
+
+@pytest.fixture
+def configs():
+    return generate_configs(ConfigSpec(count=8), RNG(seed=1))
+
+
+@pytest.fixture
+def rng():
+    return RNG(seed=99)
+
+
+def fresh_nodes(count=15, seed=2):
+    return generate_nodes(NodeSpec(count=count), RNG(seed=seed))
+
+
+class TestTaskGraphModel:
+    def test_add_tasks_and_edges(self, configs, rng):
+        g = TaskGraph()
+        a = g.add_task(100, configs[0])
+        b = g.add_task(200, configs[1])
+        g.add_dependency(a, b, comm=25)
+        assert len(g) == 2
+        assert g.successors(a) == [b]
+        assert g.predecessors(b) == [a]
+        assert g.comm(a, b) == 25
+
+    def test_cycle_rejected(self, configs):
+        g = TaskGraph()
+        a = g.add_task(10, configs[0])
+        b = g.add_task(10, configs[0])
+        g.add_dependency(a, b)
+        with pytest.raises(ValueError, match="cycle"):
+            g.add_dependency(b, a)
+        # failed edge must not linger
+        assert g.predecessors(a) == []
+
+    def test_foreign_task_rejected(self, configs):
+        g1, g2 = TaskGraph(), TaskGraph()
+        a = g1.add_task(10, configs[0])
+        b = g2.add_task(10, configs[0])
+        with pytest.raises(ValueError):
+            g1.add_dependency(a, b)
+
+    def test_entry_and_exit_tasks(self, configs):
+        g = TaskGraph()
+        a = g.add_task(10, configs[0])
+        b = g.add_task(10, configs[0])
+        c = g.add_task(10, configs[0])
+        g.add_dependency(a, b)
+        g.add_dependency(b, c)
+        assert g.entry_tasks() == [a]
+        assert g.exit_tasks() == [c]
+
+    def test_critical_path_chain(self, configs):
+        g = TaskGraph()
+        a = g.add_task(100, configs[0])
+        b = g.add_task(200, configs[0])
+        g.add_dependency(a, b, comm=50)
+        assert g.critical_path_length() == 350
+
+    def test_critical_path_takes_longest_branch(self, configs):
+        g = TaskGraph()
+        src = g.add_task(10, configs[0])
+        short = g.add_task(20, configs[0])
+        long = g.add_task(500, configs[0])
+        g.add_dependency(src, short)
+        g.add_dependency(src, long)
+        assert g.critical_path_length() == 510
+
+    def test_invalid_args(self, configs):
+        g = TaskGraph()
+        with pytest.raises(ValueError):
+            g.add_task(0, configs[0])
+        a, b = g.add_task(10, configs[0]), g.add_task(10, configs[0])
+        with pytest.raises(ValueError):
+            g.add_dependency(a, b, comm=-1)
+
+
+class TestGenerators:
+    def test_pipeline_shape(self, configs, rng):
+        g = pipeline(6, configs, rng)
+        assert len(g) == 6
+        assert g.edge_count() == 5
+        assert len(g.entry_tasks()) == 1
+        assert len(g.exit_tasks()) == 1
+
+    def test_fork_join_shape(self, configs, rng):
+        g = fork_join(4, configs, rng)
+        assert len(g) == 6
+        assert g.edge_count() == 8
+
+    def test_map_reduce_shape(self, configs, rng):
+        g = map_reduce(3, 2, configs, rng)
+        assert len(g) == 5
+        assert g.edge_count() == 6  # full shuffle
+
+    def test_layered_random_connected(self, configs, rng):
+        g = layered_random(4, 5, configs, rng, edge_prob=0.2)
+        # every non-entry task has at least one predecessor
+        entries = set(g.entry_tasks())
+        for t in g.tasks:
+            if t not in entries:
+                assert g.predecessors(t)
+
+    def test_generators_validate_args(self, configs, rng):
+        with pytest.raises(ValueError):
+            pipeline(0, configs, rng)
+        with pytest.raises(ValueError):
+            fork_join(0, configs, rng)
+        with pytest.raises(ValueError):
+            map_reduce(0, 1, configs, rng)
+        with pytest.raises(ValueError):
+            layered_random(1, 1, configs, rng, edge_prob=2.0)
+
+
+class TestUpwardRanks:
+    def test_chain_ranks_decrease_downstream(self, configs, rng):
+        g = pipeline(4, configs, rng)
+        ranks = upward_ranks(g)
+        order = g.topological_order()
+        vals = [ranks[t] for t in order]
+        assert vals == sorted(vals, reverse=True)
+
+    def test_entry_rank_equals_critical_path(self, configs, rng):
+        g = pipeline(4, configs, rng)
+        ranks = upward_ranks(g)
+        assert ranks[g.entry_tasks()[0]] == g.critical_path_length()
+
+
+class TestScheduling:
+    def test_pipeline_respects_precedence(self, configs, rng):
+        g = pipeline(5, configs, rng)
+        res = TaskGraphScheduler(fresh_nodes(), configs).run(g)
+        order = g.topological_order()
+        for up, down in zip(order, order[1:]):
+            r_up, r_down = res.records[up.gid], res.records[down.gid]
+            assert r_down.started_at >= r_up.finished_at
+
+    def test_makespan_at_least_critical_path(self, configs, rng):
+        g = layered_random(4, 4, configs, rng)
+        res = TaskGraphScheduler(fresh_nodes(20), configs).run(g)
+        assert res.makespan >= g.critical_path_length()
+        assert 0 < res.efficiency <= 1.0
+
+    def test_all_tasks_executed(self, configs, rng):
+        g = fork_join(6, configs, rng)
+        res = TaskGraphScheduler(fresh_nodes(20), configs).run(g)
+        assert len(res.records) == len(g)
+        assert all(r.finished_at >= 0 for r in res.records.values())
+        assert res.discarded == 0
+
+    def test_comm_delays_respected(self, configs):
+        g = TaskGraph()
+        a = g.add_task(100, configs[0])
+        b = g.add_task(100, configs[1])
+        g.add_dependency(a, b, comm=500)
+        res = TaskGraphScheduler(fresh_nodes(), configs).run(g)
+        ra, rb = res.records[a.gid], res.records[b.gid]
+        assert rb.started_at >= ra.finished_at + 500
+
+    def test_parallel_branches_overlap(self, configs, rng):
+        """A fork-join on ample resources must run branches concurrently."""
+        g = fork_join(5, configs, rng, time_range=(500, 500), comm=0)
+        res = TaskGraphScheduler(fresh_nodes(30, seed=8), configs).run(g)
+        mids = [r for r in res.records.values() if r.gtask.label.startswith("w")]
+        starts = sorted(r.started_at for r in mids)
+        # at least two branches share a start window (concurrency)
+        assert any(b - a < 500 for a, b in zip(starts, starts[1:]))
+
+    def test_fifo_priority_runs(self, configs, rng):
+        g = layered_random(3, 4, configs, rng)
+        res = TaskGraphScheduler(fresh_nodes(20), configs, priority="fifo").run(g)
+        assert res.makespan >= g.critical_path_length()
+
+    def test_rank_no_worse_than_fifo_under_contention(self, configs):
+        """With scarce nodes, rank priority should not lose to FIFO (allowing
+        a small tolerance for tie-breaking noise)."""
+        rng = RNG(seed=1234)
+        g = layered_random(6, 8, configs, rng, edge_prob=0.3)
+        rank = TaskGraphScheduler(fresh_nodes(4, seed=3), configs, priority="rank").run(g)
+        fifo = TaskGraphScheduler(fresh_nodes(4, seed=3), configs, priority="fifo").run(g)
+        assert rank.makespan <= fifo.makespan * 1.10
+
+    def test_invalid_priority_rejected(self, configs):
+        with pytest.raises(ValueError):
+            TaskGraphScheduler(fresh_nodes(), configs, priority="lifo")
+
+    def test_full_mode_graph_scheduling(self, configs, rng):
+        g = pipeline(4, configs, rng)
+        res = TaskGraphScheduler(fresh_nodes(), configs, partial=False).run(g)
+        assert res.makespan >= g.critical_path_length()
+        assert len(res.records) == 4

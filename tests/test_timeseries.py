@@ -1,0 +1,68 @@
+"""Tests for the TimeSeries sampling container."""
+
+import pytest
+
+from repro.metrics import TimeSeries
+
+
+class TestTimeSeries:
+    def test_append_and_iterate(self):
+        ts = TimeSeries("x")
+        ts.add(0, 1.0)
+        ts.add(5, 2.0)
+        assert list(ts) == [(0, 1.0), (5, 2.0)]
+        assert len(ts) == 2
+
+    def test_time_must_be_nondecreasing(self):
+        ts = TimeSeries("x")
+        ts.add(10, 1.0)
+        with pytest.raises(ValueError):
+            ts.add(5, 2.0)
+        ts.add(10, 3.0)  # equal time allowed
+
+    def test_at_step_interpolation(self):
+        ts = TimeSeries("x")
+        ts.add(0, 10.0)
+        ts.add(100, 20.0)
+        assert ts.at(-1) is None
+        assert ts.at(0) == 10.0
+        assert ts.at(50) == 10.0
+        assert ts.at(100) == 20.0
+        assert ts.at(1e9) == 20.0
+
+    def test_mean_and_max(self):
+        ts = TimeSeries("x")
+        for t, v in [(0, 1.0), (1, 3.0), (2, 5.0)]:
+            ts.add(t, v)
+        assert ts.mean() == 3.0
+        assert ts.max() == 5.0
+
+    def test_time_weighted_mean(self):
+        ts = TimeSeries("x")
+        ts.add(0, 10.0)  # holds 0..90
+        ts.add(90, 0.0)  # holds 90..100
+        ts.add(100, 0.0)
+        assert ts.time_weighted_mean() == pytest.approx(9.0)
+
+    def test_time_weighted_mean_single_sample(self):
+        ts = TimeSeries("x")
+        ts.add(0, 42.0)
+        assert ts.time_weighted_mean() == 42.0
+
+    def test_resample(self):
+        ts = TimeSeries("x")
+        ts.add(0, 0.0)
+        ts.add(10, 100.0)
+        r = ts.resample(11)
+        assert len(r) == 11
+        assert r.values[0] == 0.0
+        assert r.values[-1] == 100.0
+        with pytest.raises(ValueError):
+            ts.resample(0)
+
+    def test_empty_series(self):
+        ts = TimeSeries("x")
+        assert ts.mean() == 0.0
+        assert ts.max() == 0.0
+        assert ts.time_weighted_mean() == 0.0
+        assert len(ts.resample(5)) == 0
