@@ -1,0 +1,90 @@
+"""Wall-clock bench: indexed resource manager vs the reference scan manager.
+
+Unlike the figure benches (which compare *simulated* metrics), this bench
+compares *real* runtime of the two manager modes on identical workloads and
+asserts the thing the indexed refactor promises: simulated outputs are
+bit-identical while wall-clock drops.
+
+Scale control: ``REPRO_BENCH_WALLCLOCK_TASKS`` overrides the task count
+(default 2000, small enough for CI).  The committed end-to-end numbers live
+in ``BENCH_perf.json``, produced by ``tools/perf.py`` at full scale.
+"""
+
+import json
+import os
+import time
+
+from repro import quick_simulation
+
+BENCH_TASKS = int(os.environ.get("REPRO_BENCH_WALLCLOCK_TASKS", "2000"))
+BENCH_NODES = 100
+SEED = 42
+
+
+def timed_run(indexed: bool, partial: bool = True):
+    t0 = time.perf_counter()
+    result = quick_simulation(
+        nodes=BENCH_NODES,
+        tasks=BENCH_TASKS,
+        partial=partial,
+        seed=SEED,
+        indexed=indexed,
+    )
+    return time.perf_counter() - t0, result
+
+
+class TestWallclockIndexedVsScan:
+    def test_identical_reports_and_timing(self):
+        indexed_s, indexed = timed_run(indexed=True)
+        scan_s, scan = timed_run(indexed=False)
+        assert indexed.report.as_dict() == scan.report.as_dict()
+        print(
+            f"\n=== wall-clock ({BENCH_NODES} nodes, {BENCH_TASKS} tasks, partial) ==="
+            f"\nindexed : {indexed_s:7.3f}s"
+            f"\nscan    : {scan_s:7.3f}s"
+            f"\nspeedup : {scan_s / indexed_s:7.2f}x"
+        )
+        # Loose sanity gate (CI machines are noisy): the indexed manager must
+        # never be meaningfully *slower* than the reference scan.
+        assert indexed_s < scan_s * 1.5
+
+    def test_simulated_counters_independent_of_wallclock_mode(self):
+        _, indexed = timed_run(indexed=True, partial=False)
+        _, scan = timed_run(indexed=False, partial=False)
+        ri, rs = indexed.report, scan.report
+        assert ri.avg_scheduling_steps_per_task == rs.avg_scheduling_steps_per_task
+        assert ri.total_scheduler_workload == rs.total_scheduler_workload
+
+
+class TestPerfHarness:
+    def test_perf_tool_writes_valid_json(self, tmp_path):
+        """tools/perf.py --quick produces a schema-complete BENCH_perf.json."""
+        import sys
+
+        sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "tools"))
+        try:
+            import perf
+        finally:
+            sys.path.pop(0)
+        out = tmp_path / "BENCH_perf.json"
+        rc = perf.main(["--quick", "-o", str(out)])
+        assert rc == 0
+        payload = json.loads(out.read_text())
+        assert set(payload) >= {"description", "python", "headline", "results"}
+        head = payload["headline"]
+        assert set(head) >= {
+            "scale",
+            "before_scan_seconds",
+            "after_indexed_seconds",
+            "speedup",
+        }
+        for row in payload["results"]:
+            assert row["reports_equal"] is True
+            assert row["indexed_seconds"] > 0 and row["scan_seconds"] > 0
+
+    def test_committed_bench_numbers_meet_the_gate(self):
+        """The repo-root BENCH_perf.json documents the >=3x headline win."""
+        path = os.path.join(os.path.dirname(__file__), "..", "BENCH_perf.json")
+        payload = json.loads(open(path).read())
+        assert payload["headline"]["speedup"] >= 3.0
+        assert all(row["reports_equal"] for row in payload["results"])

@@ -65,6 +65,15 @@ def build_parser() -> argparse.ArgumentParser:
         "--timeline", action="store_true",
         help="ASCII plots of busy nodes / queue length over time",
     )
+    run_p.add_argument(
+        "--profile", action="store_true",
+        help="run under cProfile and print the hottest functions",
+    )
+    run_p.add_argument(
+        "--no-indexed", action="store_true",
+        help="use the reference linear-scan resource manager "
+        "(same results/counters; O(n) wall-clock per query)",
+    )
     _add_common(run_p)
 
     sweep_p = sub.add_parser("sweep", help="task-count sweep, both modes")
@@ -156,6 +165,12 @@ def _print_report(report, label: str) -> None:
 
 def cmd_run(args) -> int:
     """``dreamsim run``: one simulation, Table I report, optional XML."""
+    profiler = None
+    if getattr(args, "profile", False):
+        import cProfile
+
+        profiler = cProfile.Profile()
+        profiler.enable()
     if args.config:
         from repro.framework.expconfig import load_experiment
 
@@ -170,6 +185,7 @@ def cmd_run(args) -> int:
             tasks=args.tasks,
             partial=(args.mode == "partial"),
             seed=args.seed,
+            indexed=not getattr(args, "no_indexed", False),
         )
         params = {
             "nodes": args.nodes,
@@ -178,6 +194,16 @@ def cmd_run(args) -> int:
             "seed": args.seed,
         }
         label = f"{args.mode} / {args.nodes} nodes / {args.tasks} tasks"
+    if profiler is not None:
+        import io
+        import pstats
+
+        profiler.disable()
+        buf = io.StringIO()
+        stats = pstats.Stats(profiler, stream=buf)
+        stats.sort_stats("cumulative").print_stats(25)
+        print("=== cProfile hot spots (top 25 by cumulative time) ===")
+        print(buf.getvalue())
     _print_report(result.report, label)
     if args.timeline:
         for series in (result.monitor.busy_nodes, result.monitor.queue_length):

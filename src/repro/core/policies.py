@@ -79,7 +79,14 @@ class PlacementPolicy:
     def select_idle_entry(
         self, rim: ResourceInformationManager, config: Configuration
     ) -> Optional[ConfigTaskEntry]:
-        """Choose a direct-allocation target among idle entries of ``config``."""
+        """Choose a direct-allocation target among idle entries of ``config``.
+
+        The paper's MIN_AREA rule delegates to the manager's query (which
+        serves it from the idle-entry index in indexed mode); the ablation
+        criteria walk the chain here.
+        """
+        if self.idle is SelectionCriterion.MIN_AREA:
+            return rim.find_best_idle_entry(config)
         return self._select(
             rim.idle_chain(config),
             rim,
@@ -92,6 +99,8 @@ class PlacementPolicy:
         self, rim: ResourceInformationManager, config: Configuration
     ) -> Optional[Node]:
         """Choose a blank node with sufficient total area."""
+        if self.blank is SelectionCriterion.MIN_AREA:
+            return rim.find_best_blank_node(config)
         return self._select(
             rim.blank_chain,
             rim,
@@ -105,6 +114,8 @@ class PlacementPolicy:
         self, rim: ResourceInformationManager, config: Configuration
     ) -> Optional[Node]:
         """Choose a configured node with a sufficient free region."""
+        if self.partially_blank is SelectionCriterion.MIN_AREA:
+            return rim.find_best_partially_blank_node(config)
         return self._select(
             (n for n in rim.nodes if not n.is_blank),
             rim,

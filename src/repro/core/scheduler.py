@@ -147,37 +147,44 @@ class DreamScheduler:
             if reclaimable < self._min_config_area:
                 return None  # no configuration can fit in the reclaimable region
 
-            def fits(task: Task) -> bool:
-                cfg = self.matched_config(task)
-                return cfg is not None and cfg.req_area <= reclaimable
+            if self.rim.indexed:
+                # The fit test depends only on the record's key (the matched
+                # configuration number), so the per-key index answers it
+                # without walking the queue; charging is identical to the
+                # reference walk below.
+                def fits_key(cno) -> bool:
+                    cfg = self.rim.config_with_no(cno)
+                    return cfg is not None and cfg.req_area <= reclaimable
 
-            # Fallback scan is cheap in practice: it only runs when no exact
-            # match exists anywhere in the queue (short-queue regimes).
-            rec = self.susqueue.search(fits)
+                rec = self.susqueue.first_matching_key(fits_key)
+            else:
+
+                def fits(task: Task) -> bool:
+                    cfg = self.matched_config(task)
+                    return cfg is not None and cfg.req_area <= reclaimable
+
+                # Reference fallback: linear queue walk with early exit.
+                rec = self.susqueue.search(fits)
         if rec is None:
             return None
         return self.susqueue.remove(rec)
 
     def matched_config(self, task: Task) -> Optional[Configuration]:
         """The configuration ``task`` resolves to (exact or closest match),
-        memoised and without step charging — used by queue predicates."""
+        memoised and without step charging — used by queue predicates.
+
+        Delegates to the RIM's uncharged ``peek_*`` helpers so the matching
+        rule lives in exactly one place; the charged phase-0 lookups
+        (:meth:`ResourceInformationManager.find_preferred_config` /
+        ``find_closest_config``) resolve to the same answers.
+        """
         memo = self._match_memo
         if task.task_no in memo:
             return memo[task.task_no]
         pref = task.pref_config
-        found: Optional[Configuration] = None
-        for c in self.rim.configs:
-            if c is pref or c.config_no == pref.config_no:
-                found = c
-                break
+        found = self.rim.peek_preferred_config(pref)
         if found is None:
-            best: Optional[Configuration] = None
-            for c in self.rim.configs:
-                if c.req_area >= pref.req_area and (
-                    best is None or c.req_area < best.req_area
-                ):
-                    best = c
-            found = best
+            found = self.rim.peek_closest_config(pref)
         memo[task.task_no] = found
         return found
 

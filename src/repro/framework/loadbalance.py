@@ -42,9 +42,12 @@ class LoadSnapshot:
 
 
 def node_load(node: Node) -> float:
-    """Instantaneous load: busy configured area / total area."""
-    busy_area = sum(e.config.req_area for e in node.entries if e.is_busy)
-    return busy_area / node.total_area
+    """Instantaneous load: busy configured area / total area.
+
+    Served from the node's incremental busy-area accumulator — O(1), and
+    bit-identical to summing the busy entries (both are exact ints).
+    """
+    return node.busy_area / node.total_area
 
 
 class LoadBalancer:
@@ -57,20 +60,41 @@ class LoadBalancer:
         self.snapshots: list[LoadSnapshot] = []
 
     def observe(self, now: int) -> LoadSnapshot:
-        """Sample per-node loads and record the imbalance summary."""
-        loads = [node_load(n) for n in self.rim.nodes]
-        n = len(loads)
-        mean = sum(loads) / n if n else 0.0
-        if n and mean > 0:
-            var = sum((x - mean) ** 2 for x in loads) / n
-            cv = math.sqrt(var) / mean
-            sq = sum(x * x for x in loads)
-            jain = (sum(loads) ** 2) / (n * sq) if sq > 0 else 1.0
+        """Sample the load distribution and record the imbalance summary.
+
+        Runs once per task completion.  With an indexed resource manager it
+        reads the O(1) exact-integer utilization aggregates
+        (``Var X = E[X²] − (E[X])²`` in place of the two-pass variance);
+        the reference manager keeps the original O(nodes) walk.  The sums
+        themselves are exact in both modes (so an idle system reports
+        ``cv == 0`` identically), but ``mean``/``cv``/``jain`` can still
+        differ by a few ULPs of final-operation rounding, so the
+        differential tests compare these beyond-paper series with a tight
+        tolerance while everything paper-facing stays exact.
+        """
+        n = len(self.rim.nodes)
+        if self.rim.indexed:
+            s1, s2, max_load = self.rim.load_stats()
+            mean = s1 / n if n else 0.0
+            if n and mean > 0:
+                var = s2 / n - mean * mean
+                cv = math.sqrt(var) / mean if var > 0.0 else 0.0
+                jain = min((s1 * s1) / (n * s2), 1.0) if s2 > 0.0 else 1.0
+            else:
+                cv, jain = 0.0, 1.0
         else:
-            cv, jain = 0.0, 1.0
+            loads = [node_load(x) for x in self.rim.nodes]
+            mean = sum(loads) / n if n else 0.0
+            max_load = max(loads) if loads else 0.0
+            if n and mean > 0:
+                var = sum((x - mean) ** 2 for x in loads) / n
+                cv = math.sqrt(var) / mean
+                sq = sum(x * x for x in loads)
+                jain = (sum(loads) ** 2) / (n * sq) if sq > 0 else 1.0
+            else:
+                cv, jain = 0.0, 1.0
         snap = LoadSnapshot(
-            time=now, mean_load=mean, cv=cv, jain=jain,
-            max_load=max(loads) if loads else 0.0,
+            time=now, mean_load=mean, cv=cv, jain=jain, max_load=max_load,
         )
         self.snapshots.append(snap)
         self.cv_series.add(now, cv)

@@ -77,6 +77,10 @@ class DReAMSim:
         testing/diagnosis only).
     sample_system_waste:
         Sample Eq. 6 at every placement (O(nodes) each; on by default).
+    indexed:
+        Resource-manager mode: ``True`` (default) answers scheduler queries
+        from area-ordered indexes with identical simulated step accounting;
+        ``False`` runs the reference linear scans (differential baseline).
     """
 
     def __init__(
@@ -95,10 +99,13 @@ class DReAMSim:
         network=None,
         queue_order: str = "fifo",
         gpp=None,
+        indexed: bool = True,
     ) -> None:
         self.env = Environment()
         self.counters = SearchCounters()
-        self.rim = ResourceInformationManager(list(nodes), list(configs), self.counters)
+        self.rim = ResourceInformationManager(
+            list(nodes), list(configs), self.counters, indexed=indexed
+        )
         self.susqueue = SuspensionQueue(
             self.counters,
             max_retries=max_retries,

@@ -87,9 +87,10 @@ class Node:
         self._available_area = self.total_area - sum(e.config.req_area for e in self.entries)
         if self._available_area < 0:
             raise AreaError(f"node {self.node_no}: initial entries exceed total area")
-        # Busy-region counter keeps the state query O(1); maintained by
-        # add_task/remove_task (and the manager's failure path).
+        # Busy-region counter and busy-area accumulator keep the state and
+        # load queries O(1); maintained by add_task/remove_task/interrupt_all.
         self._busy_count = sum(1 for e in self.entries if e.is_busy)
+        self._busy_area = sum(e.config.req_area for e in self.entries if e.is_busy)
 
     # -- Eq. 4 ------------------------------------------------------------------
 
@@ -145,9 +146,18 @@ class Node:
         """Loaded regions currently executing a task."""
         return [e for e in self.entries if e.is_busy]
 
+    @property
+    def busy_area(self) -> int:
+        """Area under configurations currently executing a task (O(1))."""
+        return self._busy_area
+
     def reclaimable_area(self) -> int:
-        """Free area + area under idle configurations (Alg. 1's accumulator)."""
-        return self._available_area + sum(e.config.req_area for e in self.idle_entries())
+        """Free area + area under idle configurations (Alg. 1's accumulator).
+
+        Identically ``TotalArea − busy area``, answered from the incremental
+        busy-area accumulator in O(1).
+        """
+        return self.total_area - self._busy_area
 
     def find_idle_entry(self, config: Configuration) -> Optional[ConfigTaskEntry]:
         """First idle entry holding exactly ``config``, if any."""
@@ -233,6 +243,7 @@ class Node:
             )
         entry.task = task
         self._busy_count += 1
+        self._busy_area += entry.config.req_area
 
     def remove_task(self, task: Task) -> ConfigTaskEntry:
         """Unbind a finished task (the paper's ``RemoveTaskFromNode``).
@@ -244,8 +255,27 @@ class Node:
             if e.task is task:
                 e.task = None
                 self._busy_count -= 1
+                self._busy_area -= e.config.req_area
                 return e
         raise ConfigurationError(f"node {self.node_no}: task {task.task_no} not running here")
+
+    def interrupt_all(self) -> list[Task]:
+        """Detach every running task (node failure); returns them in entry order.
+
+        The entries stay on the node (now idle) — the caller decides whether
+        the configurations survive (they do not on SRAM loss; the resource
+        manager follows with :meth:`make_blank`).
+        """
+        interrupted: list[Task] = []
+        for e in self.entries:
+            if e.is_busy:
+                task = e.task
+                assert task is not None
+                e.task = None
+                self._busy_count -= 1
+                self._busy_area -= e.config.req_area
+                interrupted.append(task)
+        return interrupted
 
     def __repr__(self) -> str:
         return (

@@ -1,0 +1,123 @@
+"""Area-ordered indexes behind the resource manager's fast-path queries.
+
+§IV-B's point is that smart data structures cut *simulated* search effort;
+this module is the wall-clock counterpart: ordered indexes that answer the
+manager's best-fit queries in O(log n) Python work while the simulated
+Table I counters keep billing the steps the reference linear scan would
+have taken (see ``ResourceInformationManager``'s ``indexed`` mode and the
+"simulated steps vs wall-clock" section of DESIGN.md).
+
+:class:`SortedKeyIndex` is a thin sorted container over ``(key, item)``
+pairs built on :mod:`bisect` and plain lists — insertion and removal are
+O(n) memmoves (C speed, cheap at the node counts simulated here) and the
+threshold queries the schedulers need (``min_item``, ``first_at_least``,
+``max_key``) are O(log n).  Keys must be unique tuples; callers embed a
+tie-break component (node position, chain sequence number) so that the
+index's ordering reproduces the reference scan's first-strict-minimum
+tie-breaking exactly.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, insort
+from typing import Any, Iterator, Optional
+
+
+class IndexError_(Exception):
+    """Illegal index operation (duplicate key, missing removal)."""
+
+
+class SortedKeyIndex:
+    """A sorted multimap of unique tuple keys to items.
+
+    Parameters
+    ----------
+    name:
+        Diagnostic label, e.g. ``"partial-by-available"``.
+    """
+
+    __slots__ = ("name", "_keys", "_items")
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name
+        self._keys: list[tuple] = []
+        self._items: list[Any] = []
+
+    # -- queries -----------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._keys)
+
+    def __bool__(self) -> bool:
+        return bool(self._keys)
+
+    def __iter__(self) -> Iterator[tuple[tuple, Any]]:
+        return iter(zip(self._keys, self._items))
+
+    def min_item(self) -> Optional[Any]:
+        """Item with the smallest key, or None when empty."""
+        return self._items[0] if self._items else None
+
+    def max_key(self) -> Optional[tuple]:
+        """Largest key, or None when empty."""
+        return self._keys[-1] if self._keys else None
+
+    def first_at_least(self, probe: tuple) -> Optional[Any]:
+        """Item with the smallest key ``>= probe`` (threshold best-fit query).
+
+        ``probe`` may be a prefix tuple — ``(area,)`` matches the first key
+        whose leading component reaches ``area`` regardless of tie-break.
+        """
+        i = bisect_left(self._keys, probe)
+        return self._items[i] if i < len(self._items) else None
+
+    def has_key_at_least(self, probe: tuple) -> bool:
+        """True if some key is ``>= probe`` (prefilter existence query)."""
+        return bisect_left(self._keys, probe) < len(self._keys)
+
+    # -- mutations -----------------------------------------------------------
+
+    def add(self, key: tuple, item: Any) -> None:
+        """Insert ``item`` under the unique ``key``. O(n) memmove."""
+        i = bisect_left(self._keys, key)
+        if i < len(self._keys) and self._keys[i] == key:
+            raise IndexError_(f"duplicate key {key!r} in index {self.name!r}")
+        self._keys.insert(i, key)
+        self._items.insert(i, item)
+
+    def discard(self, key: tuple, item: Any) -> None:
+        """Remove the pair previously added under ``key``."""
+        i = bisect_left(self._keys, key)
+        if i >= len(self._keys) or self._keys[i] != key or self._items[i] is not item:
+            raise IndexError_(
+                f"key {key!r} / item {item!r} not present in index {self.name!r}"
+            )
+        del self._keys[i]
+        del self._items[i]
+
+    def clear(self) -> None:
+        """Drop every pair (rebuild-from-scratch paths)."""
+        self._keys.clear()
+        self._items.clear()
+
+    # -- diagnostics ------------------------------------------------------------
+
+    def validate(self) -> None:
+        """Verify sortedness, uniqueness, and list alignment."""
+        if len(self._keys) != len(self._items):
+            raise IndexError_(f"index {self.name!r}: key/item list length mismatch")
+        for a, b in zip(self._keys, self._keys[1:]):
+            if not a < b:
+                raise IndexError_(
+                    f"index {self.name!r}: keys out of order ({a!r} !< {b!r})"
+                )
+
+    def items(self) -> list[Any]:
+        """The indexed items in key order (snapshot)."""
+        return list(self._items)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<SortedKeyIndex {self.name!r} size={len(self._keys)}>"
+
+
+__all__ = ["SortedKeyIndex", "IndexError_", "insort", "bisect_left"]

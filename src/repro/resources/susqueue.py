@@ -24,7 +24,7 @@ charging semantics are identical.
 
 from __future__ import annotations
 
-from bisect import insort
+from bisect import bisect_left, insort
 from dataclasses import dataclass, field
 from typing import Callable, Hashable, Iterable, Iterator, Optional
 
@@ -49,11 +49,13 @@ class SuspendedTask:
     seq: int = field(default=0, compare=False)
     key: Hashable = field(default=None, compare=False)
     rank: float = field(default=0.0, compare=False)
+    # (discipline rank, arrival sequence) — the queue's service order.
+    # Precomputed: rank and seq are immutable after construction, and the
+    # bisect-based queue operations compare records heavily.
+    order_key: tuple[float, int] = field(init=False, repr=False, compare=False)
 
-    @property
-    def order_key(self) -> tuple[float, int]:
-        """(discipline rank, arrival sequence) — the queue's service order."""
-        return (self.rank, self.seq)
+    def __post_init__(self) -> None:
+        self.order_key = (self.rank, self.seq)
 
     def __lt__(self, other: "SuspendedTask") -> bool:
         return self.order_key < other.order_key
@@ -81,6 +83,9 @@ class SuspensionQueue:
         self.order = order
         self._rank_fn = _DISCIPLINES[order]
         self._items: list[SuspendedTask] = []
+        # Parallel list of order keys: bisect on plain tuples compares at C
+        # speed instead of bouncing through SuspendedTask.__lt__.
+        self._order_keys: list[tuple[float, int]] = []
         self._by_key: dict[Hashable, list[SuspendedTask]] = {}
         self._seq = 0
         self.total_suspended = 0  # lifetime additions (statistics)
@@ -125,7 +130,9 @@ class SuspensionQueue:
             key=key,
             rank=self._rank_fn(task),
         )
-        insort(self._items, rec)
+        i = bisect_left(self._order_keys, rec.order_key)
+        self._order_keys.insert(i, rec.order_key)
+        self._items.insert(i, rec)
         insort(self._by_key.setdefault(key, []), rec)
         self.counters.charge_housekeeping()
         self.total_suspended += 1
@@ -136,15 +143,39 @@ class SuspensionQueue:
 
         Increments the task's retry counter.
         """
-        self._items.remove(rec)
+        self._remove_main(rec)
         bucket = self._by_key.get(rec.key)
         if bucket is not None:
-            bucket.remove(rec)
+            self._remove_sorted(bucket, rec)
             if not bucket:
                 del self._by_key[rec.key]
         self.counters.charge_housekeeping()
         rec.task.sus_retry += 1
         return rec.task
+
+    def _remove_main(self, rec: SuspendedTask) -> None:
+        """O(log n) locate + O(n) memmove removal from the service-order list.
+
+        Order keys are unique (the sequence component), so bisect on the
+        parallel key list lands on the record itself; ``list.remove`` would
+        rescan from the front comparing whole records.
+        """
+        i = bisect_left(self._order_keys, rec.order_key)
+        if i < len(self._items) and self._items[i] is rec:
+            del self._order_keys[i]
+            del self._items[i]
+        else:  # pragma: no cover - defensive (foreign or already-removed rec)
+            self._items.remove(rec)
+            self._order_keys = [r.order_key for r in self._items]
+
+    @staticmethod
+    def _remove_sorted(items: list[SuspendedTask], rec: SuspendedTask) -> None:
+        """Bisect-based removal from a service-ordered record list (buckets)."""
+        i = bisect_left(items, rec)
+        if i < len(items) and items[i] is rec:
+            del items[i]
+        else:  # pragma: no cover - defensive (foreign or already-removed rec)
+            items.remove(rec)
 
     # -- queries ----------------------------------------------------------------------
 
@@ -169,6 +200,36 @@ class SuspensionQueue:
         n = len(self._items)
         self.counters.charge_scheduling(n)
         return n
+
+    def first_matching_key(
+        self, key_pred: Callable[[Hashable], bool]
+    ) -> Optional[SuspendedTask]:
+        """Earliest record (service order) whose *key* satisfies ``key_pred``.
+
+        Indexed counterpart of :meth:`search` for predicates that depend only
+        on the record's key: instead of walking the queue, compare the head
+        of each matching key bucket (O(#distinct keys)).  Records keyed
+        ``NO_KEY`` never match (their key carries no information for the
+        predicate).
+
+        Charges exactly what the reference :meth:`search` walk would have:
+        one housekeeping step per record up to and including the hit, or the
+        whole queue on a miss.
+        """
+        best: Optional[SuspendedTask] = None
+        for key, bucket in self._by_key.items():
+            if key is NO_KEY or not key_pred(key):
+                continue
+            rec = bucket[0]
+            if best is None or rec.order_key < best.order_key:
+                best = rec
+        if best is None:
+            self.counters.charge_housekeeping_many(len(self._items))
+            return None
+        self.counters.charge_housekeeping_many(
+            bisect_left(self._order_keys, best.order_key) + 1
+        )
+        return best
 
     def search(self, predicate: Callable[[Task], bool]) -> Optional[SuspendedTask]:
         """``SearchSusQueue``: first record whose task satisfies ``predicate``.
@@ -212,10 +273,10 @@ class SuspensionQueue:
             return []
         out: list[Task] = []
         for rec in [r for r in self._items if r.task.sus_retry >= self.max_retries]:
-            self._items.remove(rec)
+            self._remove_main(rec)
             bucket = self._by_key.get(rec.key)
             if bucket is not None:
-                bucket.remove(rec)
+                self._remove_sorted(bucket, rec)
                 if not bucket:
                     del self._by_key[rec.key]
             out.append(rec.task)
@@ -225,6 +286,7 @@ class SuspensionQueue:
         """Empty the queue (end of simulation); returns the leftover tasks."""
         tasks = [rec.task for rec in self._items]
         self._items.clear()
+        self._order_keys.clear()
         self._by_key.clear()
         return tasks
 
@@ -245,6 +307,8 @@ class SuspensionQueue:
         main_order = [r.order_key for r in self._items]
         if main_order != sorted(main_order):
             raise AssertionError("queue not in service order")
+        if main_order != self._order_keys:
+            raise AssertionError("parallel order-key list out of sync with queue")
 
 
 __all__ = ["SuspensionQueue", "SuspendedTask", "NO_KEY"]

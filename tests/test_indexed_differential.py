@@ -1,0 +1,327 @@
+"""Differential tests: indexed fast paths vs the reference scan manager.
+
+The resource manager's indexed mode (``indexed=True``, the default) must be
+observationally identical to the reference linear-scan mode
+(``indexed=False``) in everything *simulated*: per-task placements and
+status, per-task search length ``SL``, Table I counters, the report, and
+the Figure 6–10 monitor series.  Only wall-clock time may differ.
+
+Beyond-paper load statistics (``cv``/``jain``/``mean_load``) are computed
+incrementally in indexed mode and by a two-pass walk in reference mode, so
+those series are compared with a tight floating-point tolerance; ``max_load``
+is exact in both modes.
+"""
+
+import pytest
+from pytest import approx
+
+from repro import quick_simulation
+from repro.framework import DReAMSim
+from repro.framework.failures import FailureInjector
+from repro.model import Configuration, Node, Task
+from repro.resources import ResourceInformationManager, check_invariants
+from repro.rng import RNG
+from repro.rng.distributions import Constant, UniformInt
+from repro.workload import ConfigSpec, NodeSpec, TaskSpec
+from repro.workload.generator import (
+    generate_configs,
+    generate_nodes,
+    generate_task_stream,
+)
+
+SEEDS = (1, 7, 42)
+
+
+def task_fingerprint(result):
+    """Everything the paper observes about one task, per task."""
+    return [
+        (
+            t.task_no,
+            t.status.value,
+            t.scheduling_steps,  # per-task SL (Fig. 9a numerator)
+            t.assigned_config.config_no if t.assigned_config else None,
+            t.create_time,
+            t.start_time,
+            t.completion_time,
+            t.comm_time,
+            t.config_time_paid,
+            t.sus_retry,
+        )
+        for t in result.tasks
+    ]
+
+
+def run_pair(nodes, tasks, partial, seed, **kwargs):
+    indexed = quick_simulation(
+        nodes=nodes, tasks=tasks, partial=partial, seed=seed, indexed=True, **kwargs
+    )
+    scan = quick_simulation(
+        nodes=nodes, tasks=tasks, partial=partial, seed=seed, indexed=False, **kwargs
+    )
+    return indexed, scan
+
+
+def assert_equivalent(indexed, scan):
+    """Bit-identical paper-facing outputs; tight approx for beyond-paper."""
+    # Per-task placements, status, and SL.
+    assert task_fingerprint(indexed) == task_fingerprint(scan)
+    # Table I counters and everything derived from them.
+    assert indexed.report.as_dict() == scan.report.as_dict()
+    assert indexed.final_time == scan.final_time
+    # Figure-series samples (busy nodes, queue length, wasted area, running).
+    for name in ("busy_nodes", "queue_length", "wasted_area", "running_tasks"):
+        si, ss = getattr(indexed.monitor, name), getattr(scan.monitor, name)
+        assert si.times == ss.times, name
+        assert si.values == ss.values, name
+    # Load series: max is exact; mean/cv/jain may differ by ULPs.
+    assert indexed.load.cv_series.times == scan.load.cv_series.times
+    for snap_i, snap_s in zip(indexed.load.snapshots, scan.load.snapshots):
+        assert snap_i.max_load == snap_s.max_load
+        assert snap_i.mean_load == approx(snap_s.mean_load, rel=1e-9, abs=1e-12)
+        assert snap_i.cv == approx(snap_s.cv, rel=1e-6, abs=1e-9)
+        assert snap_i.jain == approx(snap_s.jain, rel=1e-9, abs=1e-12)
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+@pytest.mark.parametrize("partial", [True, False], ids=["partial", "full"])
+@pytest.mark.parametrize("nodes", [100, 200])
+def test_indexed_matches_scan(nodes, partial, seed):
+    tasks = 1200 if nodes == 100 else 800
+    indexed, scan = run_pair(nodes, tasks, partial, seed)
+    assert_equivalent(indexed, scan)
+    check_invariants(indexed.load.rim)
+    check_invariants(scan.load.rim)
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_indexed_matches_scan_under_failures(seed):
+    """Fail -> repair round trips during a run leave both modes identical."""
+
+    def run(indexed):
+        rng = RNG(seed=seed)
+        nodes = generate_nodes(NodeSpec(count=20), rng)
+        configs = generate_configs(ConfigSpec(count=10), rng)
+        stream = generate_task_stream(TaskSpec(count=300), configs, rng)
+        sim = DReAMSim(nodes, configs, stream, partial=True, indexed=indexed)
+        injector = FailureInjector(
+            sim, mtbf=UniformInt(3000, 9000), mttr=Constant(800), rng=RNG(seed=seed + 1)
+        )
+        injector.arm()
+        return sim.run(), injector
+
+    indexed, inj_i = run(True)
+    scan, inj_s = run(False)
+    assert inj_i.failure_count == inj_s.failure_count
+    assert inj_i.failure_count > 0  # the regime must actually exercise failures
+    assert_equivalent(indexed, scan)
+    check_invariants(indexed.load.rim)
+
+
+# -- operation-level round trips against the indexed structures ----------------
+
+
+def cfg(no, area, t=10):
+    return Configuration(config_no=no, req_area=area, config_time=t)
+
+
+def build_pair(node_areas, config_areas):
+    """Twin managers (indexed / scan) over identical fresh systems."""
+    rims = []
+    for indexed in (True, False):
+        nodes = [Node(node_no=i, total_area=a) for i, a in enumerate(node_areas)]
+        configs = [cfg(i, a) for i, a in enumerate(config_areas)]
+        rims.append(ResourceInformationManager(nodes, configs, indexed=indexed))
+    return rims[0], rims[1]
+
+
+def drive(rim):
+    """One scripted mutation history touching every indexed structure."""
+    nodes, configs = rim.nodes, rim.configs
+    entries = {}
+    log = []
+    e0 = rim.configure_node(nodes[0], configs[0])
+    e1 = rim.configure_node(nodes[0], configs[1])
+    e2 = rim.configure_node(nodes[1], configs[0])
+    entries.update({0: e0, 1: e1, 2: e2})
+    for i, (node, entry) in enumerate([(nodes[0], e0), (nodes[1], e2)]):
+        t = Task(task_no=i, required_time=50, pref_config=entry.config)
+        t.mark_created(0)
+        t.mark_started(0, entry.config)
+        rim.assign_task(t, node, entry)
+        log.append(t)
+    # Queries from every fast path, recording results + charges.
+    results = [
+        rim.find_preferred_config(configs[1]),
+        rim.find_closest_config(cfg(99, configs[1].req_area - 1)),
+        rim.find_best_idle_entry(configs[1]),
+        rim.find_best_blank_node(configs[0]),
+        rim.find_best_partially_blank_node(configs[0]),
+        rim.find_any_idle_node(configs[0]),
+        rim.busy_candidate_exists(configs[0]),
+    ]
+    # Fail a busy node, then a repair round trip.
+    interrupted = rim.fail_node(nodes[0])
+    results.append([t.task_no for t in interrupted])
+    results.append(rim.find_best_blank_node(configs[0]))
+    rim.repair_node(nodes[0])
+    rim.configure_node(nodes[0], configs[0])
+    results.append(rim.find_best_idle_entry(configs[0]))
+    # Completion + eviction + blanking.
+    rim.complete_task(log[1], nodes[1])
+    rim.evict_entries(nodes[1], [e2])
+    rim.blank_node(nodes[1])
+    results.append(rim.find_any_idle_node(configs[0], require_all_idle=True))
+    return results, rim.counters.snapshot()
+
+
+def summarize(results):
+    """Node/entry results -> comparable identities."""
+    out = []
+    for r in results:
+        if isinstance(r, tuple) and len(r) == 2:  # (node, evict_list)
+            node, evict = r
+            out.append(
+                (node.node_no if node else None, [e.config.config_no for e in evict])
+            )
+        elif hasattr(r, "config_no"):
+            out.append(("config", r.config_no))
+        elif hasattr(r, "node_no"):
+            out.append(("node", r.node_no))
+        elif hasattr(r, "config"):
+            out.append(("entry", r.config.config_no))
+        else:
+            out.append(r)
+    return out
+
+
+def test_fail_repair_round_trip_identical_and_invariant():
+    rim_i, rim_s = build_pair([2000, 2000, 1500], [400, 600, 900])
+    res_i, counters_i = drive(rim_i)
+    check_invariants(rim_i)  # I10 cross-checks every index after the history
+    res_s, counters_s = drive(rim_s)
+    check_invariants(rim_s)
+    assert summarize(res_i) == summarize(res_s)
+    assert counters_i == counters_s
+
+
+def test_fail_repair_preserves_indexes_stepwise():
+    """check_invariants after every single mutation of a fail/repair cycle."""
+    nodes = [Node(node_no=i, total_area=2000) for i in range(3)]
+    configs = [cfg(0, 400), cfg(1, 600)]
+    rim = ResourceInformationManager(nodes, configs, indexed=True)
+    check_invariants(rim)
+    e0 = rim.configure_node(nodes[0], configs[0])
+    check_invariants(rim)
+    t = Task(task_no=0, required_time=100, pref_config=configs[0])
+    t.mark_created(0)
+    t.mark_started(0, configs[0])
+    rim.assign_task(t, nodes[0], e0)
+    check_invariants(rim)
+    rim.fail_node(nodes[0])
+    check_invariants(rim)
+    assert nodes[0].is_blank and not nodes[0].in_service
+    assert nodes[0].busy_area == 0
+    rim.repair_node(nodes[0])
+    check_invariants(rim)
+    assert nodes[0].in_service
+    # The repaired node is discoverable again through the indexed fast path.
+    assert rim.find_best_blank_node(configs[0]) is not None
+
+
+# -- satellite: find_any_idle_node charges a step on every branch --------------
+
+
+class TestFindAnyIdleNodeCharging:
+    """Each node visited by the scan costs exactly one step, every branch."""
+
+    def _rim(self, indexed, node_areas, configure=()):
+        nodes = [Node(node_no=i, total_area=a) for i, a in enumerate(node_areas)]
+        configs = [cfg(0, 400), cfg(1, 1800)]
+        rim = ResourceInformationManager(nodes, configs, indexed=indexed)
+        for node_idx, config_idx in configure:
+            rim.configure_node(nodes[node_idx], configs[config_idx])
+        return rim
+
+    @pytest.mark.parametrize("indexed", [True, False])
+    def test_early_return_branch_charges_one(self, indexed):
+        # Node 0 is configured with free area left: the scan succeeds on the
+        # first node and must charge 1 step (the regression was charging 0).
+        rim = self._rim(indexed, [2000], configure=[(0, 0)])
+        before = rim.counters.scheduling_steps
+        node, evict = rim.find_any_idle_node(rim.configs[0])
+        assert node is rim.nodes[0] and evict == []
+        assert rim.counters.scheduling_steps - before == 1
+
+    @pytest.mark.parametrize("indexed", [True, False])
+    def test_blank_node_branch_charges_one(self, indexed):
+        # Node 0 blank (skipped, but visited: 1 step); node 1 hosts the hit.
+        rim = self._rim(indexed, [2000, 2000], configure=[(1, 0)])
+        before = rim.counters.scheduling_steps
+        node, _ = rim.find_any_idle_node(rim.configs[0])
+        assert node is rim.nodes[1]
+        assert rim.counters.scheduling_steps - before == 2
+
+    @pytest.mark.parametrize("require_all_idle", [False, True])
+    def test_failed_scan_charges_match_reference(self, require_all_idle):
+        # Infeasible request: the indexed prefilter must bill exactly what
+        # the reference walk bills when it comes up empty.
+        def charge(indexed):
+            # Config 1 needs 1800 > every node's total area: no node can ever
+            # host it, so the scan fails after visiting the whole table.
+            rim = self._rim(indexed, [1500, 1400, 1000], configure=[(0, 0), (1, 0)])
+            before = rim.counters.scheduling_steps
+            node, evict = rim.find_any_idle_node(
+                rim.configs[1], require_all_idle=require_all_idle
+            )
+            assert (node, evict) == (None, [])
+            return rim.counters.scheduling_steps - before
+
+        assert charge(True) == charge(False)
+
+    @pytest.mark.parametrize("indexed", [True, False])
+    def test_infeasible_everywhere_charges_whole_walk(self, indexed):
+        # No node can ever host config 1 (req 1800 > any reclaimable area
+        # once config 0 is pinned busy) — full-mode scan visits everything.
+        rim = self._rim(indexed, [1500, 1000], configure=[(0, 0)])
+        t = Task(task_no=0, required_time=50, pref_config=rim.configs[0])
+        t.mark_created(0)
+        t.mark_started(0, rim.configs[0])
+        rim.assign_task(t, rim.nodes[0], rim.nodes[0].entries[0])
+        before = rim.counters.scheduling_steps
+        node, evict = rim.find_any_idle_node(rim.configs[1])
+        assert (node, evict) == (None, [])
+        charged = rim.counters.scheduling_steps - before
+        # Reference walk: node 0 visited + per-entry exploration, node 1
+        # (blank) visited.  Whatever the exact arithmetic, both modes agree:
+        rim2 = self._rim(not indexed, [1500, 1000], configure=[(0, 0)])
+        t2 = Task(task_no=0, required_time=50, pref_config=rim2.configs[0])
+        t2.mark_created(0)
+        t2.mark_started(0, rim2.configs[0])
+        rim2.assign_task(t2, rim2.nodes[0], rim2.nodes[0].entries[0])
+        before2 = rim2.counters.scheduling_steps
+        assert rim2.find_any_idle_node(rim2.configs[1]) == (None, [])
+        assert charged == rim2.counters.scheduling_steps - before2
+        assert charged >= len(rim.nodes)
+
+
+# -- satellite: Node.interrupt_all owns the busy-count bookkeeping -------------
+
+
+def test_interrupt_all_returns_tasks_in_entry_order_and_zeroes_busy():
+    node = Node(node_no=0, total_area=3000)
+    configs = [cfg(0, 400), cfg(1, 600), cfg(2, 500)]
+    rim = ResourceInformationManager([node], configs)
+    tasks = []
+    for i, c in enumerate(configs):
+        entry = rim.configure_node(node, c)
+        t = Task(task_no=i, required_time=50, pref_config=c)
+        t.mark_created(0)
+        t.mark_started(0, c)
+        rim.assign_task(t, node, entry)
+        tasks.append(t)
+    rim.complete_task(tasks[1], node)  # leave a hole: idle entry in the middle
+    interrupted = node.interrupt_all()
+    assert interrupted == [tasks[0], tasks[2]]  # entry order, busy only
+    assert node._busy_count == 0
+    assert node.busy_area == 0
+    assert all(e.is_idle for e in node.entries)

@@ -1,0 +1,162 @@
+#!/usr/bin/env python
+"""Wall-clock perf harness: indexed fast paths vs the reference scan manager.
+
+Runs the same simulations twice — once with the indexed resource manager
+(``indexed=True``, the default) and once with the reference linear-scan
+manager (``indexed=False``) — times both, verifies the paper-facing report
+is identical across modes, and writes the results to ``BENCH_perf.json``.
+
+Wall-clock time is the only thing that may differ between the two modes;
+Table I counters, per-task SL, and the Figure 6–10 series are bit-identical
+by construction (the indexed paths bulk-charge exactly the steps the
+simulated linear search would have taken).
+
+Usage::
+
+    PYTHONPATH=src python tools/perf.py                 # full matrix
+    PYTHONPATH=src python tools/perf.py --quick         # small smoke matrix
+    PYTHONPATH=src python tools/perf.py --seed 7 -o out.json
+
+The headline scale (200 nodes / 20k tasks, partial reconfiguration) is the
+acceptance gate: the indexed manager must be >= 3x faster end-to-end.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro import quick_simulation  # noqa: E402
+
+# (nodes, tasks, partial) — headline last so progress output ends on the gate.
+FULL_MATRIX = [
+    (100, 5000, False),
+    (100, 5000, True),
+    (200, 20000, False),
+    (200, 20000, True),
+]
+QUICK_MATRIX = [
+    (50, 500, False),
+    (50, 500, True),
+]
+HEADLINE = (200, 20000, True)
+
+
+def time_run(nodes: int, tasks: int, partial: bool, seed: int, indexed: bool):
+    """Run one simulation, returning (elapsed_seconds, report_dict)."""
+    t0 = time.perf_counter()
+    result = quick_simulation(
+        nodes=nodes, tasks=tasks, partial=partial, seed=seed, indexed=indexed
+    )
+    elapsed = time.perf_counter() - t0
+    return elapsed, result.report.as_dict()
+
+
+def run_matrix(matrix, seed: int, repeats: int):
+    """Time every (nodes, tasks, partial) cell in both manager modes."""
+    rows = []
+    for nodes, tasks, partial in matrix:
+        mode = "partial" if partial else "full"
+        indexed_s = scan_s = float("inf")
+        report_indexed = report_scan = None
+        for _ in range(repeats):
+            t, report_indexed = time_run(nodes, tasks, partial, seed, indexed=True)
+            indexed_s = min(indexed_s, t)
+            t, report_scan = time_run(nodes, tasks, partial, seed, indexed=False)
+            scan_s = min(scan_s, t)
+        row = {
+            "nodes": nodes,
+            "tasks": tasks,
+            "mode": mode,
+            "seed": seed,
+            "indexed_seconds": round(indexed_s, 3),
+            "scan_seconds": round(scan_s, 3),
+            "speedup": round(scan_s / indexed_s, 2) if indexed_s else None,
+            "reports_equal": report_indexed == report_scan,
+            "avg_scheduling_steps_per_task": report_indexed[
+                "avg_scheduling_steps_per_task"
+            ],
+        }
+        rows.append(row)
+        print(
+            f"{nodes:>4} nodes x {tasks:>6} tasks [{mode:>7}]  "
+            f"indexed {indexed_s:6.2f}s  scan {scan_s:6.2f}s  "
+            f"speedup {row['speedup']:.2f}x  reports_equal={row['reports_equal']}"
+        )
+        if not row["reports_equal"]:
+            diff = {
+                k: (report_indexed.get(k), report_scan.get(k))
+                for k in set(report_indexed) | set(report_scan)
+                if report_indexed.get(k) != report_scan.get(k)
+            }
+            print(f"  REPORT MISMATCH: {diff}", file=sys.stderr)
+    return rows
+
+
+def main(argv=None) -> int:
+    """CLI entry point; returns a process exit status."""
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--seed", type=int, default=42)
+    ap.add_argument("--repeats", type=int, default=1, help="timing repeats (min taken)")
+    ap.add_argument(
+        "--quick", action="store_true", help="small matrix for CI smoke runs"
+    )
+    ap.add_argument(
+        "-o",
+        "--output",
+        default=str(Path(__file__).resolve().parent.parent / "BENCH_perf.json"),
+        help="output JSON path (default: repo-root BENCH_perf.json)",
+    )
+    args = ap.parse_args(argv)
+
+    matrix = QUICK_MATRIX if args.quick else FULL_MATRIX
+    rows = run_matrix(matrix, args.seed, max(1, args.repeats))
+
+    headline = next(
+        (
+            r
+            for r in rows
+            if (r["nodes"], r["tasks"], r["mode"] == "partial") == HEADLINE
+        ),
+        rows[-1],
+    )
+    payload = {
+        "description": (
+            "Wall-clock comparison of the indexed resource manager "
+            "(indexed=True) vs the reference linear-scan manager "
+            "(indexed=False). Simulated step accounting is bit-identical "
+            "across modes; only wall-clock differs."
+        ),
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "command": "PYTHONPATH=src python tools/perf.py"
+        + (" --quick" if args.quick else ""),
+        "headline": {
+            "scale": f"{headline['nodes']} nodes / {headline['tasks']} tasks "
+            f"({headline['mode']} reconfiguration)",
+            "before_scan_seconds": headline["scan_seconds"],
+            "after_indexed_seconds": headline["indexed_seconds"],
+            "speedup": headline["speedup"],
+        },
+        "results": rows,
+    }
+    Path(args.output).write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"\nwrote {args.output}")
+    print(
+        f"headline: {payload['headline']['scale']} -> "
+        f"{payload['headline']['speedup']}x"
+    )
+    if not all(r["reports_equal"] for r in rows):
+        print("FAIL: reports differ between modes", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
