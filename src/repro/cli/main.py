@@ -74,6 +74,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="use the reference linear-scan resource manager "
         "(same results/counters; O(n) wall-clock per query)",
     )
+    run_p.add_argument(
+        "--trace", type=str, default=None, metavar="PATH",
+        help="write the structured event trace as JSON lines to PATH",
+    )
+    run_p.add_argument(
+        "--trace-digest", action="store_true",
+        help="print the run's order-sensitive trace digest "
+        "(identical for bit-identical runs; implies tracing)",
+    )
     _add_common(run_p)
 
     sweep_p = sub.add_parser("sweep", help="task-count sweep, both modes")
@@ -171,11 +180,23 @@ def cmd_run(args) -> int:
 
         profiler = cProfile.Profile()
         profiler.enable()
+    trace = None
+    digest_sink = None
+    jsonl_sink = None
+    if getattr(args, "trace", None) or getattr(args, "trace_digest", False):
+        from repro.trace import DigestSink, JsonlSink, TraceBus
+
+        trace = TraceBus()
+        digest_sink = DigestSink()
+        trace.attach(digest_sink)
+        if args.trace:
+            jsonl_sink = JsonlSink(args.trace)
+            trace.attach(jsonl_sink)
     if args.config:
         from repro.framework.expconfig import load_experiment
 
         cfg = load_experiment(args.config)
-        result = cfg.build().run()
+        result = cfg.build(trace=trace).run()
         params = cfg.describe()
         label = f"config {args.config}"
     else:
@@ -186,6 +207,7 @@ def cmd_run(args) -> int:
             partial=(args.mode == "partial"),
             seed=args.seed,
             indexed=not getattr(args, "no_indexed", False),
+            trace=trace,
         )
         params = {
             "nodes": args.nodes,
@@ -205,6 +227,11 @@ def cmd_run(args) -> int:
         print("=== cProfile hot spots (top 25 by cumulative time) ===")
         print(buf.getvalue())
     _print_report(result.report, label)
+    if jsonl_sink is not None:
+        jsonl_sink.close()
+        print(f"trace written to {args.trace} ({trace.events_emitted} events)")
+    if digest_sink is not None and getattr(args, "trace_digest", False):
+        print(f"trace digest: {digest_sink.hexdigest()}")
     if args.timeline:
         for series in (result.monitor.busy_nodes, result.monitor.queue_length):
             if len(series) > 1:

@@ -42,6 +42,7 @@ from repro.model.node import Node
 from repro.model.task import Task
 from repro.resources.manager import ResourceInformationManager
 from repro.resources.susqueue import SuspensionQueue
+from repro.trace.events import DISCARDED, PLACED, SUSPENDED
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.model.gpp import GppPool
@@ -63,6 +64,10 @@ class DreamScheduler:
     policy:
         Candidate-selection criteria; defaults to the paper's
         minimum-sufficient-area rule.
+    trace:
+        Optional :class:`repro.trace.TraceBus`; emits ``Placed`` (with the
+        phase that produced the placement) and ``Discarded`` events.  An
+        auto-created suspension queue inherits it.
     """
 
     def __init__(
@@ -73,10 +78,14 @@ class DreamScheduler:
         policy: Optional[PlacementPolicy] = None,
         network: Optional["NetworkModel"] = None,
         gpp_pool: Optional["GppPool"] = None,
+        trace=None,
     ) -> None:
         self.rim = rim
+        self.trace = trace
         if susqueue is None:
-            susqueue = SuspensionQueue(rim.counters, key_fn=self.matched_config_no)
+            susqueue = SuspensionQueue(
+                rim.counters, key_fn=self.matched_config_no, trace=trace
+            )
         elif susqueue.key_fn is None:
             susqueue.key_fn = self.matched_config_no
         self.susqueue = susqueue
@@ -205,7 +214,7 @@ class DreamScheduler:
             config = rim.find_closest_config(task.pref_config)
             used_closest = True
             if config is None:
-                return self._discard(task, now)
+                return self._discard(task, now, reason="no_config")
 
         # Phase 1: allocation on an idle entry with the matched config.
         entry = self.policy.select_idle_entry(rim, config)
@@ -272,6 +281,16 @@ class DreamScheduler:
                     gpp_slot=slot,
                     exec_time=self.gpp_pool.exec_time(task),
                 )
+                if self.trace is not None:
+                    self.trace.emit(
+                        PLACED,
+                        task=task.task_no,
+                        kind=PlacementKind.GPP_OFFLOAD.value,
+                        node=None,
+                        cfg=GPP_CONFIG.config_no,
+                        ctime=0,
+                        closest=False,
+                    )
                 return ScheduleOutcome(
                     task=task, result=ScheduleResult.SCHEDULED, placement=placement
                 )
@@ -279,8 +298,17 @@ class DreamScheduler:
         # Last resort: suspension if some busy node could ever host it.
         if self.rim.busy_candidate_exists(config):
             if self.susqueue.add(task, now):
+                # Emitted here, not inside SuspensionQueue.add: only
+                # scheduler-decided suspensions are suspension *events*
+                # (Table I); the failure injector's transient add/remove
+                # round-trip is queue bookkeeping, not a suspension.
+                if self.trace is not None:
+                    self.trace.emit(
+                        SUSPENDED, task=task.task_no, qlen=len(self.susqueue)
+                    )
                 return ScheduleOutcome(task=task, result=ScheduleResult.SUSPENDED)
-        return self._discard(task, now)
+            return self._discard(task, now, reason="queue_full")
+        return self._discard(task, now, reason="no_placement")
 
     # -- helpers --------------------------------------------------------------------
 
@@ -306,6 +334,18 @@ class DreamScheduler:
             config_time += self.network.config_transfer_time(node, config)
         task.mark_started(now, config, comm_time=comm_time, config_time_paid=config_time)
         self.rim.assign_task(task, node, entry)
+        if self.trace is not None:
+            self.trace.emit(
+                PLACED,
+                task=task.task_no,
+                kind=kind.value,
+                node=node.node_no,
+                cfg=config.config_no,
+                ctime=config_time,
+                avail=node.available_area,
+                sw=self.rim.total_wasted_area(),
+                closest=used_closest,
+            )
         placement = Placement(
             kind=kind,
             node=node,
@@ -318,8 +358,10 @@ class DreamScheduler:
         )
         return ScheduleOutcome(task=task, result=ScheduleResult.SCHEDULED, placement=placement)
 
-    def _discard(self, task: Task, now: int) -> ScheduleOutcome:
+    def _discard(self, task: Task, now: int, reason: str = "no_placement") -> ScheduleOutcome:
         task.mark_discarded(now)
+        if self.trace is not None:
+            self.trace.emit(DISCARDED, task=task.task_no, reason=reason)
         return ScheduleOutcome(task=task, result=ScheduleResult.DISCARDED)
 
 

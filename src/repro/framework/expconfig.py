@@ -93,8 +93,12 @@ class ExperimentConfig:
     max_retries: Optional[int] = None
     gpp: Optional[GppPool] = None
 
-    def build(self) -> DReAMSim:
-        """Instantiate a ready-to-run simulator from this configuration."""
+    def build(self, **sim_kwargs) -> DReAMSim:
+        """Instantiate a ready-to-run simulator from this configuration.
+
+        ``sim_kwargs`` pass through to :class:`DReAMSim` (e.g. ``trace=`` to
+        attach a trace bus, ``indexed=False`` for the reference manager).
+        """
         rng = RNG(seed=self.seed)
         nodes = generate_nodes(self.node_spec, rng)
         configs = generate_configs(self.config_spec, rng)
@@ -108,6 +112,7 @@ class ExperimentConfig:
             max_queue_length=self.max_queue_length,
             max_retries=self.max_retries,
             gpp=self.gpp,
+            **sim_kwargs,
         )
 
     def describe(self) -> dict[str, Any]:

@@ -29,6 +29,7 @@ from repro.framework.simulator import DReAMSim
 from repro.model.node import Node
 from repro.rng import RNG
 from repro.rng.distributions import Distribution
+from repro.trace.events import DISCARDED, TASK_INTERRUPTED
 
 
 @dataclass
@@ -131,13 +132,18 @@ class FailureInjector:
             )
         )
         self.tasks_interrupted += len(interrupted)
+        trace = sim.trace
         # Fail-restart: interrupted tasks drop their stale completion events
         # (placement mismatch) and re-enter scheduling right now.
         for task in interrupted:
             sim._placements.pop(task.task_no, None)
+            if trace is not None:
+                trace.emit(TASK_INTERRUPTED, task=task.task_no, node=node.node_no)
             if not sim.susqueue.add(task, now):
                 task.mark_discarded(now)
                 sim.scheduler.stats.discarded += 1
+                if trace is not None:
+                    trace.emit(DISCARDED, task=task.task_no, reason="queue_full")
                 continue
             rec = next(r for r in sim.susqueue if r.task is task)
             candidate = sim.susqueue.remove(rec)

@@ -12,6 +12,7 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING, Optional
 
 from repro.metrics.timeseries import TimeSeries
+from repro.trace.events import MONITOR_SAMPLED
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.resources.manager import ResourceInformationManager
@@ -41,8 +42,9 @@ class MonitorSample:
 class Monitor:
     """Event-driven state sampler with optional rate limiting."""
 
-    def __init__(self, min_interval: int = 0) -> None:
+    def __init__(self, min_interval: int = 0, trace=None) -> None:
         self.min_interval = min_interval
+        self.trace = trace
         self.samples: list[MonitorSample] = []
         self.busy_nodes = TimeSeries("busy_nodes")
         self.queue_length = TimeSeries("suspension_queue_length")
@@ -79,6 +81,14 @@ class Monitor:
         self.wasted_area.add(now, snap.wasted_area)
         self.running_tasks.add(now, snap.running_tasks)
         self._last_time = now
+        if self.trace is not None:
+            self.trace.emit(
+                MONITOR_SAMPLED,
+                busy=snap.busy_nodes,
+                queued=snap.suspended_tasks,
+                waste=snap.wasted_area,
+                running=snap.running_tasks,
+            )
         return snap
 
     @property

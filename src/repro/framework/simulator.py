@@ -36,6 +36,13 @@ from repro.resources.invariants import check_invariants
 from repro.resources.manager import ResourceInformationManager
 from repro.resources.susqueue import SuspensionQueue
 from repro.sim.environment import Environment
+from repro.trace.events import (
+    COMPLETED,
+    DISCARDED,
+    RUN_FINISHED,
+    RUN_STARTED,
+    TASK_ARRIVED,
+)
 from repro.workload.generator import TaskArrival
 
 from repro.framework.loadbalance import LoadBalancer
@@ -81,6 +88,12 @@ class DReAMSim:
         Resource-manager mode: ``True`` (default) answers scheduler queries
         from area-ordered indexes with identical simulated step accounting;
         ``False`` runs the reference linear scans (differential baseline).
+    trace:
+        Optional :class:`repro.trace.TraceBus`.  The simulator wires its
+        clock and counters onto the bus and hands it to every subsystem, so
+        one attached bus observes the full event stream (DESIGN.md §9).
+        The ``indexed`` flag is deliberately NOT recorded in the trace —
+        both manager modes must produce identical digests.
     """
 
     def __init__(
@@ -100,25 +113,31 @@ class DReAMSim:
         queue_order: str = "fifo",
         gpp=None,
         indexed: bool = True,
+        trace=None,
     ) -> None:
         self.env = Environment()
         self.counters = SearchCounters()
+        self.trace = trace
+        if trace is not None:
+            trace.clock = lambda: int(self.env.now)
+            trace.counters = self.counters
         self.rim = ResourceInformationManager(
-            list(nodes), list(configs), self.counters, indexed=indexed
+            list(nodes), list(configs), self.counters, indexed=indexed, trace=trace
         )
         self.susqueue = SuspensionQueue(
             self.counters,
             max_retries=max_retries,
             max_length=max_queue_length,
             order=queue_order,
+            trace=trace,
         )
         self.scheduler = DreamScheduler(
             self.rim, self.susqueue, partial=partial, policy=policy,
-            network=network, gpp_pool=gpp,
+            network=network, gpp_pool=gpp, trace=trace,
         )
         self.gpp = gpp
         self.partial = partial
-        self.monitor = Monitor(min_interval=monitor_min_interval)
+        self.monitor = Monitor(min_interval=monitor_min_interval, trace=trace)
         self.load = LoadBalancer(self.rim)
         self.tasks: list[Task] = []
         self.placement_waste = RunningStats()
@@ -145,10 +164,20 @@ class DReAMSim:
         """Run to completion (or to time ``until``) and build the report."""
         if self._done:
             raise RuntimeError("simulation already ran; create a new DReAMSim")
+        if self.trace is not None:
+            self.trace.emit(
+                RUN_STARTED,
+                nodes=len(self.rim.nodes),
+                configs=len(self.rim.configs),
+                partial=self.partial,
+                sample_system=self._sample_system,
+            )
         self._feed_next_arrival()
         self.env.run(until=until)
         final = self._final_time()
         self._charge_tick_housekeeping(final)
+        if self.trace is not None:
+            self.trace.emit(RUN_FINISHED, final=final)
         self._done = True
         report = self.make_report()
         return SimulationResult(
@@ -231,6 +260,13 @@ class DReAMSim:
         task = arrival.task
         task.mark_created(now)
         self.tasks.append(task)
+        if self.trace is not None:
+            self.trace.emit(
+                TASK_ARRIVED,
+                task=task.task_no,
+                pref=task.pref_config.config_no,
+                req=task.required_time,
+            )
         self._submit(task, now)
         self._feed_next_arrival()
 
@@ -276,6 +312,15 @@ class DReAMSim:
         self._charge_tick_housekeeping(now)
         task.mark_completed(now)
         placement = self._placements.pop(task.task_no)
+        if self.trace is not None:
+            self.trace.emit(
+                COMPLETED,
+                task=task.task_no,
+                node=placement.node.node_no if placement.node is not None else None,
+                wait=task.waiting_time,
+                run=task.running_time,
+                closest=task.used_closest_match,
+            )
         if placement.node is None:
             # GPP completion: free the core and offer it to the queue head.
             assert self.gpp is not None
@@ -306,6 +351,8 @@ class DReAMSim:
         for expired in self.susqueue.expired():
             expired.mark_discarded(now)
             self.scheduler.stats.discarded += 1
+            if self.trace is not None:
+                self.trace.emit(DISCARDED, task=expired.task_no, reason="retries")
 
 
 __all__ = ["DReAMSim", "SimulationResult"]

@@ -94,6 +94,60 @@ def total_configuration_time(
     )
 
 
+def assemble_report(
+    *,
+    total_tasks: int,
+    waiting: RunningStats,
+    running: RunningStats,
+    completed: int,
+    discarded: int,
+    closest: int,
+    total_reconfigs: int,
+    config_time_total: int,
+    node_count: int,
+    scheduling_steps: int,
+    total_workload: int,
+    total_used_nodes: int,
+    final_time: int,
+    suspension_events: int,
+    placements_by_kind: Mapping[str, int],
+    placement_waste: Optional[RunningStats] = None,
+    system_waste_total: float = 0.0,
+) -> MetricsReport:
+    """Build a :class:`MetricsReport` from primitive aggregates.
+
+    Shared by :func:`compute_report` (live end-of-run state) and
+    :class:`repro.trace.replay.TraceReplayer` (aggregates re-derived from an
+    event trace), so both paths perform bit-identical arithmetic.
+    """
+
+    def per_task(x: float) -> float:
+        return x / total_tasks if total_tasks else 0.0
+
+    return MetricsReport(
+        avg_wasted_area_per_task=(placement_waste.mean if placement_waste else 0.0),
+        avg_running_time_per_task=running.mean,
+        avg_reconfig_count_per_node=(total_reconfigs / node_count) if node_count else 0.0,
+        avg_reconfig_time_per_task=per_task(config_time_total),
+        avg_waiting_time_per_task=waiting.mean,
+        avg_scheduling_steps_per_task=per_task(scheduling_steps),
+        total_discarded_tasks=discarded,
+        total_scheduler_workload=total_workload,
+        total_used_nodes=total_used_nodes,
+        total_simulation_time=final_time,
+        avg_system_wasted_area_per_task=per_task(system_waste_total),
+        total_tasks_generated=total_tasks,
+        total_completed_tasks=completed,
+        total_suspension_events=suspension_events,
+        total_reconfigurations=total_reconfigs,
+        total_configuration_time=config_time_total,
+        closest_match_tasks=closest,
+        placements_by_kind=dict(placements_by_kind),
+        waiting_time_stats=waiting.snapshot(),
+        running_time_stats=running.snapshot(),
+    )
+
+
 def compute_report(
     tasks: Sequence[Task],
     nodes: Sequence[Node],
@@ -131,31 +185,25 @@ def compute_report(
     total_reconfigs = sum(n.reconfig_count for n in nodes)
     config_time_total = total_configuration_time(configs, reconfig_count_by_config)
 
-    def per_task(x: float) -> float:
-        return x / total_tasks if total_tasks else 0.0
-
-    return MetricsReport(
-        avg_wasted_area_per_task=(placement_waste.mean if placement_waste else 0.0),
-        avg_running_time_per_task=running.mean,
-        avg_reconfig_count_per_node=(total_reconfigs / len(nodes)) if nodes else 0.0,
-        avg_reconfig_time_per_task=per_task(config_time_total),
-        avg_waiting_time_per_task=waiting.mean,
-        avg_scheduling_steps_per_task=per_task(counters.scheduling_steps),
-        total_discarded_tasks=discarded,
-        total_scheduler_workload=counters.total_workload,
+    return assemble_report(
+        total_tasks=total_tasks,
+        waiting=waiting,
+        running=running,
+        completed=completed,
+        discarded=discarded,
+        closest=closest,
+        total_reconfigs=total_reconfigs,
+        config_time_total=config_time_total,
+        node_count=len(nodes),
+        scheduling_steps=counters.scheduling_steps,
+        total_workload=counters.total_workload,
         total_used_nodes=total_used_nodes,
-        total_simulation_time=final_time,
-        avg_system_wasted_area_per_task=per_task(system_waste_total),
-        total_tasks_generated=total_tasks,
-        total_completed_tasks=completed,
-        total_suspension_events=scheduler_stats.suspended,
-        total_reconfigurations=total_reconfigs,
-        total_configuration_time=config_time_total,
-        closest_match_tasks=closest,
-        placements_by_kind=dict(scheduler_stats.by_kind),
-        waiting_time_stats=waiting.snapshot(),
-        running_time_stats=running.snapshot(),
+        final_time=final_time,
+        suspension_events=scheduler_stats.suspended,
+        placements_by_kind=scheduler_stats.by_kind,
+        placement_waste=placement_waste,
+        system_waste_total=system_waste_total,
     )
 
 
-__all__ = ["MetricsReport", "compute_report", "total_configuration_time"]
+__all__ = ["MetricsReport", "assemble_report", "compute_report", "total_configuration_time"]

@@ -45,6 +45,12 @@ from repro.model.task import Task
 from repro.resources.chains import IntrusiveChain
 from repro.resources.counters import SearchCounters
 from repro.resources.indexes import SortedKeyIndex
+from repro.trace.events import (
+    CONFIG_EVICTED,
+    CONFIG_LOADED,
+    NODE_FAILED,
+    NODE_REPAIRED,
+)
 
 
 class ResourceInformationManager:
@@ -64,6 +70,10 @@ class ResourceInformationManager:
         ``True`` (default) answers queries from the area-ordered indexes
         with batched step charging; ``False`` runs the reference linear
         scans (same results, same counters, O(n) wall-clock).
+    trace:
+        Optional :class:`repro.trace.TraceBus`; when attached, every
+        configuration load/evict and node fail/repair emits a structured
+        event.  ``None`` (default) costs one attribute check per mutation.
     """
 
     def __init__(
@@ -72,11 +82,13 @@ class ResourceInformationManager:
         configs: Sequence[Configuration],
         counters: Optional[SearchCounters] = None,
         indexed: bool = True,
+        trace=None,
     ) -> None:
         self.nodes: list[Node] = list(nodes)
         self.configs: list[Configuration] = list(configs)
         self.counters = counters if counters is not None else SearchCounters()
         self.indexed = indexed
+        self.trace = trace
 
         seen_nos = set()
         for c in self.configs:
@@ -603,6 +615,13 @@ class ResourceInformationManager:
         self.counters.charge_housekeeping()
         self._used_nodes.add(node.node_no)
         self.reconfig_count_by_config[config.config_no] += 1
+        if self.trace is not None:
+            self.trace.emit(
+                CONFIG_LOADED,
+                node=node.node_no,
+                cfg=config.config_no,
+                ctime=config.config_time,
+            )
         return entry
 
     def assign_task(self, task: Task, node: Node, entry: ConfigTaskEntry) -> None:
@@ -641,10 +660,19 @@ class ResourceInformationManager:
             self._blank.append(node)
             self._blank_add(node)
             self.counters.charge_housekeeping()
+        if entries and self.trace is not None:
+            self.trace.emit(
+                CONFIG_EVICTED,
+                node=node.node_no,
+                cfgs=[e.config.config_no for e in entries],
+                area=reclaimed,
+            )
         return reclaimed
 
     def blank_node(self, node: Node) -> None:
         """Remove *all* (idle) entries from a node — full-reconfiguration reuse."""
+        evicted = [e.config.config_no for e in node.entries if e.is_idle]
+        reclaimed = node.configured_area
         for entry in node.entries:
             if entry.is_idle:
                 self._idle[entry.config.config_no].remove(entry)
@@ -655,6 +683,10 @@ class ResourceInformationManager:
             self._blank.append(node)
             self._blank_add(node)
             self.counters.charge_housekeeping()
+        if evicted and self.trace is not None:
+            self.trace.emit(
+                CONFIG_EVICTED, node=node.node_no, cfgs=evicted, area=reclaimed
+            )
 
     # -- failure injection ---------------------------------------------------------------
 
@@ -668,6 +700,7 @@ class ResourceInformationManager:
         if not node.in_service:
             raise ConfigurationError(f"node {node.node_no} is already failed")
         interrupted: list[Task] = []
+        lost = len(node.entries)
 
         def wipe() -> None:
             for entry in list(node.entries):
@@ -688,6 +721,13 @@ class ResourceInformationManager:
         node.in_service = False
         node.failure_count += 1
         self._failed_count += 1
+        if self.trace is not None:
+            self.trace.emit(
+                NODE_FAILED,
+                node=node.node_no,
+                interrupted=len(interrupted),
+                lost=lost,
+            )
         return interrupted
 
     def repair_node(self, node: Node) -> None:
@@ -699,6 +739,8 @@ class ResourceInformationManager:
         self._blank.append(node)
         self._blank_add(node)
         self.counters.charge_housekeeping()
+        if self.trace is not None:
+            self.trace.emit(NODE_REPAIRED, node=node.node_no)
 
     # -- statistics -------------------------------------------------------------------
 

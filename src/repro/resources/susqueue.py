@@ -30,6 +30,7 @@ from typing import Callable, Hashable, Iterable, Iterator, Optional
 
 from repro.model.task import Task
 from repro.resources.counters import SearchCounters
+from repro.trace.events import RESUMED
 
 NO_KEY = object()  # index key for records whose key_fn returned None
 
@@ -71,12 +72,14 @@ class SuspensionQueue:
         max_length: Optional[int] = None,
         key_fn: Optional[Callable[[Task], Hashable]] = None,
         order: str = "fifo",
+        trace=None,
     ) -> None:
         if order not in _DISCIPLINES:
             raise ValueError(
                 f"unknown queue discipline {order!r}; options: {sorted(_DISCIPLINES)}"
             )
         self.counters = counters if counters is not None else SearchCounters()
+        self.trace = trace
         self.max_retries = max_retries
         self.max_length = max_length
         self.key_fn = key_fn
@@ -151,6 +154,10 @@ class SuspensionQueue:
                 del self._by_key[rec.key]
         self.counters.charge_housekeeping()
         rec.task.sus_retry += 1
+        if self.trace is not None:
+            self.trace.emit(
+                RESUMED, task=rec.task.task_no, retry=rec.task.sus_retry
+            )
         return rec.task
 
     def _remove_main(self, rec: SuspendedTask) -> None:

@@ -1,0 +1,165 @@
+"""The trace bus and its sinks.
+
+:class:`TraceBus` is the single emission point the simulator, scheduler,
+resource manager, suspension queue, monitor and failure injector all share.
+It is *zero-overhead when absent*: instrumented code holds ``trace=None`` by
+default and guards every emission with one attribute check, so a run without
+a bus pays nothing but that check — no event objects, no field dicts, no
+clock reads (the <2 % gate in ``BENCH_perf.json``).
+
+When a bus is attached it stamps each event with
+
+* a monotone sequence number (total emission order — the digest is
+  order-sensitive),
+* the simulation time, read from the attached ``clock`` callable,
+* the cumulative search-step counters (``ss``/``hk``) when a
+  :class:`~repro.resources.counters.SearchCounters` is attached,
+
+then fans the event out to its sinks:
+
+* :class:`MemorySink` — keeps events in a list (tests, the replayer);
+* :class:`JsonlSink` — streams canonical JSON lines to a file;
+* :class:`DigestSink` — folds canonical lines into a BLAKE2b hash without
+  storing anything, giving the stable per-run *trace digest*.
+
+Because all three consume the same canonical line, the digest of a live run,
+of its JSONL file, and of the events re-read from that file are identical.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from pathlib import Path
+from typing import IO, Iterable, Iterator, Optional, Union
+
+from repro.trace.events import TraceEvent
+
+
+class MemorySink:
+    """Collects events in order; iterable and indexable."""
+
+    def __init__(self) -> None:
+        self.events: list[TraceEvent] = []
+
+    def write(self, event: TraceEvent) -> None:
+        """Append the event to the in-memory list."""
+        self.events.append(event)
+
+    def __iter__(self) -> Iterator[TraceEvent]:
+        return iter(self.events)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+
+class DigestSink:
+    """Streaming order-sensitive BLAKE2b over canonical event lines."""
+
+    def __init__(self) -> None:
+        self._hash = hashlib.blake2b(digest_size=16)
+        self.count = 0
+
+    def write(self, event: TraceEvent) -> None:
+        """Fold the event's canonical line into the digest."""
+        self._hash.update(event.canonical().encode("utf-8"))
+        self._hash.update(b"\n")
+        self.count += 1
+
+    def hexdigest(self) -> str:
+        """Digest over everything written so far (non-destructive)."""
+        return self._hash.copy().hexdigest()
+
+
+class JsonlSink:
+    """Writes one canonical JSON line per event to ``path`` (or a handle)."""
+
+    def __init__(self, path: Union[str, Path, IO[str]]) -> None:
+        if hasattr(path, "write"):
+            self._fh: IO[str] = path  # type: ignore[assignment]
+            self._owns = False
+        else:
+            self._fh = open(path, "w", encoding="utf-8")
+            self._owns = True
+
+    def write(self, event: TraceEvent) -> None:
+        """Write the event's canonical line to the file."""
+        self._fh.write(event.canonical())
+        self._fh.write("\n")
+
+    def close(self) -> None:
+        """Close the underlying file if this sink opened it."""
+        if self._owns:
+            self._fh.close()
+
+    def __enter__(self) -> "JsonlSink":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+class TraceBus:
+    """Shared emission point; see the module docstring.
+
+    Parameters
+    ----------
+    *sinks:
+        Any objects with a ``write(event)`` method.
+    clock:
+        Zero-argument callable returning the current simulation time; the
+        simulator sets this to its environment clock.  Defaults to 0 (useful
+        for tracing the resource manager standalone in tests).
+    counters:
+        When attached, every event carries cumulative ``ss``/``hk`` stamps.
+    """
+
+    __slots__ = ("clock", "counters", "_sinks", "_seq")
+
+    def __init__(self, *sinks, clock=None, counters=None) -> None:
+        self._sinks = list(sinks)
+        self.clock = clock
+        self.counters = counters
+        self._seq = 0
+
+    def attach(self, sink) -> None:
+        """Add a sink; it sees only events emitted after attachment."""
+        self._sinks.append(sink)
+
+    @property
+    def events_emitted(self) -> int:
+        return self._seq
+
+    def emit(self, ev_type: str, **fields) -> None:
+        """Stamp and fan out one event (callers guard the ``None`` check)."""
+        clock = self.clock
+        t = int(clock()) if clock is not None else 0
+        c = self.counters
+        if c is not None:
+            fields["ss"] = c.scheduling_steps
+            fields["hk"] = c.housekeeping_steps
+        event = TraceEvent(seq=self._seq, time=t, type=ev_type, fields=fields)
+        self._seq += 1
+        for sink in self._sinks:
+            sink.write(event)
+
+
+def read_jsonl(path: Union[str, Path]) -> list[TraceEvent]:
+    """Load a JSONL trace file back into events."""
+    out: list[TraceEvent] = []
+    with open(path, encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                out.append(TraceEvent.from_json_line(line))
+    return out
+
+
+def digest_of(events: Iterable[TraceEvent]) -> str:
+    """Order-sensitive digest of an event sequence (same hash as DigestSink)."""
+    sink = DigestSink()
+    for event in events:
+        sink.write(event)
+    return sink.hexdigest()
+
+
+__all__ = ["TraceBus", "MemorySink", "DigestSink", "JsonlSink", "read_jsonl", "digest_of"]

@@ -1,0 +1,185 @@
+"""Deterministic golden-trace replay.
+
+:class:`TraceReplayer` consumes a structured event stream (live
+:class:`~repro.trace.bus.MemorySink` contents or a JSONL file re-read with
+:func:`~repro.trace.bus.read_jsonl`) and re-derives, from the events alone:
+
+* every Table I counter (:class:`~repro.metrics.table1.MetricsReport`), and
+* the Fig. 6–10 inputs — Fig. 6 from the per-placement waste samples on
+  ``Placed`` events, Fig. 7 from the ``ConfigLoaded`` count, Fig. 8 from the
+  Eq. 8 components on ``Completed`` events, Fig. 9a/9b from the counter
+  stamps, Fig. 10 from the per-load configuration times (Eq. 10) — plus the
+  monitoring time series (busy nodes, queue length, wasted area, running
+  tasks) from ``MonitorSampled`` events.
+
+The reconstruction is **bit-identical** to the live accumulators: floating
+aggregates are folded in the same order the live run folds them (placement
+waste in placement order, waiting/running statistics in task-arrival order),
+and the final report is assembled through the same
+:func:`~repro.metrics.table1.assemble_report` code path the simulator uses.
+``tests/test_trace_replay.py`` asserts equality on the paper's 100- and
+200-node scenarios; the golden suite (``tests/golden/``) pins digests and
+replayed counters for small scenarios across manager modes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+from repro.metrics.accumulators import RunningStats
+from repro.metrics.table1 import MetricsReport, assemble_report
+from repro.metrics.timeseries import TimeSeries
+from repro.trace import events as ev
+from repro.trace.events import TraceEvent
+
+
+class TraceError(ValueError):
+    """The trace is malformed (missing framing events, unknown types…)."""
+
+
+@dataclass
+class ReplaySeries:
+    """Monitor time series rebuilt from ``MonitorSampled`` events."""
+
+    busy_nodes: TimeSeries = field(default_factory=lambda: TimeSeries("busy_nodes"))
+    queue_length: TimeSeries = field(
+        default_factory=lambda: TimeSeries("suspension_queue_length")
+    )
+    wasted_area: TimeSeries = field(default_factory=lambda: TimeSeries("wasted_area"))
+    running_tasks: TimeSeries = field(
+        default_factory=lambda: TimeSeries("running_tasks")
+    )
+
+
+class TraceReplayer:
+    """Fold a trace back into Table I aggregates and the monitor series."""
+
+    def __init__(self, events: Iterable[TraceEvent]) -> None:
+        self._events = list(events)
+        if not self._events:
+            raise TraceError("empty trace")
+        self._replayed = False
+        # Populated by replay():
+        self.params: dict = {}
+        self.series = ReplaySeries()
+        self._report: Optional[MetricsReport] = None
+
+    # -- public API -----------------------------------------------------------
+
+    def replay(self) -> "TraceReplayer":
+        """Process every event once; returns self for chaining."""
+        if self._replayed:
+            return self
+        first = self._events[0]
+        if first.type != ev.RUN_STARTED:
+            raise TraceError(f"trace must open with RunStarted, got {first.type}")
+        self.params = dict(first.fields)
+        sample_system = bool(self.params.get("sample_system", True))
+
+        arrival_order: list[int] = []
+        completed: dict[int, tuple[int, int, bool]] = {}  # task -> (wait, run, closest)
+        discarded: set[int] = set()
+        suspension_events = 0
+        placements_by_kind: dict[str, int] = {}
+        placement_waste = RunningStats()
+        system_waste_total = 0.0
+        reconfig_loads = 0
+        config_time_total = 0
+        used_nodes: set[int] = set()
+        finished: Optional[TraceEvent] = None
+
+        for e in self._events:
+            et = e.type
+            f = e.fields
+            if et == ev.TASK_ARRIVED:
+                arrival_order.append(f["task"])
+            elif et == ev.PLACED:
+                kind = f["kind"]
+                placements_by_kind[kind] = placements_by_kind.get(kind, 0) + 1
+                node = f.get("node")
+                if node is not None:
+                    used_nodes.add(node)
+                    # Fig. 6 headline sample: hosting node's free area, folded
+                    # in placement order exactly as the live run folds it.
+                    placement_waste.add(float(f["avail"]))
+                    if sample_system and "sw" in f:
+                        system_waste_total += f["sw"]
+            elif et == ev.COMPLETED:
+                completed[f["task"]] = (f["wait"], f["run"], bool(f["closest"]))
+            elif et == ev.DISCARDED:
+                discarded.add(f["task"])
+            elif et == ev.SUSPENDED:
+                suspension_events += 1
+            elif et == ev.CONFIG_LOADED:
+                reconfig_loads += 1
+                config_time_total += f["ctime"]
+                used_nodes.add(f["node"])
+            elif et == ev.MONITOR_SAMPLED:
+                self.series.busy_nodes.add(e.time, f["busy"])
+                self.series.queue_length.add(e.time, f["queued"])
+                self.series.wasted_area.add(e.time, f["waste"])
+                self.series.running_tasks.add(e.time, f["running"])
+            elif et == ev.RUN_FINISHED:
+                finished = e
+            elif et in ev.EVENT_TYPES:
+                pass  # Resumed / TaskInterrupted / evict / fail / repair / start
+            else:
+                raise TraceError(f"unknown event type {et!r} at seq {e.seq}")
+
+        if finished is None:
+            raise TraceError("trace has no RunFinished event")
+
+        # Waiting/running statistics fold in task-*arrival* order — the order
+        # compute_report walks the simulator's task list — not in completion
+        # order, so the Welford aggregates match bit for bit.
+        waiting = RunningStats()
+        running = RunningStats()
+        closest = 0
+        for task_no in arrival_order:
+            rec = completed.get(task_no)
+            if rec is None:
+                continue
+            wait, run, used_closest = rec
+            waiting.add(wait)
+            running.add(run)
+            if used_closest:
+                closest += 1
+
+        ss = finished.fields["ss"]
+        hk = finished.fields["hk"]
+        self._report = assemble_report(
+            total_tasks=len(arrival_order),
+            waiting=waiting,
+            running=running,
+            completed=len(completed),
+            discarded=len(discarded),
+            closest=closest,
+            total_reconfigs=reconfig_loads,
+            config_time_total=config_time_total,
+            node_count=self.params["nodes"],
+            scheduling_steps=ss,
+            total_workload=ss + hk,
+            total_used_nodes=len(used_nodes),
+            final_time=finished.fields["final"],
+            suspension_events=suspension_events,
+            placements_by_kind=placements_by_kind,
+            placement_waste=placement_waste,
+            system_waste_total=system_waste_total,
+        )
+        self._replayed = True
+        return self
+
+    def report(self) -> MetricsReport:
+        """The Table I report re-derived from the trace."""
+        self.replay()
+        assert self._report is not None
+        return self._report
+
+
+def replay_report(events: Iterable[TraceEvent]) -> MetricsReport:
+    """One-call convenience: events → replayed :class:`MetricsReport`."""
+    return TraceReplayer(events).report()
+
+
+__all__ = ["TraceReplayer", "TraceError", "ReplaySeries", "replay_report"]

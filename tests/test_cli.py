@@ -47,6 +47,27 @@ class TestRunCommand:
         assert rc == 0
         assert "full / 8 nodes" in capsys.readouterr().out
 
+    def test_trace_flags_write_jsonl_and_print_digest(self, tmp_path, capsys):
+        from repro.trace import digest_of, read_jsonl, replay_report
+
+        path = tmp_path / "run.jsonl"
+        base = ["run", "--nodes", "8", "--tasks", "40", "--configs", "5", "--seed", "1"]
+        rc = main(base + ["--trace", str(path), "--trace-digest"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        events = read_jsonl(path)
+        assert events[0].type == "RunStarted"
+        assert events[-1].type == "RunFinished"
+        digest = digest_of(events)
+        assert f"trace digest: {digest}" in out
+        # The written trace replays into the same report the CLI printed from.
+        report = replay_report(events)
+        assert f"{report.total_completed_tasks}" in out
+        # Identical run under the reference manager: identical digest.
+        rc = main(base + ["--no-indexed", "--trace-digest"])
+        assert rc == 0
+        assert f"trace digest: {digest}" in capsys.readouterr().out
+
 
 class TestSweepCommand:
     def test_prints_metric_table(self, capsys):

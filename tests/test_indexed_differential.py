@@ -93,28 +93,57 @@ def test_indexed_matches_scan(nodes, partial, seed):
     check_invariants(scan.load.rim)
 
 
+def run_failure_campaign(indexed, seed, partial=True, tasks=300, trace=None):
+    """One traced fail/repair campaign; returns (result, injector)."""
+    rng = RNG(seed=seed)
+    nodes = generate_nodes(NodeSpec(count=20), rng)
+    configs = generate_configs(ConfigSpec(count=10), rng)
+    stream = generate_task_stream(TaskSpec(count=tasks), configs, rng)
+    sim = DReAMSim(nodes, configs, stream, partial=partial, indexed=indexed, trace=trace)
+    injector = FailureInjector(
+        sim, mtbf=UniformInt(3000, 9000), mttr=Constant(800), rng=RNG(seed=seed + 1)
+    )
+    injector.arm()
+    return sim.run(), injector
+
+
 @pytest.mark.parametrize("seed", SEEDS)
 def test_indexed_matches_scan_under_failures(seed):
     """Fail -> repair round trips during a run leave both modes identical."""
-
-    def run(indexed):
-        rng = RNG(seed=seed)
-        nodes = generate_nodes(NodeSpec(count=20), rng)
-        configs = generate_configs(ConfigSpec(count=10), rng)
-        stream = generate_task_stream(TaskSpec(count=300), configs, rng)
-        sim = DReAMSim(nodes, configs, stream, partial=True, indexed=indexed)
-        injector = FailureInjector(
-            sim, mtbf=UniformInt(3000, 9000), mttr=Constant(800), rng=RNG(seed=seed + 1)
-        )
-        injector.arm()
-        return sim.run(), injector
-
-    indexed, inj_i = run(True)
-    scan, inj_s = run(False)
+    indexed, inj_i = run_failure_campaign(True, seed)
+    scan, inj_s = run_failure_campaign(False, seed)
     assert inj_i.failure_count == inj_s.failure_count
     assert inj_i.failure_count > 0  # the regime must actually exercise failures
     assert_equivalent(indexed, scan)
     check_invariants(indexed.load.rim)
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+@pytest.mark.parametrize("partial", [True, False], ids=["partial", "full"])
+def test_failure_campaign_event_streams_identical_across_modes(seed, partial):
+    """The *full structured event stream* of a failure campaign — every
+    NodeFailed/NodeRepaired/TaskInterrupted/Placed/… event with its counter
+    stamps — is byte-identical between manager modes, so the trace digest
+    cannot tell them apart even under fail-restart churn."""
+    from repro.trace import DigestSink, MemorySink, TraceBus
+
+    streams = {}
+    for indexed in (True, False):
+        mem, digest = MemorySink(), DigestSink()
+        result, injector = run_failure_campaign(
+            indexed, seed, partial=partial, trace=TraceBus(mem, digest)
+        )
+        streams[indexed] = (result, injector, mem, digest)
+        check_invariants(result.load.rim)
+    res_i, inj_i, mem_i, dig_i = streams[True]
+    res_s, inj_s, mem_s, dig_s = streams[False]
+    assert inj_i.failure_count > 0
+    assert dig_i.hexdigest() == dig_s.hexdigest()
+    assert [e.canonical() for e in mem_i] == [e.canonical() for e in mem_s]
+    assert_equivalent(res_i, res_s)
+    # The failure events really are in the stream.
+    kinds = {e.type for e in mem_i}
+    assert "NodeFailed" in kinds and "NodeRepaired" in kinds
 
 
 # -- operation-level round trips against the indexed structures ----------------
@@ -325,3 +354,45 @@ def test_interrupt_all_returns_tasks_in_entry_order_and_zeroes_busy():
     assert node._busy_count == 0
     assert node.busy_area == 0
     assert all(e.is_idle for e in node.entries)
+
+
+@pytest.mark.parametrize("indexed", [True, False])
+@pytest.mark.parametrize("with_entries", [True, False], ids=["idle-entries", "blank"])
+def test_fail_node_with_zero_running_tasks_leaves_busy_bookkeeping_alone(
+    indexed, with_entries
+):
+    """Regression: failing a node that runs nothing (blank, or idle entries
+    only) must interrupt nothing and leave every busy aggregate — the running
+    task count, per-state node counts, busy areas — untouched and summing."""
+    nodes = [Node(node_no=i, total_area=3000) for i in range(3)]
+    configs = [cfg(0, 400), cfg(1, 600)]
+    rim = ResourceInformationManager(nodes, configs, indexed=indexed)
+    # Node 1 runs a task; the victim (node 0) holds only idle entries.
+    if with_entries:
+        rim.configure_node(nodes[0], configs[0])
+        rim.configure_node(nodes[0], configs[1])
+    e1 = rim.configure_node(nodes[1], configs[0])
+    t = Task(task_no=0, required_time=50, pref_config=configs[0])
+    t.mark_created(0)
+    t.mark_started(0, configs[0])
+    rim.assign_task(t, nodes[1], e1)
+
+    running_before = rim.running_tasks_count
+    busy_nodes_before = rim.state_counts["busy"]
+    busy_area_before = sum(n.busy_area for n in rim.nodes)
+
+    interrupted = rim.fail_node(nodes[0])
+
+    assert interrupted == []
+    assert nodes[0]._busy_count == 0
+    assert rim.running_tasks_count == running_before == 1
+    assert rim.state_counts["busy"] == busy_nodes_before == 1
+    assert sum(n.busy_area for n in rim.nodes) == busy_area_before
+    # blank + idle + busy partitions the fleet, failed node included.
+    assert sum(rim.state_counts.values()) == len(rim.nodes)
+    check_invariants(rim)
+    # Repair restores the node without disturbing the running task either.
+    rim.repair_node(nodes[0])
+    assert rim.running_tasks_count == 1
+    assert sum(rim.state_counts.values()) == len(rim.nodes)
+    check_invariants(rim)

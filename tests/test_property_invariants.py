@@ -28,14 +28,17 @@ config_areas_st = st.lists(st.integers(200, 2000), min_size=1, max_size=6)
     node_areas=node_areas_st,
     config_areas=config_areas_st,
     script=st.lists(
-        st.tuples(st.sampled_from(["arrive", "complete"]), st.integers(0, 5)),
+        st.tuples(
+            st.sampled_from(["arrive", "complete", "fail", "repair"]),
+            st.integers(0, 5),
+        ),
         max_size=40,
     ),
 )
 def test_random_schedules_preserve_invariants(node_areas, config_areas, script):
-    """Drive the scheduler with arbitrary arrive/complete interleavings; the
-    chains, blank list, Eq. 4 accounting and task uniqueness must hold after
-    every operation."""
+    """Drive the scheduler with arbitrary arrive/complete/fail/repair
+    interleavings; the chains, blank list, Eq. 4 accounting, task uniqueness
+    and the blank+idle+busy fleet partition must hold after every operation."""
     rim, sched = build_system(node_areas, config_areas)
     running: list[tuple[Task, Node]] = []
     now = 0
@@ -50,7 +53,7 @@ def test_random_schedules_preserve_invariants(node_areas, config_areas, script):
             out = sched.schedule(t, now)
             if out.result is ScheduleResult.SCHEDULED:
                 running.append((t, out.placement.node))
-        else:  # complete
+        elif op == "complete":
             if running:
                 t, node = running.pop(idx % len(running))
                 t.mark_completed(now)
@@ -60,8 +63,27 @@ def test_random_schedules_preserve_invariants(node_areas, config_areas, script):
                     out = sched.schedule(cand, now)
                     if out.result is ScheduleResult.SCHEDULED:
                         running.append((cand, out.placement.node))
+        elif op == "fail":
+            victims = [n for n in rim.nodes if n.in_service]
+            if victims:
+                victim = victims[idx % len(victims)]
+                interrupted = rim.fail_node(victim)
+                # Interrupted tasks drop out of the running set (fail-restart
+                # re-entry is the injector's job; here we only check state).
+                gone = {t.task_no for t in interrupted}
+                assert all(n is victim for t, n in running if t.task_no in gone)
+                running = [(t, n) for t, n in running if t.task_no not in gone]
+        else:  # repair
+            failed = [n for n in rim.nodes if not n.in_service]
+            if failed:
+                rim.repair_node(failed[idx % len(failed)])
         check_invariants(rim)
         sched.susqueue.validate_index()
+        # The fleet partition: blank + idle + busy == node count, always
+        # (failed nodes are blanked, so they land in the blank bucket).
+        counts = rim.node_count_by_state()
+        assert counts["blank"] + counts["idle"] + counts["busy"] == len(rim.nodes)
+        assert rim.running_tasks_count == len(running)
 
     # Eq. 4 spot check on every node at the end.
     for node in rim.nodes:

@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Regenerate the committed golden traces under ``tests/golden/``.
+
+The golden suite pins the full structured event stream of two small,
+fully deterministic scenarios (20 nodes, 10 configurations, 200 tasks,
+seed 42 — one run per reconfiguration mode).  ``tests/test_trace_golden.py``
+asserts that a fresh simulation reproduces each committed trace byte for
+byte (and therefore digest for digest), in both resource-manager modes,
+and that the replayer derives the same Table I counters from the committed
+file as from a live run.
+
+Refresh procedure (only after an *intentional* behaviour change):
+
+    PYTHONPATH=src python tools/make_golden.py
+    git diff tests/golden/   # review every changed line — each one is a
+                             # deliberate behavioural difference
+    PYTHONPATH=src python -m pytest tests/test_trace_golden.py
+
+Then describe the behaviour change in the commit message.  A golden diff
+you cannot explain is a regression, not a refresh.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro import quick_simulation  # noqa: E402
+from repro.trace import DigestSink, JsonlSink, TraceBus  # noqa: E402
+
+GOLDEN_DIR = Path(__file__).resolve().parent.parent / "tests" / "golden"
+
+SCENARIOS = {
+    "partial_n20_t200_s42": dict(
+        nodes=20, configs=10, tasks=200, partial=True, seed=42
+    ),
+    "full_n20_t200_s42": dict(
+        nodes=20, configs=10, tasks=200, partial=False, seed=42
+    ),
+}
+
+
+def main() -> int:
+    """Write one JSONL trace per scenario plus the digest manifest."""
+    GOLDEN_DIR.mkdir(parents=True, exist_ok=True)
+    digests: dict[str, str] = {}
+    for name, kwargs in SCENARIOS.items():
+        path = GOLDEN_DIR / f"{name}.jsonl"
+        digest = DigestSink()
+        with JsonlSink(path) as sink:
+            bus = TraceBus(sink, digest)
+            quick_simulation(trace=bus, **kwargs)
+        digests[name] = digest.hexdigest()
+        print(f"{name}: {digest.count} events, digest {digests[name]}")
+    manifest = GOLDEN_DIR / "digests.json"
+    manifest.write_text(
+        json.dumps({"scenarios": SCENARIOS, "digests": digests}, indent=2,
+                   sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+    print(f"manifest written to {manifest}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -33,6 +33,7 @@ from pathlib import Path
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
 from repro import quick_simulation  # noqa: E402
+from repro.trace import DigestSink, TraceBus  # noqa: E402
 
 # (nodes, tasks, partial) — headline last so progress output ends on the gate.
 FULL_MATRIX = [
@@ -99,6 +100,54 @@ def run_matrix(matrix, seed: int, repeats: int):
     return rows
 
 
+def run_trace_overhead(nodes: int, tasks: int, partial: bool, seed: int, repeats: int):
+    """Measure the observability layer's wall-clock cost at one scale.
+
+    Three timings (min over ``repeats``): tracing disabled (``trace=None`` —
+    the default every other benchmark row uses, paying only the per-site
+    ``is not None`` guards), tracing into a :class:`DigestSink` only, and
+    tracing with digest plus an in-memory event list.  The disabled run *is*
+    the headline configuration, so comparing the headline across commits
+    measures the guards' cost; ``digest_overhead_pct`` is the opt-in price
+    of a digest-producing run.
+    """
+    from repro.trace import MemorySink
+
+    def best(factory):
+        elapsed = float("inf")
+        for _ in range(repeats):
+            trace = factory()
+            t0 = time.perf_counter()
+            quick_simulation(
+                nodes=nodes, tasks=tasks, partial=partial, seed=seed, trace=trace
+            )
+            elapsed = min(elapsed, time.perf_counter() - t0)
+        return elapsed
+
+    disabled = best(lambda: None)
+    digest = best(lambda: TraceBus(DigestSink()))
+    memory = best(lambda: TraceBus(MemorySink(), DigestSink()))
+    row = {
+        "scale": f"{nodes} nodes / {tasks} tasks "
+        f"({'partial' if partial else 'full'} reconfiguration)",
+        "disabled_seconds": round(disabled, 3),
+        "digest_seconds": round(digest, 3),
+        "digest_and_memory_seconds": round(memory, 3),
+        "digest_overhead_pct": round(100.0 * (digest / disabled - 1.0), 1),
+        "note": (
+            "disabled == the default every row above uses; its cost vs the "
+            "pre-instrumentation commit is the diff of the headline numbers "
+            "across commits (gate: < 2%)."
+        ),
+    }
+    print(
+        f"tracing overhead @ {row['scale']}: disabled {disabled:6.2f}s, "
+        f"digest {digest:6.2f}s (+{row['digest_overhead_pct']}%), "
+        f"digest+memory {memory:6.2f}s"
+    )
+    return row
+
+
 def main(argv=None) -> int:
     """CLI entry point; returns a process exit status."""
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
@@ -117,6 +166,11 @@ def main(argv=None) -> int:
 
     matrix = QUICK_MATRIX if args.quick else FULL_MATRIX
     rows = run_matrix(matrix, args.seed, max(1, args.repeats))
+    overhead_scale = QUICK_MATRIX[-1] if args.quick else HEADLINE
+    tracing = run_trace_overhead(
+        overhead_scale[0], overhead_scale[1], overhead_scale[2],
+        args.seed, max(1, args.repeats),
+    )
 
     headline = next(
         (
@@ -145,6 +199,7 @@ def main(argv=None) -> int:
             "speedup": headline["speedup"],
         },
         "results": rows,
+        "tracing_overhead": tracing,
     }
     Path(args.output).write_text(json.dumps(payload, indent=2) + "\n")
     print(f"\nwrote {args.output}")
