@@ -23,7 +23,6 @@ import argparse
 import sys
 from typing import Optional, Sequence
 
-from repro import quick_simulation
 from repro.analysis.asciiplot import ascii_plot, series_table
 from repro.analysis.compare import check_claims, scorecard
 from repro.analysis.figures import FIGURES, build_figure
@@ -82,6 +81,76 @@ def build_parser() -> argparse.ArgumentParser:
         "--trace-digest", action="store_true",
         help="print the run's order-sensitive trace digest "
         "(identical for bit-identical runs; implies tracing)",
+    )
+    faults = run_p.add_argument_group(
+        "fault injection",
+        "opt-in fault campaign (ignored with --config); any of --faults, "
+        "--mtbf, --seu-rate or --burst-rate enables it and a ResilienceReport "
+        "is printed after Table I",
+    )
+    faults.add_argument(
+        "--faults", action="store_true",
+        help="enable the crash process with default parameters",
+    )
+    faults.add_argument(
+        "--mtbf", type=int, default=None, metavar="TICKS",
+        help="mean ticks between node crashes (default 5000 with --faults)",
+    )
+    faults.add_argument(
+        "--mttr", type=int, default=500, metavar="TICKS",
+        help="mean node repair time (default 500)",
+    )
+    faults.add_argument(
+        "--max-failures", type=int, default=None, metavar="N",
+        help="stop injecting node-loss events after N",
+    )
+    faults.add_argument(
+        "--seu-rate", type=int, default=None, metavar="TICKS",
+        help="mean ticks between transient SEU configuration faults",
+    )
+    faults.add_argument(
+        "--scrub-factor", type=int, default=1, metavar="K",
+        help="scrub duration = config_time x K (default 1)",
+    )
+    faults.add_argument(
+        "--burst-rate", type=int, default=None, metavar="TICKS",
+        help="mean ticks between correlated failure bursts",
+    )
+    faults.add_argument(
+        "--burst-size", type=int, default=2, metavar="K",
+        help="nodes felled per burst (default 2)",
+    )
+    faults.add_argument(
+        "--burst-group", type=int, default=8, metavar="W",
+        help="power-group width: nodes n with equal n//W fail together",
+    )
+    faults.add_argument(
+        "--retry-budget", type=int, default=None, metavar="N",
+        help="max fault interrupts per task before discard (default unbounded)",
+    )
+    faults.add_argument(
+        "--backoff-base", type=int, default=0, metavar="TICKS",
+        help="exponential-backoff base delay (0 = instant resubmit, default)",
+    )
+    faults.add_argument(
+        "--backoff-cap", type=int, default=None, metavar="TICKS",
+        help="cap on one backoff delay",
+    )
+    faults.add_argument(
+        "--quarantine-threshold", type=int, default=None, metavar="MILLI",
+        help="health score (milli-units) that quarantines a node",
+    )
+    faults.add_argument(
+        "--probation", type=int, default=None, metavar="TICKS",
+        help="quarantine hold duration",
+    )
+    faults.add_argument(
+        "--health-half-life", type=int, default=None, metavar="TICKS",
+        help="failure-score decay half-life",
+    )
+    faults.add_argument(
+        "--fault-seed", type=int, default=None,
+        help="fault-process seed (default: workload seed + 1)",
     )
     _add_common(run_p)
 
@@ -172,6 +241,56 @@ def _print_report(report, label: str) -> None:
             print(f"    {kind:<24} {count}")
 
 
+def _print_resilience(report) -> None:
+    print("== resilience ==")
+    d = report.as_dict()
+    by_class = {
+        "failures_by_class": d.pop("failures_by_class"),
+        "interrupts_by_class": d.pop("interrupts_by_class"),
+    }
+    for k, v in d.items():
+        if isinstance(v, float):
+            print(f"  {k:<36} {v:,.6f}")
+        else:
+            print(f"  {k:<36} {v}")
+    for label, counts in by_class.items():
+        if counts:
+            print(f"  {label}:")
+            for cls, count in sorted(counts.items()):
+                print(f"    {cls:<24} {count}")
+
+
+def _campaign_spec_from_args(args):
+    """The :class:`FaultCampaignSpec` a ``run`` invocation describes."""
+    from repro.framework.campaign import FaultCampaignSpec
+
+    mtbf = args.mtbf
+    if mtbf is None and args.faults:
+        mtbf = 5000
+    return FaultCampaignSpec(
+        nodes=args.nodes,
+        configs=args.configs,
+        tasks=args.tasks,
+        partial=(args.mode == "partial"),
+        seed=args.seed,
+        fault_seed=args.fault_seed,
+        mtbf=mtbf,
+        mttr=args.mttr,
+        max_failures=args.max_failures,
+        burst_rate=args.burst_rate,
+        burst_size=args.burst_size,
+        burst_group=args.burst_group,
+        seu_rate=args.seu_rate,
+        scrub_factor=args.scrub_factor,
+        retry_budget=args.retry_budget,
+        backoff_base=args.backoff_base,
+        backoff_cap=args.backoff_cap,
+        quarantine_threshold=args.quarantine_threshold,
+        probation=args.probation,
+        health_half_life=args.health_half_life,
+    )
+
+
 def cmd_run(args) -> int:
     """``dreamsim run``: one simulation, Table I report, optional XML."""
     profiler = None
@@ -192,6 +311,7 @@ def cmd_run(args) -> int:
         if args.trace:
             jsonl_sink = JsonlSink(args.trace)
             trace.attach(jsonl_sink)
+    injector = None
     if args.config:
         from repro.framework.expconfig import load_experiment
 
@@ -200,12 +320,11 @@ def cmd_run(args) -> int:
         params = cfg.describe()
         label = f"config {args.config}"
     else:
-        result = quick_simulation(
-            nodes=args.nodes,
-            configs=args.configs,
-            tasks=args.tasks,
-            partial=(args.mode == "partial"),
-            seed=args.seed,
+        from repro.framework.campaign import run_campaign
+
+        spec = _campaign_spec_from_args(args)
+        result, injector = run_campaign(
+            spec,
             indexed=not getattr(args, "no_indexed", False),
             trace=trace,
         )
@@ -216,6 +335,8 @@ def cmd_run(args) -> int:
             "seed": args.seed,
         }
         label = f"{args.mode} / {args.nodes} nodes / {args.tasks} tasks"
+        if spec.faults_enabled:
+            label += " / faults"
     if profiler is not None:
         import io
         import pstats
@@ -227,6 +348,8 @@ def cmd_run(args) -> int:
         print("=== cProfile hot spots (top 25 by cumulative time) ===")
         print(buf.getvalue())
     _print_report(result.report, label)
+    if injector is not None:
+        _print_resilience(injector.resilience(result))
     if jsonl_sink is not None:
         jsonl_sink.close()
         print(f"trace written to {args.trace} ({trace.events_emitted} events)")

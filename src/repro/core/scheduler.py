@@ -307,10 +307,40 @@ class DreamScheduler:
                         SUSPENDED, task=task.task_no, qlen=len(self.susqueue)
                     )
                 return ScheduleOutcome(task=task, result=ScheduleResult.SUSPENDED)
-            return self._discard(task, now, reason="queue_full")
-        return self._discard(task, now, reason="no_placement")
+            return self._rescue_or_discard(task, now, config, used_closest, "queue_full")
+        return self._rescue_or_discard(task, now, config, used_closest, "no_placement")
 
     # -- helpers --------------------------------------------------------------------
+
+    def _rescue_or_discard(
+        self,
+        task: Task,
+        now: int,
+        config: Configuration,
+        used_closest: bool,
+        reason: str,
+    ) -> ScheduleOutcome:
+        """Graceful degradation's final rung: a quarantined node, else discard.
+
+        The health policy's preference order — healthy idle, then healthy
+        partial, then reconfiguration — is the unmodified four-phase search
+        (quarantined nodes are out of service and invisible to it); only a
+        task that would otherwise be *discarded* may requisition a
+        quarantined node.  The ``has_quarantined`` guard keeps the hook
+        zero-cost when no fault campaign is active.
+        """
+        if self.rim.has_quarantined():
+            node = self.rim.find_quarantined_host(config)
+            if node is not None:
+                self.rim.release_quarantined(node, reason="requisition")
+                entry = self.rim.configure_node(node, config, now=now)
+                return self._start(
+                    task, now, node, entry, config,
+                    PlacementKind.CONFIGURATION,
+                    config_time=config.config_time,
+                    used_closest=used_closest,
+                )
+        return self._discard(task, now, reason=reason)
 
     def _start(
         self,

@@ -17,6 +17,11 @@ event simulation to completion and returns a
 metric report.
 """
 
+from repro.framework.campaign import (
+    FaultCampaignSpec,
+    build_campaign,
+    run_campaign,
+)
 from repro.framework.expconfig import ExperimentConfig, load_experiment
 from repro.framework.failures import FailureEvent, FailureInjector
 from repro.framework.loadbalance import LoadBalancer, LoadSnapshot
@@ -33,6 +38,9 @@ __all__ = [
     "ExperimentConfig",
     "FailureEvent",
     "FailureInjector",
+    "FaultCampaignSpec",
+    "build_campaign",
+    "run_campaign",
     "LoadBalancer",
     "LoadSnapshot",
     "Monitor",

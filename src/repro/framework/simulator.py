@@ -150,6 +150,11 @@ class DReAMSim:
         self._placed_count = 0
         self._done = False
         self._arrivals_done = False  # the lazy arrival feed hit stream end
+        # Tasks parked in a fault-retry backoff: interrupted, scheduled to
+        # re-enter at now + delay, in neither _placements nor the susqueue.
+        # The failure injector maintains the count; the workload is not
+        # finished while any retry is pending.
+        self._pending_retries = 0
         # Per-tick housekeeping cost: the reference simulator advances time
         # tick-by-tick, maintaining node/config state each tick; the default
         # bills one step per node per elapsed tick (the monitoring walk).
@@ -237,7 +242,12 @@ class DReAMSim:
     @property
     def workload_finished(self) -> bool:
         """True once every generated task reached a terminal state."""
-        return self._arrivals_done and not self._placements and not self.susqueue
+        return (
+            self._arrivals_done
+            and not self._placements
+            and not self.susqueue
+            and self._pending_retries == 0
+        )
 
     def _feed_next_arrival(self) -> None:
         arrival = next(self._arrivals, None)
@@ -335,11 +345,17 @@ class DReAMSim:
         self.rim.complete_task(task, node)
         self.monitor.sample(now, self.rim, self.susqueue)
         self.load.observe(now)
-        # Suspension-queue re-dispatch (§IV TaskCompletionProc protocol):
-        # repeatedly pull the suitable task for the freed node (exact-config
-        # reuse first, reconfiguration fallback) and schedule it, until the
-        # node stops admitting tasks or a dispatch fails (a failed task
-        # re-suspends at the tail, so this always terminates).
+        self._redispatch_from(node, now)
+
+    def _redispatch_from(self, node: Node, now: int) -> None:
+        """Suspension-queue re-dispatch (§IV TaskCompletionProc protocol).
+
+        Repeatedly pull the suitable task for the freed node (exact-config
+        reuse first, reconfiguration fallback) and schedule it, until the
+        node stops admitting tasks or a dispatch fails (a failed task
+        re-suspends at the tail, so this always terminates).  Shared by task
+        completion and by the failure injector when a scrub frees a region.
+        """
         while True:
             candidate = self.scheduler.next_redispatch(node)
             if candidate is None:

@@ -6,16 +6,23 @@
   metric set computed from end-of-run simulator state.
 * :mod:`repro.metrics.timeseries` — time-stamped sampling used by the
   monitoring module and the figure benches.
+* :mod:`repro.metrics.resilience` — :class:`ResilienceReport`, the
+  fault-campaign companion to Table I, assembled from a :class:`FaultLog`
+  of primitive facts shared by the live injector and trace replay.
 """
 
 from repro.metrics.accumulators import RunningStats, WastedAreaAccumulator
+from repro.metrics.resilience import FaultLog, ResilienceReport, assemble_resilience
 from repro.metrics.table1 import MetricsReport, compute_report
 from repro.metrics.timeseries import TimeSeries
 
 __all__ = [
+    "FaultLog",
     "MetricsReport",
+    "ResilienceReport",
     "RunningStats",
     "TimeSeries",
     "WastedAreaAccumulator",
+    "assemble_resilience",
     "compute_report",
 ]

@@ -1,0 +1,150 @@
+"""Resilience metrics — how a run degraded under injected faults.
+
+:class:`ResilienceReport` is the fault-campaign companion to Table I:
+availability, observed MTTF/MTTR, task interrupts by fault class, retry and
+backoff totals, quarantine occupancy and goodput (the completed-never-
+interrupted fraction).
+
+Bit-identical replay is achieved the same way Table I achieves it: the live
+failure injector and :class:`~repro.trace.replay.TraceReplayer` both reduce
+their observations to one :class:`FaultLog` of primitive integer facts, and
+:func:`assemble_resilience` — the only place any float is computed — folds
+that log into the report.  Identical integer aggregates therefore give
+identical floats, regardless of whether the facts came from live simulator
+state or from the structured event stream.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+
+@dataclass(frozen=True)
+class ResilienceReport:
+    """Fault-campaign metrics for one simulation run."""
+
+    availability: float  # node-averaged in-service fraction over the run
+    mttf_observed: float  # mean gap between consecutive failures (system-wide)
+    mttr_observed: float  # mean observed downtime per failure (clamped at end)
+    failures_total: int
+    failures_by_class: Mapping[str, int] = field(default_factory=dict)
+    interrupts_total: int = 0
+    interrupts_by_class: Mapping[str, int] = field(default_factory=dict)
+    config_faults: int = 0  # transient SEUs injected
+    retries_total: int = 0  # backoff re-entries granted
+    backoff_delay_total: int = 0  # Σ granted backoff delays (ticks)
+    retry_discards: int = 0  # tasks that exhausted their retry budget
+    quarantines_total: int = 0
+    quarantine_ticks: int = 0  # Σ quarantine span lengths (node-ticks, clamped)
+    completed_first_try: int = 0  # completed without ever being interrupted
+    total_tasks: int = 0
+    goodput: float = 0.0  # completed_first_try / total_tasks
+
+    def as_dict(self) -> dict[str, object]:
+        """Flat dict for report writers and CLI printing."""
+        out: dict[str, object] = {}
+        for name in (
+            "availability",
+            "mttf_observed",
+            "mttr_observed",
+            "failures_total",
+            "interrupts_total",
+            "config_faults",
+            "retries_total",
+            "backoff_delay_total",
+            "retry_discards",
+            "quarantines_total",
+            "quarantine_ticks",
+            "completed_first_try",
+            "total_tasks",
+            "goodput",
+        ):
+            out[name] = getattr(self, name)
+        out["failures_by_class"] = dict(self.failures_by_class)
+        out["interrupts_by_class"] = dict(self.interrupts_by_class)
+        return out
+
+
+@dataclass
+class FaultLog:
+    """Primitive integer/string fault facts, identical live and replayed.
+
+    ``failures`` and ``quarantines`` record *observed* spans: the end is the
+    tick the repair/release event actually fired, or ``-1`` for a span still
+    open when the workload finished (clamped to ``final_time`` during
+    assembly).  All ordering is by span start, which is how both producers
+    append them.
+    """
+
+    node_count: int = 0
+    final_time: int = 0
+    failures: list[tuple[int, str, int]] = field(default_factory=list)  # (start, cls, end|-1)
+    interrupts: list[tuple[int, str]] = field(default_factory=list)  # (task_no, cls)
+    config_faults: int = 0
+    retries: list[tuple[int, int]] = field(default_factory=list)  # (task_no, delay)
+    retry_discards: int = 0
+    quarantines: list[tuple[int, int]] = field(default_factory=list)  # (start, end|-1)
+    completed_first_try: int = 0
+    total_tasks: int = 0
+
+
+def assemble_resilience(log: FaultLog) -> ResilienceReport:
+    """Fold a :class:`FaultLog` into a :class:`ResilienceReport`.
+
+    The single shared code path for live accumulation and trace replay —
+    every clamp and every float division happens here and nowhere else.
+    """
+    span = max(1, log.final_time)
+    failures_by_class: dict[str, int] = {}
+    down_ticks = 0
+    mttr_sum = 0
+    for start, cls, end in log.failures:
+        failures_by_class[cls] = failures_by_class.get(cls, 0) + 1
+        s = min(start, span)
+        e = span if end < 0 else min(end, span)
+        down_ticks += max(0, e - s)
+        mttr_sum += max(0, e - s)
+    n_fail = len(log.failures)
+    if log.node_count > 0:
+        availability = 1.0 - down_ticks / (span * log.node_count)
+    else:
+        availability = 1.0
+    if n_fail >= 2:
+        mttf = (log.failures[-1][0] - log.failures[0][0]) / (n_fail - 1)
+    else:
+        mttf = 0.0
+    mttr = mttr_sum / n_fail if n_fail else 0.0
+
+    interrupts_by_class: dict[str, int] = {}
+    for _task_no, cls in log.interrupts:
+        interrupts_by_class[cls] = interrupts_by_class.get(cls, 0) + 1
+
+    q_ticks = 0
+    for start, end in log.quarantines:
+        s = min(start, span)
+        e = span if end < 0 else min(end, span)
+        q_ticks += max(0, e - s)
+
+    total = log.total_tasks
+    return ResilienceReport(
+        availability=availability,
+        mttf_observed=mttf,
+        mttr_observed=mttr,
+        failures_total=n_fail,
+        failures_by_class=failures_by_class,
+        interrupts_total=len(log.interrupts),
+        interrupts_by_class=interrupts_by_class,
+        config_faults=log.config_faults,
+        retries_total=len(log.retries),
+        backoff_delay_total=sum(d for _t, d in log.retries),
+        retry_discards=log.retry_discards,
+        quarantines_total=len(log.quarantines),
+        quarantine_ticks=q_ticks,
+        completed_first_try=log.completed_first_try,
+        total_tasks=total,
+        goodput=(log.completed_first_try / total) if total else 0.0,
+    )
+
+
+__all__ = ["ResilienceReport", "FaultLog", "assemble_resilience"]

@@ -76,6 +76,11 @@ class Node:
     reconfig_count: int = 0  # total bitstream loads (Table I numerator)
     in_service: bool = True  # False while failed (failure-injection studies)
     failure_count: int = 0  # lifetime failures suffered
+    # Recent-failure health score in integer milli-units (1000 per failure,
+    # dyadic decay), maintained by the resource manager's bump_health — kept
+    # integral so quarantine decisions are platform-deterministic.
+    health_milli: int = 0
+    health_updated: int = 0  # tick of the last health-score update
 
     def __post_init__(self) -> None:
         if self.node_no < 0:

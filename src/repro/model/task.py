@@ -31,11 +31,12 @@ class TaskStatus(enum.Enum):
 
 # Legal lifecycle transitions.  RUNNING -> SUSPENDED covers node-failure
 # interruption (fail-restart semantics): the task loses its progress and
-# re-queues.
+# re-queues.  RUNNING -> DISCARDED covers retry-budget exhaustion: the fault
+# that interrupted the run also terminates the task.
 _TRANSITIONS = {
     TaskStatus.CREATED: {TaskStatus.RUNNING, TaskStatus.SUSPENDED, TaskStatus.DISCARDED},
     TaskStatus.SUSPENDED: {TaskStatus.RUNNING, TaskStatus.DISCARDED, TaskStatus.SUSPENDED},
-    TaskStatus.RUNNING: {TaskStatus.COMPLETED, TaskStatus.SUSPENDED},
+    TaskStatus.RUNNING: {TaskStatus.COMPLETED, TaskStatus.SUSPENDED, TaskStatus.DISCARDED},
     TaskStatus.COMPLETED: set(),
     TaskStatus.DISCARDED: set(),
 }
@@ -74,6 +75,7 @@ class Task:
     on_gpp: bool = False  # executed on a general-purpose processor (hybrid)
     status: TaskStatus = TaskStatus.CREATED
     sus_retry: int = 0  # times popped from the suspension queue for retry
+    fault_retries: int = 0  # times interrupted by a fault (retry-budget counter)
     scheduling_steps: int = 0  # search steps the scheduler spent on this task
     _history: list[tuple[int, TaskStatus]] = field(default_factory=list, repr=False)
 

@@ -19,6 +19,9 @@ I9.  Incremental aggregates (state counts, wasted/configured area, running
      tasks, per-node busy count/area) match brute-force recomputation.
 I10. The indexed-mode sorted indexes and step-formula aggregates agree with
      the node table and chains (contents, keys, and tie-break ordering).
+I11. Quarantined nodes are consistently held out: each quarantine-table
+     entry keys its node's number, the node is out of service, holds no
+     entries, and appears in no chain or index (implied by I5/I8/I10).
 
 The simulator calls this every N events in debug mode; the property-based
 tests call it after every random operation sequence.
@@ -195,6 +198,23 @@ def check_invariants(rim: "ResourceInformationManager") -> None:
 
     # I10 — sorted indexes and step-formula aggregates (indexed fast paths).
     _check_indexes(rim)
+
+    # I11 — quarantine-table consistency: a quarantined node is a failed node
+    # (out of service, blank) registered under its own number; it can appear
+    # in no chain or index because I5/I8/I10 already exclude failed nodes.
+    for node_no, (node, _until) in rim._quarantined.items():
+        if node.node_no != node_no:
+            raise InvariantViolation(
+                f"I11: quarantine table keys node {node.node_no} under {node_no}"
+            )
+        if id(node) not in node_set:
+            raise InvariantViolation(f"I11: foreign node {node_no} quarantined")
+        if node.in_service:
+            raise InvariantViolation(f"I11: quarantined node {node_no} is in service")
+        if node.entries:
+            raise InvariantViolation(
+                f"I11: quarantined node {node_no} still holds {len(node.entries)} entries"
+            )
 
 
 def _check_indexes(rim: "ResourceInformationManager") -> None:

@@ -47,8 +47,11 @@ from repro.resources.counters import SearchCounters
 from repro.resources.indexes import SortedKeyIndex
 from repro.trace.events import (
     CONFIG_EVICTED,
+    CONFIG_FAULT,
     CONFIG_LOADED,
     NODE_FAILED,
+    NODE_PROBATION,
+    NODE_QUARANTINED,
     NODE_REPAIRED,
 )
 
@@ -140,6 +143,15 @@ class ResourceInformationManager:
         self._idle_node_entries = 0  # Σ len(entries) over all-idle non-blank nodes
         self._failed_count = sum(1 for n in self.nodes if not n.in_service)
         self._chain_seq = 0  # monotonically increasing append stamp
+        # Quarantined nodes: repaired hardware held out of service until a
+        # probation deadline (node_no -> (node, release deadline)).  Strictly
+        # opt-in: the dict stays empty unless a health policy quarantines,
+        # and every scheduler hook guards on has_quarantined() first.
+        self._quarantined: dict[int, tuple[Node, int]] = {}
+        # Called as (node, reason) whenever a quarantine ends — probation or
+        # scheduler requisition alike — so the failure injector can close its
+        # failure/quarantine spans from either path.
+        self.on_quarantine_release = None
 
         # Incremental per-node utilization statistics (busy area / total
         # area), serving the load balancer's per-completion sampling in O(1).
@@ -690,12 +702,14 @@ class ResourceInformationManager:
 
     # -- failure injection ---------------------------------------------------------------
 
-    def fail_node(self, node: Node) -> list[Task]:
+    def fail_node(self, node: Node, cls: str = "crash") -> list[Task]:
         """Take a node out of service (failure-injection studies).
 
         All running tasks are interrupted (returned for the caller to
         restart), all configurations are lost (SRAM contents do not survive),
-        and the node leaves every chain until repaired.
+        and the node leaves every chain until repaired.  ``cls`` tags the
+        fault class ("crash" or "burst") on the ``NodeFailed`` event so trace
+        replay can re-derive per-class resilience counters.
         """
         if not node.in_service:
             raise ConfigurationError(f"node {node.node_no} is already failed")
@@ -727,6 +741,7 @@ class ResourceInformationManager:
                 node=node.node_no,
                 interrupted=len(interrupted),
                 lost=lost,
+                cls=cls,
             )
         return interrupted
 
@@ -741,6 +756,142 @@ class ResourceInformationManager:
         self.counters.charge_housekeeping()
         if self.trace is not None:
             self.trace.emit(NODE_REPAIRED, node=node.node_no)
+
+    # -- transient configuration faults (SEU scrubbing) ---------------------------------
+
+    def seu_corrupt(self, node: Node, entry: ConfigTaskEntry, scrub_task: Task) -> Optional[Task]:
+        """A single-event upset corrupted ``entry``'s loaded configuration.
+
+        Only this region is affected — the rest of the node keeps running
+        (the headline advantage of partial reconfiguration under transient
+        faults).  The running task, if any, is detached and returned for the
+        caller to restart; ``scrub_task`` (a synthetic placeholder whose
+        required time is the scrubbing/reconfigure duration) is bound to the
+        entry so the region stays busy — and therefore invisible to every
+        placement query — until :meth:`finish_scrub`.
+        """
+        if not node.in_service:
+            raise ConfigurationError(f"node {node.node_no} is not in service")
+        victim = entry.task
+
+        def mutate() -> None:
+            if victim is not None:
+                node.remove_task(victim)
+            node.add_task(scrub_task, entry)
+
+        if victim is None:
+            # Idle region: the entry moves idle -> busy chain for the scrub.
+            self._idle[entry.config.config_no].remove(entry)
+            self._idle_discard(entry)
+            self.counters.charge_housekeeping()
+        self._track(node, mutate)
+        if victim is None:
+            self._busy[entry.config.config_no].append(entry)
+        self.counters.charge_housekeeping()
+        if self.trace is not None:
+            self.trace.emit(
+                CONFIG_FAULT,
+                node=node.node_no,
+                cfg=entry.config.config_no,
+                interrupted=victim.task_no if victim is not None else None,
+                scrub=scrub_task.required_time,
+            )
+        return victim
+
+    def finish_scrub(self, node: Node, entry: ConfigTaskEntry, scrub_task: Task) -> int:
+        """Scrubbing done: evict the corrupted configuration, free the region.
+
+        The repair is a reconfiguration of the region to blank (the corrupted
+        bitstream does not survive); a later placement reloads whatever the
+        region hosts next through the normal charged phases.  Returns the
+        area reclaimed.
+        """
+        self._track(node, lambda: node.remove_task(scrub_task))
+        self._busy[entry.config.config_no].remove(entry)
+        self.counters.charge_housekeeping()
+        reclaimed = self._track(node, lambda: node.make_partially_blank([entry]))
+        if node.is_blank and node not in self._blank:
+            self._blank.append(node)
+            self._blank_add(node)
+            self.counters.charge_housekeeping()
+        if self.trace is not None:
+            self.trace.emit(
+                CONFIG_EVICTED,
+                node=node.node_no,
+                cfgs=[entry.config.config_no],
+                area=reclaimed,
+            )
+        return reclaimed
+
+    # -- health scores and quarantine ----------------------------------------------------
+
+    def bump_health(self, node: Node, now: int, half_life: int) -> int:
+        """Record one failure on ``node``'s recent-failure score; returns it.
+
+        The score is an exponentially decayed failure count in integer
+        milli-units: 1000 per failure, halved for every ``half_life`` ticks
+        elapsed since the last update (dyadic integer decay — no floats, so
+        quarantine decisions are bit-identical across platforms and across
+        indexed/scan manager modes).
+        """
+        elapsed = now - node.health_updated
+        score = node.health_milli >> min(63, max(0, elapsed // max(1, half_life)))
+        score += 1000
+        node.health_milli = score
+        node.health_updated = now
+        return score
+
+    def has_quarantined(self) -> bool:
+        """O(1) guard for the scheduler's last-resort hook."""
+        return bool(self._quarantined)
+
+    def is_quarantined(self, node: Node) -> bool:
+        """Is this node currently held in the quarantine table?"""
+        return node.node_no in self._quarantined
+
+    def quarantine_node(self, node: Node, now: int, until: int, score_milli: int) -> None:
+        """Hold an (already failed) flaky node out of service until ``until``.
+
+        The node stays exactly where :meth:`fail_node` left it — out of every
+        chain and index — so the four-phase placement skips it at zero extra
+        cost; only :meth:`release_quarantined` returns it to service.
+        """
+        if node.in_service:
+            raise ConfigurationError(f"node {node.node_no} must be failed to quarantine")
+        self._quarantined[node.node_no] = (node, until)
+        if self.trace is not None:
+            self.trace.emit(
+                NODE_QUARANTINED,
+                node=node.node_no,
+                until=until,
+                score=score_milli,
+            )
+
+    def release_quarantined(self, node: Node, reason: str = "probation") -> None:
+        """End a node's quarantine (probation elapsed, or requisitioned)."""
+        if node.node_no not in self._quarantined:
+            raise ConfigurationError(f"node {node.node_no} is not quarantined")
+        del self._quarantined[node.node_no]
+        if self.trace is not None:
+            self.trace.emit(NODE_PROBATION, node=node.node_no, reason=reason)
+        self.repair_node(node)
+        if self.on_quarantine_release is not None:
+            self.on_quarantine_release(node, reason)
+
+    def find_quarantined_host(self, config: Configuration) -> Optional[Node]:
+        """Last-resort scan: first quarantined node able to host ``config``.
+
+        Charged one scheduling step per quarantined node examined — the same
+        code runs in both manager modes, so the charging (and the pick, in
+        quarantine order) is identical across ``indexed=True``/``False``.
+        """
+        for node, _until in self._quarantined.values():
+            self.counters.charge_scheduling()
+            if node.total_area >= config.req_area and config.compatible_with_node_family(
+                node.family
+            ):
+                return node
+        return None
 
     # -- statistics -------------------------------------------------------------------
 

@@ -113,14 +113,17 @@ class SuspensionQueue:
 
     # -- mutations ---------------------------------------------------------------
 
-    def add(self, task: Task, now: int) -> bool:
+    def add(self, task: Task, now: int) -> Optional[SuspendedTask]:
         """``AddTaskToSusQueue``: append unless the queue is full.
 
-        Returns False (caller should discard the task) when ``max_length``
+        Returns the created :class:`SuspendedTask` record (truthy) so callers
+        holding the task — e.g. the failure injector's suspend/resume
+        round-trip — can unlink it again without re-scanning the queue, or
+        ``None`` (falsy; caller should discard the task) when ``max_length``
         would be exceeded.
         """
         if self.max_length is not None and len(self._items) >= self.max_length:
-            return False
+            return None
         task.mark_suspended(now)
         self._seq += 1
         key = self.key_fn(task) if self.key_fn is not None else None
@@ -139,7 +142,7 @@ class SuspensionQueue:
         insort(self._by_key.setdefault(key, []), rec)
         self.counters.charge_housekeeping()
         self.total_suspended += 1
-        return True
+        return rec
 
     def remove(self, rec: SuspendedTask) -> Task:
         """``RemoveTaskFromSusQueue``: unlink a record for re-dispatch.

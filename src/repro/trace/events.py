@@ -47,6 +47,10 @@ CONFIG_EVICTED = "ConfigEvicted"  # idle entries reclaimed (partial re-config)
 NODE_FAILED = "NodeFailed"  # node left service; configurations lost
 NODE_REPAIRED = "NodeRepaired"  # node back in service, blank
 MONITOR_SAMPLED = "MonitorSampled"  # one monitoring snapshot (Fig. series point)
+CONFIG_FAULT = "ConfigFault"  # SEU corrupted one loaded configuration (scrub starts)
+TASK_RETRY = "TaskRetry"  # interrupted task re-enters after a backoff delay
+NODE_QUARANTINED = "NodeQuarantined"  # flaky node held out of service past repair
+NODE_PROBATION = "NodeProbation"  # quarantined node released (probation/requisition)
 
 EVENT_TYPES = frozenset(
     {
@@ -64,6 +68,10 @@ EVENT_TYPES = frozenset(
         NODE_FAILED,
         NODE_REPAIRED,
         MONITOR_SAMPLED,
+        CONFIG_FAULT,
+        TASK_RETRY,
+        NODE_QUARANTINED,
+        NODE_PROBATION,
     }
 )
 
@@ -120,4 +128,8 @@ __all__ = [
     "NODE_FAILED",
     "NODE_REPAIRED",
     "MONITOR_SAMPLED",
+    "CONFIG_FAULT",
+    "TASK_RETRY",
+    "NODE_QUARANTINED",
+    "NODE_PROBATION",
 ]

@@ -28,6 +28,7 @@ from dataclasses import dataclass, field
 from typing import Iterable, Optional
 
 from repro.metrics.accumulators import RunningStats
+from repro.metrics.resilience import FaultLog, ResilienceReport, assemble_resilience
 from repro.metrics.table1 import MetricsReport, assemble_report
 from repro.metrics.timeseries import TimeSeries
 from repro.trace import events as ev
@@ -63,6 +64,7 @@ class TraceReplayer:
         # Populated by replay():
         self.params: dict = {}
         self.series = ReplaySeries()
+        self.fault_log = FaultLog()
         self._report: Optional[MetricsReport] = None
 
     # -- public API -----------------------------------------------------------
@@ -88,6 +90,12 @@ class TraceReplayer:
         config_time_total = 0
         used_nodes: set[int] = set()
         finished: Optional[TraceEvent] = None
+        # Resilience accumulation: the same primitive integer facts the live
+        # failure injector records, in the same (event) order, so the
+        # assembled ResilienceReport is bit-identical to the live one.
+        flog = self.fault_log
+        open_fail: dict[int, int] = {}  # node -> index of its open failure span
+        open_quar: dict[int, int] = {}  # node -> index of its open quarantine span
 
         for e in self._events:
             et = e.type
@@ -109,6 +117,8 @@ class TraceReplayer:
                 completed[f["task"]] = (f["wait"], f["run"], bool(f["closest"]))
             elif et == ev.DISCARDED:
                 discarded.add(f["task"])
+                if f.get("reason") == "retry_budget":
+                    flog.retry_discards += 1
             elif et == ev.SUSPENDED:
                 suspension_events += 1
             elif et == ev.CONFIG_LOADED:
@@ -122,8 +132,30 @@ class TraceReplayer:
                 self.series.running_tasks.add(e.time, f["running"])
             elif et == ev.RUN_FINISHED:
                 finished = e
+            elif et == ev.TASK_INTERRUPTED:
+                flog.interrupts.append((f["task"], f.get("cls", "crash")))
+            elif et == ev.NODE_FAILED:
+                open_fail[f["node"]] = len(flog.failures)
+                flog.failures.append((e.time, f.get("cls", "crash"), -1))
+            elif et == ev.NODE_REPAIRED:
+                idx = open_fail.pop(f["node"], None)
+                if idx is not None:
+                    start, cls, _end = flog.failures[idx]
+                    flog.failures[idx] = (start, cls, e.time)
+            elif et == ev.CONFIG_FAULT:
+                flog.config_faults += 1
+            elif et == ev.TASK_RETRY:
+                flog.retries.append((f["task"], f["delay"]))
+            elif et == ev.NODE_QUARANTINED:
+                open_quar[f["node"]] = len(flog.quarantines)
+                flog.quarantines.append((e.time, -1))
+            elif et == ev.NODE_PROBATION:
+                idx = open_quar.pop(f["node"], None)
+                if idx is not None:
+                    start, _end = flog.quarantines[idx]
+                    flog.quarantines[idx] = (start, e.time)
             elif et in ev.EVENT_TYPES:
-                pass  # Resumed / TaskInterrupted / evict / fail / repair / start
+                pass  # Resumed / evict / start
             else:
                 raise TraceError(f"unknown event type {et!r} at seq {e.seq}")
 
@@ -145,6 +177,14 @@ class TraceReplayer:
             running.add(run)
             if used_closest:
                 closest += 1
+
+        interrupted = {t for t, _cls in flog.interrupts}
+        flog.node_count = self.params["nodes"]
+        flog.final_time = finished.fields["final"]
+        flog.total_tasks = len(arrival_order)
+        flog.completed_first_try = sum(
+            1 for task_no in completed if task_no not in interrupted
+        )
 
         ss = finished.fields["ss"]
         hk = finished.fields["hk"]
@@ -175,6 +215,17 @@ class TraceReplayer:
         self.replay()
         assert self._report is not None
         return self._report
+
+    def resilience_report(self) -> ResilienceReport:
+        """The fault-campaign report re-derived from the trace.
+
+        Folds the replayed :class:`FaultLog` through the same
+        :func:`assemble_resilience` the live injector uses, so the result is
+        bit-identical to :meth:`FailureInjector.resilience` for the run that
+        produced the trace.
+        """
+        self.replay()
+        return assemble_resilience(self.fault_log)
 
 
 def replay_report(events: Iterable[TraceEvent]) -> MetricsReport:

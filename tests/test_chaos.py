@@ -1,0 +1,102 @@
+"""Seeded fault-campaign soaks — opt-in via ``pytest -m chaos``.
+
+The acceptance-scale campaigns for fault-tolerance v2: a 200-node / 20k-task
+SEU-only soak comparing partial against full reconfiguration, plus a
+differential digest check (indexed vs reference-scan manager) under a mixed
+fault regime.  Excluded from the default run by the ``-m "not chaos"``
+addopts; CI runs them as a separate step.  Scale can be tuned through
+``REPRO_CHAOS_NODES`` / ``REPRO_CHAOS_TASKS`` for slower machines.
+"""
+
+import os
+
+import pytest
+
+from repro.framework import FaultCampaignSpec, run_campaign
+from repro.trace import DigestSink, MemorySink, TraceBus, TraceReplayer
+
+pytestmark = pytest.mark.chaos
+
+CHAOS_NODES = int(os.environ.get("REPRO_CHAOS_NODES", "200"))
+CHAOS_TASKS = int(os.environ.get("REPRO_CHAOS_TASKS", "20000"))
+
+# SEU-only: configuration-memory strikes with scrub repair and a bounded
+# retry budget (unbounded instant resubmit livelocks under storms this hot).
+SOAK_SPEC = FaultCampaignSpec(
+    nodes=CHAOS_NODES,
+    configs=50,
+    tasks=CHAOS_TASKS,
+    seed=42,
+    seu_rate=300,
+    scrub_factor=2,
+    retry_budget=3,
+    backoff_base=16,
+    backoff_cap=1024,
+)
+
+# Everything at once, at reduced scale, for the cross-manager differential.
+MIXED_SPEC = FaultCampaignSpec(
+    nodes=max(20, CHAOS_NODES // 5),
+    configs=16,
+    tasks=max(500, CHAOS_TASKS // 10),
+    seed=7,
+    mtbf=2000,
+    mttr=300,
+    seu_rate=1500,
+    scrub_factor=2,
+    retry_budget=4,
+    backoff_base=16,
+    backoff_cap=512,
+    quarantine_threshold=1500,
+    probation=2000,
+    health_half_life=4000,
+)
+
+
+def traced_campaign(spec, indexed=True):
+    mem, digest = MemorySink(), DigestSink()
+    bus = TraceBus(mem, digest)
+    result, injector = run_campaign(spec, indexed=indexed, trace=bus)
+    return result, injector, mem, digest
+
+
+@pytest.fixture(scope="module")
+def soak_pair():
+    return {
+        partial: traced_campaign(SOAK_SPEC.with_mode(partial))
+        for partial in (True, False)
+    }
+
+
+class TestSeuSoak:
+    def test_partial_strictly_fewer_interrupts(self, soak_pair):
+        # A strike hits one region (or free area) under partial
+        # reconfiguration but wipes the whole monolithic context under full:
+        # same workload, same fault stream, strictly less collateral.
+        rep_p = soak_pair[True][1].resilience(soak_pair[True][0])
+        rep_f = soak_pair[False][1].resilience(soak_pair[False][0])
+        assert rep_p.interrupts_total < rep_f.interrupts_total
+        assert rep_p.interrupts_total > 0
+
+    def test_partial_degrades_more_gracefully(self, soak_pair):
+        rep_p = soak_pair[True][1].resilience(soak_pair[True][0])
+        rep_f = soak_pair[False][1].resilience(soak_pair[False][0])
+        assert rep_p.goodput > rep_f.goodput
+        assert rep_p.retry_discards <= rep_f.retry_discards
+
+    @pytest.mark.parametrize("partial", [True, False], ids=["partial", "full"])
+    def test_live_equals_replay_at_scale(self, soak_pair, partial):
+        result, injector, mem, _ = soak_pair[partial]
+        replayer = TraceReplayer(mem.events).replay()
+        assert replayer.resilience_report() == injector.resilience(result)
+        assert replayer.report() == result.report
+
+
+class TestDifferentialDigest:
+    def test_indexed_and_scan_agree_under_mixed_faults(self):
+        r_i, inj_i, mem_i, dig_i = traced_campaign(MIXED_SPEC, indexed=True)
+        r_s, inj_s, mem_s, dig_s = traced_campaign(MIXED_SPEC, indexed=False)
+        assert dig_i.hexdigest() == dig_s.hexdigest()
+        assert [e.canonical() for e in mem_i] == [e.canonical() for e in mem_s]
+        assert inj_i.resilience(r_i) == inj_s.resilience(r_s)
+        assert r_i.report == r_s.report

@@ -3,13 +3,14 @@
 import pytest
 
 from repro.framework import DReAMSim
-from repro.framework.failures import FailureInjector
+from repro.framework.failures import FailureEvent, FailureInjector
 from repro.model import Configuration, Node, Task, TaskStatus
 from repro.resources import ResourceInformationManager, check_invariants
 from repro.rng import RNG
 from repro.rng.distributions import Constant, UniformInt
 from repro.workload import ConfigSpec, NodeSpec, TaskSpec
 from repro.workload.generator import (
+    TaskArrival,
     generate_configs,
     generate_nodes,
     generate_task_stream,
@@ -176,3 +177,105 @@ class TestFailureInjection:
         for ev in injector.events:
             assert ev.repair_at > ev.time
             assert ev.interrupted_tasks >= 0
+
+    def test_max_failures_exact_cutoff(self):
+        """A fault storm must stop at exactly max_failures, not merely near it."""
+        _, injector = run_with_failures(
+            mtbf=Constant(200), mttr=Constant(50), max_failures=3
+        )
+        assert injector.failure_count == 3
+
+    def test_last_node_never_failed(self):
+        """The last in-service node is protected, or the workload could never drain."""
+        rng = RNG(seed=3)
+        nodes = generate_nodes(NodeSpec(count=1), rng)
+        configs = generate_configs(ConfigSpec(count=3), rng)
+        stream = generate_task_stream(TaskSpec(count=20), configs, rng)
+        sim = DReAMSim(nodes, configs, stream)
+        inj = FailureInjector(
+            sim, mtbf=Constant(50), mttr=Constant(10), rng=RNG(seed=4)
+        ).arm()
+        result = sim.run()
+        assert inj.failure_count == 0
+        assert nodes[0].in_service
+        for t in result.tasks:
+            assert t.status in (TaskStatus.COMPLETED, TaskStatus.DISCARDED)
+
+
+class TestCrashOnCompletionTick:
+    """A crash landing exactly on a task's completion tick must not corrupt
+    state in either event order (the stale-placement race)."""
+
+    def _one_task_sim(self):
+        configs = [Configuration(config_no=0, req_area=400, config_time=10)]
+        nodes = [Node(node_no=0, total_area=1000), Node(node_no=1, total_area=1000)]
+        task = Task(task_no=0, required_time=100, pref_config=configs[0])
+        sim = DReAMSim(nodes, configs, [TaskArrival(at=0, task=task)], partial=True)
+        inj = FailureInjector(sim, mttr=Constant(50), rng=RNG(seed=1))
+        return sim, inj, nodes, task
+
+    def test_crash_before_completion_restarts_task(self):
+        sim, inj, nodes, task = self._one_task_sim()
+        # Placement: node 0 configured at t=0; finish = 0 + 10 + 100 = 110.
+        # This callback is inserted before the run starts, so at the t=110
+        # tie it fires BEFORE the completion event: the completion is stale.
+        sim.env.call_at(110, lambda: inj._crash(nodes[0], int(sim.env.now)))
+        sim.run()
+        assert task.status is TaskStatus.COMPLETED
+        assert inj.tasks_interrupted == 1
+        # Restarted from scratch on node 1 at t=110: done at 110 + 10 + 100.
+        assert task.completion_time == 220
+        check_invariants(sim.rim)
+
+    def test_crash_after_completion_same_tick_is_harmless(self):
+        sim, inj, nodes, task = self._one_task_sim()
+        # Nested call_at: the crash is inserted at t=50, AFTER the completion
+        # event (inserted at t=0), so at the t=110 tie the completion wins.
+        sim.env.call_at(
+            50,
+            lambda: sim.env.call_at(
+                110, lambda: inj._crash(nodes[0], int(sim.env.now))
+            ),
+        )
+        sim.run()
+        assert task.status is TaskStatus.COMPLETED
+        assert task.completion_time == 110
+        assert inj.tasks_interrupted == 0  # entry was already idle
+        assert inj.failure_count == 1
+        check_invariants(sim.rim)
+
+
+class TestAvailability:
+    def _idle_sim(self, node_count):
+        configs = [Configuration(config_no=0, req_area=400, config_time=10)]
+        nodes = [Node(node_no=i, total_area=1000) for i in range(node_count)]
+        return DReAMSim(nodes, configs, []), nodes
+
+    def test_empty_node_table_is_fully_available(self):
+        sim, _ = self._idle_sim(0)
+        inj = FailureInjector(sim, mttr=Constant(10), rng=RNG(seed=1))
+        sim.run()
+        assert inj.availability() == 1.0
+
+    def test_refailure_and_horizon_clamping(self):
+        """Spans use the actual repair tick when known and clamp into the
+        run horizon, so a node re-failed after repair (or failed near the
+        end) cannot contribute negative or beyond-horizon downtime."""
+        sim, _ = self._idle_sim(2)
+        inj = FailureInjector(sim, mttr=Constant(10), rng=RNG(seed=1))
+        sim.env.call_at(1000, lambda: None)
+        sim.run()  # clock ends at 1000
+        inj.events.append(
+            FailureEvent(
+                time=100, node_no=0, interrupted_tasks=0, repair_at=900,
+                repaired_at=200,  # actual repair beat the schedule: down 100
+            )
+        )
+        inj.events.append(
+            FailureEvent(time=300, node_no=0, interrupted_tasks=0, repair_at=5000)
+        )  # re-failure still open at the horizon: clamps to 1000 - 300
+        inj.events.append(
+            FailureEvent(time=1500, node_no=1, interrupted_tasks=0, repair_at=1600)
+        )  # entirely past the horizon: contributes nothing
+        down = (200 - 100) + (1000 - 300)
+        assert inj.availability() == 1.0 - down / (1000 * 2)

@@ -44,6 +44,18 @@ class TestAddRemove:
         assert not q.add(make_task(2, cfg()), 0)
         assert len(q) == 2
 
+    def test_add_returns_the_record_for_reuse(self, queue):
+        """``add`` hands back the created record so callers (e.g. the failure
+        injector's suspend/resume round-trip) can unlink it without a scan."""
+        t = make_task(0, cfg())
+        rec = queue.add(t, now=3)
+        assert rec is not None
+        assert rec.task is t
+        assert rec is queue.head
+        assert queue.remove(rec) is t
+        assert len(queue) == 0
+        queue.validate_index()
+
     def test_remove_increments_retry(self, queue):
         t = make_task(0, cfg())
         queue.add(t, 0)

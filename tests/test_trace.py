@@ -48,7 +48,7 @@ def test_canonical_round_trips_through_json_line():
 
 def test_event_taxonomy_is_closed():
     assert ev.PLACED in ev.EVENT_TYPES
-    assert len(ev.EVENT_TYPES) == 14
+    assert len(ev.EVENT_TYPES) == 18
 
 
 # -- TraceBus: stamping and fan-out --------------------------------------------

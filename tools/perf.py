@@ -33,6 +33,7 @@ from pathlib import Path
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
 from repro import quick_simulation  # noqa: E402
+from repro.framework import FaultCampaignSpec, run_campaign  # noqa: E402
 from repro.trace import DigestSink, TraceBus  # noqa: E402
 
 # (nodes, tasks, partial) — headline last so progress output ends on the gate.
@@ -148,6 +149,64 @@ def run_trace_overhead(nodes: int, tasks: int, partial: bool, seed: int, repeats
     return row
 
 
+def run_faults_scenario(seed: int, repeats: int, quick: bool):
+    """Time the fault-injection layer: SEU campaign, indexed vs scan.
+
+    The fault layer rides the same event kernel as the base simulation, so
+    the indexed manager's speedup must survive an active campaign; the
+    resilience reports (and Table I) must stay equal across modes.
+    """
+    nodes, tasks = (50, 500) if quick else (200, 20000)
+    spec = FaultCampaignSpec(
+        nodes=nodes,
+        tasks=tasks,
+        configs=50,
+        seed=seed,
+        seu_rate=300,
+        scrub_factor=2,
+        retry_budget=3,
+        backoff_base=16,
+        backoff_cap=1024,
+    )
+
+    def best(indexed):
+        elapsed, result, injector = float("inf"), None, None
+        for _ in range(repeats):
+            t0 = time.perf_counter()
+            result, injector = run_campaign(spec, indexed=indexed)
+            elapsed = min(elapsed, time.perf_counter() - t0)
+        return elapsed, result, injector
+
+    indexed_s, res_i, inj_i = best(True)
+    scan_s, res_s, inj_s = best(False)
+    rep_i = inj_i.resilience(res_i)
+    row = {
+        "scale": f"{nodes} nodes / {tasks} tasks (partial, SEU campaign)",
+        "spec": {
+            "seu_rate": spec.seu_rate,
+            "scrub_factor": spec.scrub_factor,
+            "retry_budget": spec.retry_budget,
+            "backoff_base": spec.backoff_base,
+            "backoff_cap": spec.backoff_cap,
+        },
+        "indexed_seconds": round(indexed_s, 3),
+        "scan_seconds": round(scan_s, 3),
+        "speedup": round(scan_s / indexed_s, 2) if indexed_s else None,
+        "reports_equal": res_i.report == res_s.report,
+        "resilience_equal": rep_i == inj_s.resilience(res_s),
+        "interrupts_total": rep_i.interrupts_total,
+        "config_faults": rep_i.config_faults,
+        "goodput": round(rep_i.goodput, 4),
+    }
+    print(
+        f"faults @ {row['scale']}: indexed {indexed_s:6.2f}s  "
+        f"scan {scan_s:6.2f}s  speedup {row['speedup']:.2f}x  "
+        f"reports_equal={row['reports_equal']}  "
+        f"resilience_equal={row['resilience_equal']}"
+    )
+    return row
+
+
 def main(argv=None) -> int:
     """CLI entry point; returns a process exit status."""
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
@@ -171,6 +230,7 @@ def main(argv=None) -> int:
         overhead_scale[0], overhead_scale[1], overhead_scale[2],
         args.seed, max(1, args.repeats),
     )
+    faults = run_faults_scenario(args.seed, max(1, args.repeats), args.quick)
 
     headline = next(
         (
@@ -200,6 +260,7 @@ def main(argv=None) -> int:
         },
         "results": rows,
         "tracing_overhead": tracing,
+        "faults": faults,
     }
     Path(args.output).write_text(json.dumps(payload, indent=2) + "\n")
     print(f"\nwrote {args.output}")
@@ -209,6 +270,9 @@ def main(argv=None) -> int:
     )
     if not all(r["reports_equal"] for r in rows):
         print("FAIL: reports differ between modes", file=sys.stderr)
+        return 1
+    if not (faults["reports_equal"] and faults["resilience_equal"]):
+        print("FAIL: fault-campaign reports differ between modes", file=sys.stderr)
         return 1
     return 0
 
