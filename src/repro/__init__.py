@@ -20,6 +20,8 @@ See ``examples/quickstart.py`` for the guided tour and DESIGN.md for the
 architecture map.
 """
 
+from typing import Any
+
 from repro.core import DreamScheduler, PlacementPolicy
 from repro.framework import DReAMSim, SimulationResult
 from repro.metrics import MetricsReport
@@ -36,7 +38,7 @@ def quick_simulation(
     tasks: int = 1000,
     partial: bool = True,
     seed: int = 42,
-    **sim_kwargs,
+    **sim_kwargs: Any,
 ) -> SimulationResult:
     """Run one simulation with Table II defaults; the five-minute entry point.
 

@@ -9,7 +9,7 @@ machine-checkable scorecard that the benches assert on and the CLI prints.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Optional
+from typing import Callable, Optional, Sequence
 
 from repro.analysis.figures import FIGURES, build_figure
 from repro.analysis.runner import SweepResult, run_sweep
@@ -125,9 +125,9 @@ class ClaimCheck:
 
 
 def check_claims(
-    task_counts,
+    task_counts: Sequence[int],
     seed: int,
-    node_counts=(100, 200),
+    node_counts: Sequence[int] = (100, 200),
     progress: Optional[Callable[[str], None]] = None,
 ) -> list[ClaimCheck]:
     """Run the sweeps and evaluate every §VI-A claim."""

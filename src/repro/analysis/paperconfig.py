@@ -22,6 +22,7 @@ returns the full Table II grid for long runs.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
+from typing import Sequence
 
 from repro.workload.spec import ConfigSpec, NodeSpec, TaskSpec
 
@@ -64,8 +65,8 @@ class Scenario:
 
 
 def table2_scenarios(
-    node_counts=PAPER_NODE_COUNTS,
-    task_sweep=DEFAULT_TASK_SWEEP,
+    node_counts: Sequence[int] = PAPER_NODE_COUNTS,
+    task_sweep: Sequence[int] = DEFAULT_TASK_SWEEP,
     seed: int = DEFAULT_SEED,
 ) -> list[Scenario]:
     """The full scenario grid: node counts × task sweep × {partial, full}."""

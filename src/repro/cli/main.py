@@ -291,7 +291,7 @@ def _campaign_spec_from_args(args):
     )
 
 
-def cmd_run(args) -> int:
+def cmd_run(args: argparse.Namespace) -> int:
     """``dreamsim run``: one simulation, Table I report, optional XML."""
     profiler = None
     if getattr(args, "profile", False):
@@ -371,7 +371,7 @@ def cmd_run(args) -> int:
     return 0
 
 
-def cmd_replicate(args) -> int:
+def cmd_replicate(args: argparse.Namespace) -> int:
     """``dreamsim replicate``: multi-seed means ± 95% CIs, both modes."""
     from repro.analysis.paperconfig import Scenario
     from repro.analysis.replicate import replicate
@@ -399,7 +399,7 @@ def cmd_replicate(args) -> int:
     return 0
 
 
-def cmd_sweep(args) -> int:
+def cmd_sweep(args: argparse.Namespace) -> int:
     """``dreamsim sweep``: one metric across a task-count sweep."""
     sweep = run_sweep(args.nodes, args.tasks, args.seed, progress=lambda m: print(m, file=sys.stderr))
     print(
@@ -414,7 +414,7 @@ def cmd_sweep(args) -> int:
     return 0
 
 
-def cmd_figures(args) -> int:
+def cmd_figures(args: argparse.Namespace) -> int:
     """``dreamsim figures``: regenerate paper figures, check shapes."""
     from pathlib import Path
 
@@ -478,7 +478,7 @@ def cmd_figures(args) -> int:
     return 0 if ok else 1
 
 
-def cmd_claims(args) -> int:
+def cmd_claims(args: argparse.Namespace) -> int:
     """``dreamsim claims``: evaluate the §VI-A scorecard."""
     checks = check_claims(
         args.tasks,
@@ -490,7 +490,7 @@ def cmd_claims(args) -> int:
     return 0 if all(c.passed for c in checks) else 1
 
 
-def cmd_graph(args) -> int:
+def cmd_graph(args: argparse.Namespace) -> int:
     """``dreamsim graph``: schedule a generated task graph."""
     from repro.rng import RNG
     from repro.taskgraph import (

@@ -47,6 +47,7 @@ from repro.trace.events import DISCARDED, PLACED, SUSPENDED
 if TYPE_CHECKING:  # pragma: no cover
     from repro.model.gpp import GppPool
     from repro.network.delays import NetworkModel
+    from repro.trace.bus import TraceBus
 
 
 class DreamScheduler:
@@ -78,7 +79,7 @@ class DreamScheduler:
         policy: Optional[PlacementPolicy] = None,
         network: Optional["NetworkModel"] = None,
         gpp_pool: Optional["GppPool"] = None,
-        trace=None,
+        trace: Optional["TraceBus"] = None,
     ) -> None:
         self.rim = rim
         self.trace = trace

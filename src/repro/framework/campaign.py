@@ -18,12 +18,13 @@ under different fault processes.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Optional
+from typing import Any, Optional
 
 from repro.framework.failures import FailureInjector
 from repro.framework.simulator import DReAMSim, SimulationResult
 from repro.rng import RNG
 from repro.rng.distributions import Distribution, UniformInt
+from repro.trace.bus import TraceBus
 from repro.workload import ConfigSpec, NodeSpec, TaskSpec
 from repro.workload.generator import (
     generate_configs,
@@ -85,8 +86,8 @@ class FaultCampaignSpec:
 def build_campaign(
     spec: FaultCampaignSpec,
     indexed: bool = True,
-    trace=None,
-    **sim_kwargs,
+    trace: Optional[TraceBus] = None,
+    **sim_kwargs: Any,
 ) -> tuple[DReAMSim, Optional[FailureInjector]]:
     """Construct the simulator and (if any fault knob is set) arm an injector.
 
@@ -135,8 +136,8 @@ def build_campaign(
 def run_campaign(
     spec: FaultCampaignSpec,
     indexed: bool = True,
-    trace=None,
-    **sim_kwargs,
+    trace: Optional[TraceBus] = None,
+    **sim_kwargs: Any,
 ) -> tuple[SimulationResult, Optional[FailureInjector]]:
     """Build and run one campaign; returns the result and the injector."""
     sim, injector = build_campaign(spec, indexed=indexed, trace=trace, **sim_kwargs)

@@ -93,7 +93,7 @@ class ExperimentConfig:
     max_retries: Optional[int] = None
     gpp: Optional[GppPool] = None
 
-    def build(self, **sim_kwargs) -> DReAMSim:
+    def build(self, **sim_kwargs: Any) -> DReAMSim:
         """Instantiate a ready-to-run simulator from this configuration.
 
         ``sim_kwargs`` pass through to :class:`DReAMSim` (e.g. ``trace=`` to

@@ -65,10 +65,10 @@ same report bit-identically from the event stream alone.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import Optional, Sequence
 
 from repro.core.base import ScheduleResult
-from repro.framework.simulator import DReAMSim
+from repro.framework.simulator import DReAMSim, SimulationResult
 from repro.metrics.resilience import FaultLog, ResilienceReport, assemble_resilience
 from repro.model.node import ConfigTaskEntry, Node
 from repro.model.task import Task, TaskStatus
@@ -245,7 +245,7 @@ class FailureInjector:
             down += max(0, min(end, span) - min(ev.time, span))
         return 1.0 - down / (span * len(nodes))
 
-    def fault_log(self, final_time: int, tasks) -> FaultLog:
+    def fault_log(self, final_time: int, tasks: Sequence[Task]) -> FaultLog:
         """The run's primitive fault facts, finalized for assembly.
 
         ``completed_first_try`` counts tasks that completed without ever
@@ -264,7 +264,7 @@ class FailureInjector:
         )
         return log
 
-    def resilience(self, result) -> ResilienceReport:
+    def resilience(self, result: SimulationResult) -> ResilienceReport:
         """Fold this campaign's fault log into a :class:`ResilienceReport`."""
         return assemble_resilience(self.fault_log(result.final_time, result.tasks))
 

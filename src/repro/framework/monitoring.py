@@ -17,6 +17,7 @@ from repro.trace.events import MONITOR_SAMPLED
 if TYPE_CHECKING:  # pragma: no cover
     from repro.resources.manager import ResourceInformationManager
     from repro.resources.susqueue import SuspensionQueue
+    from repro.trace.bus import TraceBus
 
 
 @dataclass(frozen=True)
@@ -42,7 +43,7 @@ class MonitorSample:
 class Monitor:
     """Event-driven state sampler with optional rate limiting."""
 
-    def __init__(self, min_interval: int = 0, trace=None) -> None:
+    def __init__(self, min_interval: int = 0, trace: Optional["TraceBus"] = None) -> None:
         self.min_interval = min_interval
         self.trace = trace
         self.samples: list[MonitorSample] = []

@@ -21,7 +21,7 @@ randomness lives in the workload generators.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, Iterator, Optional
+from typing import TYPE_CHECKING, Iterable, Iterator, Optional
 
 from repro.core.base import Placement, ScheduleOutcome, ScheduleResult
 from repro.core.policies import PlacementPolicy
@@ -47,6 +47,11 @@ from repro.workload.generator import TaskArrival
 
 from repro.framework.loadbalance import LoadBalancer
 from repro.framework.monitoring import Monitor
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.model.gpp import GppPool
+    from repro.network.delays import NetworkModel
+    from repro.trace.bus import TraceBus
 
 
 @dataclass
@@ -109,11 +114,11 @@ class DReAMSim:
         sample_system_waste: bool = True,
         monitor_min_interval: int = 0,
         per_tick_housekeeping: Optional[int] = None,
-        network=None,
+        network: Optional["NetworkModel"] = None,
         queue_order: str = "fifo",
-        gpp=None,
+        gpp: Optional["GppPool"] = None,
         indexed: bool = True,
-        trace=None,
+        trace: Optional["TraceBus"] = None,
     ) -> None:
         self.env = Environment()
         self.counters = SearchCounters()

@@ -1,0 +1,45 @@
+"""``repro.lint`` — dreamlint, the project's determinism & accounting linter.
+
+An AST-based static-analysis pass with project-specific rules (DL001–DL008)
+enforcing the conventions the reproduction's bit-exactness guarantees rest
+on; see DESIGN.md §11 and ``tools/dreamlint.py`` for the CLI.
+
+>>> from repro.lint import run_lint
+>>> report = run_lint("src/repro")          # doctest: +SKIP
+>>> report.exit_code                        # doctest: +SKIP
+0
+"""
+
+from repro.lint.core import (
+    Finding,
+    META_RULE,
+    Report,
+    Rule,
+    RULES,
+    Severity,
+    SourceFile,
+    Suppression,
+    register,
+    run_lint,
+)
+from repro.lint.report import render_human, render_json, render_rules, to_json
+
+# Importing the rules module populates the registry.
+from repro.lint import rules as _rules  # noqa: F401
+
+__all__ = [
+    "Finding",
+    "META_RULE",
+    "Report",
+    "Rule",
+    "RULES",
+    "Severity",
+    "SourceFile",
+    "Suppression",
+    "register",
+    "render_human",
+    "render_json",
+    "render_rules",
+    "run_lint",
+    "to_json",
+]

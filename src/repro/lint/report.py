@@ -1,0 +1,98 @@
+"""Human and JSON rendering of a dreamlint :class:`~repro.lint.core.Report`.
+
+The JSON document is stable (sorted findings, fixed key order via plain
+dicts) so a committed baseline (``tools/dreamlint_baseline.json``) diffs
+cleanly; the ``generated`` field is deliberately absent — a lint report is a
+pure function of the tree.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.lint.core import RULES, Report, Severity
+
+#: Bumped when the JSON schema changes shape.
+REPORT_VERSION = 1
+
+
+def _stable_root(root: str) -> str:
+    """The scan root relative to the working directory when possible.
+
+    Keeps the committed baseline identical across checkouts: running from
+    the repo root yields ``src/repro`` on every machine.
+    """
+    p = Path(root)
+    try:
+        return p.relative_to(Path.cwd()).as_posix()
+    except ValueError:
+        return p.as_posix()
+
+
+def to_json(report: Report) -> dict[str, object]:
+    """The machine-readable report document."""
+    return {
+        "version": REPORT_VERSION,
+        "tool": "dreamlint",
+        "root": _stable_root(report.root),
+        "files_scanned": len(report.files),
+        "rules": [
+            {
+                "id": rule.id,
+                "title": rule.title,
+                "severity": rule.severity.value,
+            }
+            for rule in (RULES[rid] for rid in sorted(RULES))
+        ],
+        "findings": [f.to_json() for f in report.findings],
+        "suppressions": [s.to_json() for s in report.suppressions],
+        "summary": {
+            "errors": len(report.errors),
+            "warnings": len(report.warnings),
+            "suppressed": len(report.suppressed),
+        },
+    }
+
+
+def render_json(report: Report) -> str:
+    """The JSON report as a stable, indented string."""
+    return json.dumps(to_json(report), indent=2, sort_keys=False) + "\n"
+
+
+def render_human(report: Report, verbose: bool = False) -> str:
+    """The terminal report: one line per finding plus a summary."""
+    lines: list[str] = []
+    for f in report.findings:
+        lines.append(f"{f.path}:{f.line}:{f.col}: {f.rule} [{f.severity.value}] {f.message}")
+    if verbose and report.suppressed:
+        lines.append("")
+        for f, reason in sorted(report.suppressed, key=lambda p: p[0].sort_key()):
+            lines.append(
+                f"{f.path}:{f.line}: {f.rule} suppressed ({reason})"
+            )
+    n_err, n_warn = len(report.errors), len(report.warnings)
+    lines.append(
+        f"dreamlint: {len(report.files)} files, {n_err} error(s), "
+        f"{n_warn} warning(s), {len(report.suppressed)} suppressed"
+    )
+    return "\n".join(lines) + "\n"
+
+
+def render_rules() -> str:
+    """``--list-rules`` output: id, severity, title, rationale."""
+    lines = []
+    for rid in sorted(RULES):
+        rule = RULES[rid]
+        lines.append(f"{rule.id} [{rule.severity.value}] {rule.title}")
+        if rule.rationale:
+            lines.append(f"    {rule.rationale}")
+    return "\n".join(lines) + "\n"
+
+
+def severity_of(name: str) -> Severity:
+    """Parse a severity name (CLI helper)."""
+    return Severity(name)
+
+
+__all__ = ["REPORT_VERSION", "render_human", "render_json", "render_rules", "severity_of", "to_json"]

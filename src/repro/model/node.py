@@ -156,6 +156,16 @@ class Node:
         """Area under configurations currently executing a task (O(1))."""
         return self._busy_area
 
+    @property
+    def busy_count(self) -> int:
+        """Number of entries currently executing a task (O(1)).
+
+        Public read-only view of the incremental counter, for the resource
+        manager's state classification and the invariant checker (which must
+        not reach into ``_busy_count`` from another module).
+        """
+        return self._busy_count
+
     def reclaimable_area(self) -> int:
         """Free area + area under idle configurations (Alg. 1's accumulator).
 

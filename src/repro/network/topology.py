@@ -8,7 +8,7 @@ shortest-path (by latency) routing.
 
 from __future__ import annotations
 
-from typing import Iterable, Optional, Sequence
+from typing import Iterable, Optional, Sequence, Union
 
 import networkx as nx
 
@@ -32,7 +32,7 @@ class Topology:
         """Register a node vertex (without connecting it yet)."""
         self._g.add_node(node.node_no)
 
-    def connect(self, a, b, link: Link) -> None:
+    def connect(self, a: Union[int, str], b: Union[int, str], link: Link) -> None:
         """Join two vertices (node numbers or ``RMS``) with a link."""
         for v in (a, b):
             if v != RMS and v not in self._g:

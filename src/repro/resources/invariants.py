@@ -156,9 +156,9 @@ def check_invariants(rim: "ResourceInformationManager") -> None:
     expected_running = 0
     for node in rim.nodes:
         busy_entries = sum(1 for e in node.entries if e.is_busy)
-        if getattr(node, "_busy_count") != busy_entries:
+        if node.busy_count != busy_entries:
             raise InvariantViolation(
-                f"I9: node {node.node_no} busy counter {node._busy_count} != "
+                f"I9: node {node.node_no} busy counter {node.busy_count} != "
                 f"actual {busy_entries}"
             )
         busy_area = sum(e.config.req_area for e in node.entries if e.is_busy)
@@ -260,12 +260,12 @@ def _check_indexes(rim: "ResourceInformationManager") -> None:
     )
     expect_nodes(
         rim._ix_allidle,
-        {id(n): (n.total_area, pos[n]) for n in live if not n._busy_count},
+        {id(n): (n.total_area, pos[n]) for n in live if not n.busy_count},
         "allidle",
     )
     expect_nodes(
         rim._ix_busy,
-        {id(n): (n.total_area, pos[n]) for n in live if n._busy_count},
+        {id(n): (n.total_area, pos[n]) for n in live if n.busy_count},
         "busy",
     )
 
@@ -320,7 +320,7 @@ def _check_indexes(rim: "ResourceInformationManager") -> None:
     expected_idle_node_entries = sum(
         len(n.entries)
         for n in rim.nodes
-        if n.in_service and n.entries and not n._busy_count
+        if n.in_service and n.entries and not n.busy_count
     )
     if rim._idle_node_entries != expected_idle_node_entries:
         raise InvariantViolation(
@@ -336,6 +336,7 @@ def _check_indexes(rim: "ResourceInformationManager") -> None:
     # Load index: exact keys; the integer sums must match brute force exactly.
     expect_nodes(
         rim._ix_load,
+        # dreamlint: disable=DL002 (mirrors the manager's float load-index keys)
         {id(n): (n.busy_area / n.total_area, pos[n]) for n in rim.nodes},
         "load",
     )

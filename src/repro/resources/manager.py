@@ -45,6 +45,7 @@ from repro.model.task import Task
 from repro.resources.chains import IntrusiveChain
 from repro.resources.counters import SearchCounters
 from repro.resources.indexes import SortedKeyIndex
+from repro.trace.bus import TraceBus
 from repro.trace.events import (
     CONFIG_EVICTED,
     CONFIG_FAULT,
@@ -85,7 +86,7 @@ class ResourceInformationManager:
         configs: Sequence[Configuration],
         counters: Optional[SearchCounters] = None,
         indexed: bool = True,
-        trace=None,
+        trace: Optional[TraceBus] = None,
     ) -> None:
         self.nodes: list[Node] = list(nodes)
         self.configs: list[Configuration] = list(configs)
@@ -166,8 +167,9 @@ class ResourceInformationManager:
         self._load_sum_i = 0
         self._load_sumsq_i = 0
         for i, n in enumerate(self.nodes):
-            self._ix_load.add((n._busy_area / n.total_area, i), n)
-            b = n._busy_area * self._load_w[i]
+            # dreamlint: disable=DL002 (load-index keys are float ratios by design; the accounted sums stay integer)
+            self._ix_load.add((n.busy_area / n.total_area, i), n)
+            b = n.busy_area * self._load_w[i]
             self._load_sum_i += b
             self._load_sumsq_i += b * b
 
@@ -196,7 +198,7 @@ class ResourceInformationManager:
             self.state_counts[self._state_key(node)] += 1
             self._wasted_total += self._waste_of(node)
             self._configured_total += node.configured_area
-            self.running_tasks_count += node._busy_count
+            self.running_tasks_count += node.busy_count
 
     # -- aggregate bookkeeping ------------------------------------------------------
 
@@ -204,7 +206,7 @@ class ResourceInformationManager:
     def _state_key(node: Node) -> str:
         if node.is_blank:
             return "blank"
-        return "busy" if node._busy_count > 0 else "idle"
+        return "busy" if node.busy_count > 0 else "idle"
 
     @staticmethod
     def _waste_of(node: Node) -> int:
@@ -224,9 +226,9 @@ class ResourceInformationManager:
         pos = self._node_pos[node]
         total = node.total_area
         live0 = node.in_service and bool(node.entries)
-        avail0 = node._available_area
-        busy_area0 = node._busy_area
-        busy0 = node._busy_count
+        avail0 = node.available_area
+        busy_area0 = node.busy_area
+        busy0 = node.busy_count
         n_entries0 = len(node.entries)
         self.state_counts[self._state_key(node)] -= 1
         self._wasted_total -= self._waste_of(node)
@@ -236,9 +238,9 @@ class ResourceInformationManager:
         result = mutate()
 
         live1 = node.in_service and bool(node.entries)
-        avail1 = node._available_area
-        busy_area1 = node._busy_area
-        busy1 = node._busy_count
+        avail1 = node.available_area
+        busy_area1 = node.busy_area
+        busy1 = node.busy_count
         n_entries1 = len(node.entries)
         self.state_counts[self._state_key(node)] += 1
         self._wasted_total += self._waste_of(node)
@@ -279,8 +281,8 @@ class ResourceInformationManager:
         if avail0 != avail1:
             self._rekey_idle_entries(node)
         if busy_area0 != busy_area1:
-            self._ix_load.discard((busy_area0 / total, pos), node)
-            self._ix_load.add((busy_area1 / total, pos), node)
+            self._ix_load.discard((busy_area0 / total, pos), node)  # dreamlint: disable=DL002 (load-index keys are float by design)
+            self._ix_load.add((busy_area1 / total, pos), node)  # dreamlint: disable=DL002 (load-index keys are float by design)
             # b² − a² as (b−a)(b+a): one big-int multiply instead of two
             # squarings (the weights are lcm-sized integers).
             w = self._load_w[pos]
@@ -301,9 +303,9 @@ class ResourceInformationManager:
         if not node.in_service or not node.entries:
             return
         pos = self._node_pos[node]
-        self._ix_partial.add((node._available_area, pos), node)
-        self._ix_reclaim.add((node.total_area - node._busy_area, pos), node)
-        if node._busy_count:
+        self._ix_partial.add((node.available_area, pos), node)
+        self._ix_reclaim.add((node.total_area - node.busy_area, pos), node)
+        if node.busy_count:
             self._ix_busy.add((node.total_area, pos), node)
         else:
             self._ix_allidle.add((node.total_area, pos), node)
@@ -317,7 +319,7 @@ class ResourceInformationManager:
     def _idle_add(self, entry: ConfigTaskEntry, node: Node) -> None:
         """Index an entry just appended to its configuration's idle chain."""
         seq = self._next_seq()
-        key = (node._available_area, seq)
+        key = (node.available_area, seq)
         setattr(entry, "_idle_seq", seq)
         setattr(entry, "_idle_key", key)
         self._ix_idle_entries[entry.config.config_no].add(key, entry)
@@ -331,7 +333,7 @@ class ResourceInformationManager:
 
     def _rekey_idle_entries(self, node: Node) -> None:
         """Refresh idle-entry keys after the node's available area changed."""
-        avail = node._available_area
+        avail = node.available_area
         for entry in node.entries:
             key = getattr(entry, "_idle_key", None)
             if key is not None and key[0] != avail:
@@ -567,7 +569,7 @@ class ResourceInformationManager:
             if not node.in_service or not config.compatible_with_node_family(node.family):
                 self.counters.charge_scheduling()
                 continue
-            if require_all_idle and node._busy_count:
+            if require_all_idle and node.busy_count:
                 self.counters.charge_scheduling()
                 continue
             accum = node.available_area

@@ -30,14 +30,15 @@ from typing import Callable, Hashable, Iterable, Iterator, Optional
 
 from repro.model.task import Task
 from repro.resources.counters import SearchCounters
+from repro.trace.bus import TraceBus
 from repro.trace.events import RESUMED
 
 NO_KEY = object()  # index key for records whose key_fn returned None
 
 _DISCIPLINES: dict[str, Callable[[Task], float]] = {
-    "fifo": lambda task: 0.0,
-    "sjf": lambda task: float(task.required_time),
-    "area": lambda task: -float(task.needed_area),
+    "fifo": lambda task: 0.0,  # dreamlint: disable=DL002 (service-order rank keys are floats, never accounted quantities)
+    "sjf": lambda task: float(task.required_time),  # dreamlint: disable=DL002 (rank key: exact int-to-float, ordering only)
+    "area": lambda task: -float(task.needed_area),  # dreamlint: disable=DL002 (rank key: exact int-to-float, ordering only)
 }
 
 
@@ -49,7 +50,7 @@ class SuspendedTask:
     suspended_at: int
     seq: int = field(default=0, compare=False)
     key: Hashable = field(default=None, compare=False)
-    rank: float = field(default=0.0, compare=False)
+    rank: float = field(default=0.0, compare=False)  # dreamlint: disable=DL002 (rank key, ordering only)
     # (discipline rank, arrival sequence) — the queue's service order.
     # Precomputed: rank and seq are immutable after construction, and the
     # bisect-based queue operations compare records heavily.
@@ -72,7 +73,7 @@ class SuspensionQueue:
         max_length: Optional[int] = None,
         key_fn: Optional[Callable[[Task], Hashable]] = None,
         order: str = "fifo",
-        trace=None,
+        trace: Optional[TraceBus] = None,
     ) -> None:
         if order not in _DISCIPLINES:
             raise ValueError(

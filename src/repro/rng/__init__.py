@@ -20,6 +20,8 @@ All sampling is deterministic given a seed, which the experiment harness
 relies on for replayable simulations.
 """
 
+from typing import Sequence, TypeVar
+
 from repro.rng.bitgen import KissGenerator
 from repro.rng.discrete import binomial, multinomial, poisson
 from repro.rng.distributions import (
@@ -37,6 +39,8 @@ from repro.rng.distributions import (
 )
 from repro.rng.gamma import gamma_variate
 from repro.rng.ziggurat import ZigguratTables, exponential_variate, normal_variate
+
+_T = TypeVar("_T")
 
 
 class RNG:
@@ -122,7 +126,7 @@ class RNG:
         """Binomial variate with the paper's (p, n) argument order."""
         return binomial(self, n, p)
 
-    def multinom(self, n: int, weights) -> list[int]:
+    def multinom(self, n: int, weights: Sequence[float]) -> list[int]:
         """Multinomial counts for ``n`` trials over ``weights`` categories."""
         return multinomial(self, n, weights)
 
@@ -134,7 +138,7 @@ class RNG:
             j = self.randint(0, i)
             seq[i], seq[j] = seq[j], seq[i]
 
-    def choice(self, seq):
+    def choice(self, seq: Sequence[_T]) -> _T:
         """Uniformly pick one element of a non-empty sequence."""
         if not seq:
             raise ValueError("cannot choose from an empty sequence")

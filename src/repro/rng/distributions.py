@@ -179,7 +179,9 @@ class Bernoulli(Distribution):
 class Choice(Distribution):
     """Uniform (or weighted) choice over a finite value set."""
 
-    def __init__(self, values: Sequence[float], weights: Sequence[float] | None = None):
+    def __init__(
+        self, values: Sequence[float], weights: Sequence[float] | None = None
+    ) -> None:
         if not values:
             raise ValueError("Choice requires at least one value")
         self.values = list(values)

@@ -13,7 +13,7 @@ identically — a property the reproduction tests rely on.
 from __future__ import annotations
 
 import enum
-from typing import TYPE_CHECKING, Any, Callable, Generator, Iterable, Optional
+from typing import TYPE_CHECKING, Any, Callable, Generator, Iterable, Iterator, Optional
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
     from repro.sim.environment import Environment
@@ -319,7 +319,7 @@ class ConditionValue:
     def __len__(self) -> int:
         return len(self._events)
 
-    def __iter__(self):
+    def __iter__(self) -> Iterator[Event]:
         return iter(self._events)
 
     def values(self) -> list[Any]:

@@ -52,7 +52,7 @@ class Request(_BaseRequest):
     def __enter__(self) -> "Request":
         return self
 
-    def __exit__(self, exc_type, exc, tb) -> None:
+    def __exit__(self, exc_type: object, exc: object, tb: object) -> None:
         self.resource.release(self)
 
 
@@ -166,11 +166,11 @@ class PriorityResource(Resource):
         heapq.heapify(self._pqueue)
 
     @property
-    def queue(self):  # type: ignore[override]
+    def queue(self) -> list[Request]:  # type: ignore[override]
         return [r for (_, _, r) in sorted(self._pqueue)]
 
     @queue.setter
-    def queue(self, value) -> None:
+    def queue(self, value: object) -> None:
         # Base-class __init__ assigns []; accept and ignore the plain list.
         if value:
             raise SimulationError("PriorityResource queue cannot be assigned directly")

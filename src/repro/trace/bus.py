@@ -30,9 +30,29 @@ from __future__ import annotations
 
 import hashlib
 from pathlib import Path
-from typing import IO, Iterable, Iterator, Optional, Union
+from typing import (
+    IO,
+    TYPE_CHECKING,
+    Any,
+    Callable,
+    Iterable,
+    Iterator,
+    Optional,
+    Protocol,
+    Union,
+)
 
 from repro.trace.events import TraceEvent
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.resources.counters import SearchCounters
+
+
+class TraceSink(Protocol):
+    """Anything the bus can fan events out to."""
+
+    def write(self, event: TraceEvent) -> None:
+        """Consume one stamped event."""
 
 
 class MemorySink:
@@ -94,7 +114,7 @@ class JsonlSink:
     def __enter__(self) -> "JsonlSink":
         return self
 
-    def __exit__(self, *exc) -> None:
+    def __exit__(self, *exc: object) -> None:
         self.close()
 
 
@@ -115,13 +135,18 @@ class TraceBus:
 
     __slots__ = ("clock", "counters", "_sinks", "_seq")
 
-    def __init__(self, *sinks, clock=None, counters=None) -> None:
-        self._sinks = list(sinks)
+    def __init__(
+        self,
+        *sinks: TraceSink,
+        clock: Optional[Callable[[], int]] = None,
+        counters: Optional["SearchCounters"] = None,
+    ) -> None:
+        self._sinks: list[TraceSink] = list(sinks)
         self.clock = clock
         self.counters = counters
         self._seq = 0
 
-    def attach(self, sink) -> None:
+    def attach(self, sink: TraceSink) -> None:
         """Add a sink; it sees only events emitted after attachment."""
         self._sinks.append(sink)
 
@@ -129,7 +154,7 @@ class TraceBus:
     def events_emitted(self) -> int:
         return self._seq
 
-    def emit(self, ev_type: str, **fields) -> None:
+    def emit(self, ev_type: str, **fields: Any) -> None:
         """Stamp and fan out one event (callers guard the ``None`` check)."""
         clock = self.clock
         t = int(clock()) if clock is not None else 0
@@ -162,4 +187,12 @@ def digest_of(events: Iterable[TraceEvent]) -> str:
     return sink.hexdigest()
 
 
-__all__ = ["TraceBus", "MemorySink", "DigestSink", "JsonlSink", "read_jsonl", "digest_of"]
+__all__ = [
+    "TraceBus",
+    "TraceSink",
+    "MemorySink",
+    "DigestSink",
+    "JsonlSink",
+    "read_jsonl",
+    "digest_of",
+]

@@ -154,8 +154,13 @@ class TraceReplayer:
                 if idx is not None:
                     start, _end = flog.quarantines[idx]
                     flog.quarantines[idx] = (start, e.time)
-            elif et in ev.EVENT_TYPES:
-                pass  # Resumed / evict / start
+            elif et in (ev.RUN_STARTED, ev.RESUMED, ev.CONFIG_EVICTED):
+                # Explicit no-ops: framing (already consumed above), resume
+                # markers, and evictions contribute to no Table I aggregate.
+                # Every taxonomy member must appear in this dispatch chain
+                # (dreamlint DL004) — a blanket EVENT_TYPES pass-through
+                # would silently skip future event types instead.
+                pass
             else:
                 raise TraceError(f"unknown event type {et!r} at seq {e.seq}")
 

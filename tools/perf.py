@@ -207,6 +207,37 @@ def run_faults_scenario(seed: int, repeats: int, quick: bool):
     return row
 
 
+def run_dreamlint_timing(repeats: int):
+    """Time one dreamlint pass over the full ``src/repro`` tree.
+
+    The linter runs in CI on every push, so its wall-clock cost is part of
+    the perf budget this file tracks; the row also re-asserts the clean-tree
+    invariant (zero errors) the static-analysis job gates on.
+    """
+    from repro.lint import run_lint
+
+    tree = Path(__file__).resolve().parent.parent / "src" / "repro"
+    elapsed, report = float("inf"), None
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        report = run_lint(tree)
+        elapsed = min(elapsed, time.perf_counter() - t0)
+    row = {
+        "tool": "dreamlint",
+        "target": "src/repro",
+        "files": len(report.files),
+        "seconds": round(elapsed, 3),
+        "errors": len(report.errors),
+        "warnings": len(report.warnings),
+        "suppressed": len(report.suppressed),
+    }
+    print(
+        f"dreamlint @ src/repro: {row['files']} files in {elapsed:6.2f}s  "
+        f"({row['errors']} error(s), {row['warnings']} warning(s))"
+    )
+    return row
+
+
 def main(argv=None) -> int:
     """CLI entry point; returns a process exit status."""
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
@@ -231,6 +262,7 @@ def main(argv=None) -> int:
         args.seed, max(1, args.repeats),
     )
     faults = run_faults_scenario(args.seed, max(1, args.repeats), args.quick)
+    static_analysis = run_dreamlint_timing(max(1, args.repeats))
 
     headline = next(
         (
@@ -261,6 +293,7 @@ def main(argv=None) -> int:
         "results": rows,
         "tracing_overhead": tracing,
         "faults": faults,
+        "static_analysis": static_analysis,
     }
     Path(args.output).write_text(json.dumps(payload, indent=2) + "\n")
     print(f"\nwrote {args.output}")
@@ -273,6 +306,9 @@ def main(argv=None) -> int:
         return 1
     if not (faults["reports_equal"] and faults["resilience_equal"]):
         print("FAIL: fault-campaign reports differ between modes", file=sys.stderr)
+        return 1
+    if static_analysis["errors"]:
+        print("FAIL: dreamlint found errors in src/repro", file=sys.stderr)
         return 1
     return 0
 
