@@ -4,7 +4,9 @@ Scale control: the default sweep regenerates every figure's series at
 reduced scale (DESIGN.md §6).  Set ``REPRO_BENCH_TASKS`` to a comma list
 (e.g. ``1000,10000,50000,100000``) or ``REPRO_BENCH_SCALE=paper`` for the
 full Table II sweep.  Reports are memoised per scenario, so the per-figure
-bench files share one sweep per node count.
+bench files share one sweep per node count.  ``REPRO_BENCH_JOBS=N`` runs
+the sweeps through the parallel engine (bit-identical results; N worker
+processes).
 """
 
 import os
@@ -15,6 +17,10 @@ from repro.analysis.paperconfig import DEFAULT_SEED, PAPER_TASK_SWEEP
 from repro.analysis.runner import run_sweep
 
 DEFAULT_BENCH_SWEEP = (500, 1500, 4000)
+
+
+def bench_jobs() -> int:
+    return int(os.environ.get("REPRO_BENCH_JOBS", "1"))
 
 
 def bench_task_sweep() -> tuple[int, ...]:
@@ -34,13 +40,13 @@ def task_sweep():
 @pytest.fixture(scope="session")
 def sweep100(task_sweep):
     """Task sweep at 100 nodes, partial + full (Figures 6a/7a/8a)."""
-    return run_sweep(100, task_sweep, seed=DEFAULT_SEED)
+    return run_sweep(100, task_sweep, seed=DEFAULT_SEED, jobs=bench_jobs())
 
 
 @pytest.fixture(scope="session")
 def sweep200(task_sweep):
     """Task sweep at 200 nodes, partial + full (Figures 6b/7b/8b/9/10)."""
-    return run_sweep(200, task_sweep, seed=DEFAULT_SEED)
+    return run_sweep(200, task_sweep, seed=DEFAULT_SEED, jobs=bench_jobs())
 
 
 def print_figure(series) -> None:

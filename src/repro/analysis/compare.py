@@ -12,7 +12,12 @@ from dataclasses import dataclass
 from typing import Callable, Optional, Sequence
 
 from repro.analysis.figures import FIGURES, build_figure
-from repro.analysis.runner import SweepResult, run_sweep
+from repro.analysis.runner import (
+    SweepResult,
+    prefetch_scenarios,
+    run_sweep,
+    sweep_scenarios,
+)
 
 
 @dataclass(frozen=True)
@@ -129,8 +134,20 @@ def check_claims(
     seed: int,
     node_counts: Sequence[int] = (100, 200),
     progress: Optional[Callable[[str], None]] = None,
+    jobs: int = 1,
 ) -> list[ClaimCheck]:
-    """Run the sweeps and evaluate every §VI-A claim."""
+    """Run the sweeps and evaluate every §VI-A claim.
+
+    With ``jobs != 1`` the *whole* grid (every node count × task count ×
+    mode) is prefetched through the sweep engine in one batch — maximum
+    parallel width — before the per-node-count sweeps assemble from cache
+    in serial order.
+    """
+    if jobs != 1:
+        grid = [
+            sc for n in node_counts for sc in sweep_scenarios(n, task_counts, seed)
+        ]
+        prefetch_scenarios(grid, jobs=jobs, progress=progress)
     sweeps = {
         n: run_sweep(n, task_counts, seed, progress=progress) for n in node_counts
     }

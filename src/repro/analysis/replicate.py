@@ -15,7 +15,7 @@ from dataclasses import dataclass, field, replace
 from typing import Callable, Optional, Sequence
 
 from repro.analysis.paperconfig import Scenario
-from repro.analysis.runner import run_scenario
+from repro.analysis.runner import prefetch_scenarios, run_scenario
 from repro.metrics.accumulators import RunningStats
 from repro.metrics.table1 import MetricsReport
 
@@ -97,10 +97,20 @@ def replicate(
     scenario: Scenario,
     seeds: Sequence[int],
     progress: Optional[Callable[[str], None]] = None,
+    jobs: int = 1,
 ) -> Replication:
-    """Run ``scenario`` once per seed and aggregate every numeric metric."""
+    """Run ``scenario`` once per seed and aggregate every numeric metric.
+
+    ``jobs != 1`` prefetches the per-seed runs through the parallel sweep
+    engine; the aggregation below then reads cache hits in seed order, so
+    the replication is bit-identical to a serial one.
+    """
     if not seeds:
         raise ValueError("at least one seed is required")
+    if jobs != 1:
+        prefetch_scenarios(
+            [replace(scenario, seed=s) for s in seeds], jobs=jobs, progress=progress
+        )
     rep = Replication(scenario=scenario, seeds=list(seeds))
     for seed in seeds:
         sc = replace(scenario, seed=seed)
@@ -149,9 +159,15 @@ def compare_modes(
     seeds: Sequence[int],
     metrics: Sequence[str] = _NUMERIC_METRICS,
     progress: Optional[Callable[[str], None]] = None,
+    jobs: int = 1,
 ) -> dict[str, ModeComparison]:
     """Replicate both scenarios over paired seeds; summarise per metric."""
     base = Scenario(nodes=nodes, tasks=tasks, partial=True)
+    if jobs != 1:
+        grid = [
+            replace(base, partial=pt, seed=s) for pt in (True, False) for s in seeds
+        ]
+        prefetch_scenarios(grid, jobs=jobs, progress=progress)
     rep_p = replicate(base, seeds, progress=progress)
     rep_f = replicate(replace(base, partial=False), seeds, progress=progress)
     out: dict[str, ModeComparison] = {}

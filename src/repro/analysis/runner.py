@@ -45,6 +45,41 @@ def clear_cache() -> None:
     _CACHE.clear()
 
 
+def prefetch_scenarios(
+    scenarios: Iterable[Scenario],
+    jobs: int = 1,
+    progress: Optional[Callable[[str], None]] = None,
+) -> int:
+    """Run every uncached scenario through the sweep engine, filling the memo.
+
+    The workhorse behind every ``--jobs`` path: consumers list the scenarios
+    a sweep/scorecard needs, this fans the uncached ones across the worker
+    pool (``repro.parallel``), and the subsequent serial assembly loop turns
+    into pure cache hits — so output ordering, and therefore every figure
+    and table, is bit-identical to a serial run.  Returns the number of
+    scenarios actually simulated.
+    """
+    from repro.metrics.merge import reports_in_order
+    from repro.parallel import RunSpec, SweepExecutor
+
+    wanted: list[Scenario] = []
+    seen: set[Scenario] = set()
+    for sc in scenarios:
+        if sc in _CACHE or sc in seen:
+            continue
+        seen.add(sc)
+        wanted.append(sc)
+    if not wanted:
+        return 0
+    if progress:
+        progress(f"running {len(wanted)} scenario(s) with jobs={jobs}")
+    specs = [RunSpec.from_scenario(sc) for sc in wanted]
+    payloads = SweepExecutor(jobs=jobs, on_message=progress).run(specs)
+    for sc, report in zip(wanted, reports_in_order(payloads, expected=len(specs))):
+        _CACHE[sc] = report
+    return len(wanted)
+
+
 @dataclass
 class SweepResult:
     """Reports for a task-count sweep at fixed node count, both modes."""
@@ -60,14 +95,34 @@ class SweepResult:
         return [float(getattr(r, metric)) for r in reports]
 
 
+def sweep_scenarios(nodes: int, task_counts: Iterable[int], seed: int) -> list[Scenario]:
+    """The scenario grid one sweep covers, in serial execution order."""
+    return [
+        Scenario(nodes=nodes, tasks=tasks, partial=partial, seed=seed)
+        for tasks in task_counts
+        for partial in (True, False)
+    ]
+
+
 def run_sweep(
     nodes: int,
     task_counts: Iterable[int],
     seed: int,
     progress: Optional[Callable[[str], None]] = None,
+    jobs: int = 1,
 ) -> SweepResult:
-    """Run the partial/full pair for every task count."""
+    """Run the partial/full pair for every task count.
+
+    ``jobs > 1`` (or ``0`` = one per CPU) executes the uncached scenarios
+    through the multiprocess sweep engine first; the assembly loop below
+    then consumes cache hits in serial order, so the returned
+    :class:`SweepResult` is bit-identical either way.
+    """
     task_counts = list(task_counts)
+    if jobs != 1:
+        prefetch_scenarios(
+            sweep_scenarios(nodes, task_counts, seed), jobs=jobs, progress=progress
+        )
     result = SweepResult(nodes=nodes, task_counts=task_counts)
     for tasks in task_counts:
         for partial in (True, False):
@@ -79,4 +134,11 @@ def run_sweep(
     return result
 
 
-__all__ = ["SweepResult", "clear_cache", "run_scenario", "run_sweep"]
+__all__ = [
+    "SweepResult",
+    "clear_cache",
+    "prefetch_scenarios",
+    "run_scenario",
+    "run_sweep",
+    "sweep_scenarios",
+]

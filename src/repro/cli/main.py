@@ -40,6 +40,37 @@ def _add_common(p: argparse.ArgumentParser) -> None:
     p.add_argument("--configs", type=int, default=50, help="number of configurations")
 
 
+def _jobs_type(value: str) -> int:
+    """``--jobs`` argument: non-negative int (0 = one worker per CPU)."""
+    try:
+        jobs = int(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"invalid jobs value: {value!r}")
+    if jobs < 0:
+        raise argparse.ArgumentTypeError(
+            f"jobs must be >= 0 (0 = one worker per CPU), got {jobs}"
+        )
+    return jobs
+
+
+def _add_jobs(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "-j", "--jobs", type=_jobs_type, default=1, metavar="N",
+        help="worker processes for the sweep engine "
+        "(1 = serial, 0 = one per CPU; results are bit-identical either way)",
+    )
+
+
+def _resolved_jobs(args: argparse.Namespace) -> int:
+    """Resolve ``--jobs`` (0 → CPU count), announcing the resolution."""
+    from repro.parallel import resolve_jobs
+
+    jobs = resolve_jobs(args.jobs)
+    if args.jobs == 0:
+        print(f"--jobs 0 resolved to {jobs} (one worker per CPU)", file=sys.stderr)
+    return jobs
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the ``dreamsim`` argument parser (all subcommands)."""
     parser = argparse.ArgumentParser(
@@ -152,6 +183,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--fault-seed", type=int, default=None,
         help="fault-process seed (default: workload seed + 1)",
     )
+    run_p.add_argument(
+        "--seeds", type=int, default=1, metavar="N",
+        help="run the campaign at N consecutive seeds (seed..seed+N-1) "
+        "through the sweep engine and print one report per seed",
+    )
+    _add_jobs(run_p)
     _add_common(run_p)
 
     sweep_p = sub.add_parser("sweep", help="task-count sweep, both modes")
@@ -163,6 +200,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--metric", type=str, default="avg_waiting_time_per_task",
         help="MetricsReport attribute to tabulate",
     )
+    _add_jobs(sweep_p)
     _add_common(sweep_p)
 
     fig_p = sub.add_parser("figures", help="regenerate the paper's figures")
@@ -190,6 +228,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--csv", type=str, default=None, metavar="DIR",
         help="write one CSV per figure into DIR",
     )
+    _add_jobs(fig_p)
     _add_common(fig_p)
 
     claims_p = sub.add_parser("claims", help="check every §VI-A claim")
@@ -197,6 +236,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--tasks", type=int, nargs="+", default=[500, 1000, 2000]
     )
     claims_p.add_argument("--nodes", type=int, nargs="+", default=[100, 200])
+    _add_jobs(claims_p)
     _add_common(claims_p)
 
     rep_p = sub.add_parser(
@@ -209,6 +249,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--metric", type=str, nargs="+",
         default=["avg_waiting_time_per_task", "avg_reconfig_count_per_node"],
     )
+    _add_jobs(rep_p)
     _add_common(rep_p)
 
     graph_p = sub.add_parser("graph", help="schedule a generated task graph")
@@ -291,8 +332,63 @@ def _campaign_spec_from_args(args):
     )
 
 
+def _run_seed_sweep(args: argparse.Namespace) -> int:
+    """``run --seeds N``: the fault-campaign sweep across consecutive seeds.
+
+    Each seed is an independent :class:`RunSpec` executed by the parallel
+    sweep engine; reports (and resilience/digests when enabled) are printed
+    in seed order regardless of worker completion order.
+    """
+    if args.seeds < 1:
+        print("error: --seeds must be >= 1", file=sys.stderr)
+        return 2
+    incompatible = [
+        ("--config", args.config),
+        ("--xml", args.xml),
+        ("--timeline", args.timeline),
+        ("--trace", args.trace),
+        ("--profile", args.profile),
+    ]
+    bad = [flag for flag, value in incompatible if value]
+    if bad:
+        print(
+            f"error: --seeds > 1 is incompatible with {', '.join(bad)} "
+            "(per-run artifacts have no defined order across a sweep)",
+            file=sys.stderr,
+        )
+        return 2
+    from repro.metrics.merge import in_submission_order
+    from repro.parallel import RunSpec, SweepExecutor
+
+    jobs = _resolved_jobs(args)
+    progress = lambda m: print(m, file=sys.stderr)  # noqa: E731
+    base = RunSpec(
+        campaign=_campaign_spec_from_args(args),
+        indexed=not args.no_indexed,
+        collect_digest=args.trace_digest,
+    )
+    specs = [base.with_seed(args.seed + i) for i in range(args.seeds)]
+    payloads = SweepExecutor(jobs=jobs, on_message=progress).run(specs)
+    for payload in in_submission_order(payloads, expected=len(specs)):
+        campaign = payload.spec.campaign
+        label = (
+            f"{args.mode} / {args.nodes} nodes / {args.tasks} tasks"
+            f" / seed {campaign.seed}"
+        )
+        if campaign.faults_enabled:
+            label += " / faults"
+        _print_report(payload.report, label)
+        if payload.resilience is not None:
+            _print_resilience(payload.resilience)
+        if payload.digest is not None:
+            print(f"trace digest: {payload.digest}")
+    return 0
+
+
 def cmd_run(args: argparse.Namespace) -> int:
     """``dreamsim run``: one simulation, Table I report, optional XML."""
+    if args.seeds != 1:
+        return _run_seed_sweep(args)
     profiler = None
     if getattr(args, "profile", False):
         import cProfile
@@ -377,6 +473,26 @@ def cmd_replicate(args: argparse.Namespace) -> int:
     from repro.analysis.replicate import replicate
 
     seeds = [args.seed + i for i in range(args.replications)]
+    jobs = _resolved_jobs(args)
+    if jobs != 1:
+        from dataclasses import replace as _replace
+
+        from repro.analysis.runner import prefetch_scenarios
+
+        grid = [
+            _replace(
+                Scenario(
+                    nodes=args.nodes, tasks=args.tasks, partial=partial,
+                    configs=args.configs, seed=args.seed,
+                ),
+                seed=s,
+            )
+            for partial in (True, False)
+            for s in seeds
+        ]
+        prefetch_scenarios(
+            grid, jobs=jobs, progress=lambda m: print(m, file=sys.stderr)
+        )
     rows = []
     for partial in (True, False):
         sc = Scenario(
@@ -401,7 +517,11 @@ def cmd_replicate(args: argparse.Namespace) -> int:
 
 def cmd_sweep(args: argparse.Namespace) -> int:
     """``dreamsim sweep``: one metric across a task-count sweep."""
-    sweep = run_sweep(args.nodes, args.tasks, args.seed, progress=lambda m: print(m, file=sys.stderr))
+    sweep = run_sweep(
+        args.nodes, args.tasks, args.seed,
+        progress=lambda m: print(m, file=sys.stderr),
+        jobs=_resolved_jobs(args),
+    )
     print(
         series_table(
             sweep.task_counts,
@@ -423,6 +543,24 @@ def cmd_figures(args: argparse.Namespace) -> int:
     )
     wanted = sorted(FIGURES) if args.figure == "all" else [args.figure]
     needed_nodes = sorted({FIGURES[f]["nodes"] for f in wanted})
+    jobs = _resolved_jobs(args)
+    if jobs != 1:
+        from repro.analysis.runner import prefetch_scenarios, sweep_scenarios
+
+        to_run = [
+            n
+            for n in needed_nodes
+            if not (
+                args.load_sweeps
+                and (Path(args.load_sweeps) / f"sweep_n{n}.json").exists()
+            )
+        ]
+        grid = [
+            sc for n in to_run for sc in sweep_scenarios(n, task_counts, args.seed)
+        ]
+        prefetch_scenarios(
+            grid, jobs=jobs, progress=lambda m: print(m, file=sys.stderr)
+        )
     sweeps = {}
     for n in needed_nodes:
         loaded = False
@@ -485,6 +623,7 @@ def cmd_claims(args: argparse.Namespace) -> int:
         args.seed,
         node_counts=tuple(args.nodes),
         progress=lambda m: print(m, file=sys.stderr),
+        jobs=_resolved_jobs(args),
     )
     print(scorecard(checks))
     return 0 if all(c.passed for c in checks) else 1

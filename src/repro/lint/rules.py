@@ -163,8 +163,22 @@ class NoNondeterminism(Rule):
     rationale = (
         "Simulated decisions must depend only on the seeded repro.rng streams "
         "and simulation time; wall-clock reads, bare `random`, id()-ordered "
-        "sorts and set-order iteration all break bit-identical replication."
+        "sorts and set-order iteration all break bit-identical replication. "
+        "Process pools are nondeterminism too (completion order, os.fork "
+        "state): multiprocessing / concurrent.futures may only be touched by "
+        "the audited sweep engine under repro/parallel/."
     )
+
+    # Worker management is confined to the sweep engine; anywhere else a
+    # pool import is a side channel around its deterministic merge.
+    _POOL_MODULES = ("multiprocessing", "concurrent")
+    _POOL_EXEMPT_PREFIX = "parallel/"
+
+    def _pool_import(self, f: SourceFile, module: str) -> bool:
+        return (
+            module.split(".")[0] in self._POOL_MODULES
+            and not f.rel.startswith(self._POOL_EXEMPT_PREFIX)
+        )
 
     def check_file(self, f: SourceFile) -> Iterator[Finding]:
         for node in ast.walk(f.tree):
@@ -178,6 +192,14 @@ class NoNondeterminism(Rule):
                             f"import of {alias.name!r}: use the seeded "
                             "repro.rng streams instead",
                         )
+                    elif self._pool_import(f, alias.name):
+                        yield self.finding(
+                            f,
+                            node,
+                            f"import of {alias.name!r}: process pools are "
+                            "confined to repro.parallel (the deterministic "
+                            "sweep engine); go through SweepExecutor",
+                        )
             elif isinstance(node, ast.ImportFrom):
                 if node.module and node.module.split(".")[0] in ("random", "secrets"):
                     yield self.finding(
@@ -185,6 +207,14 @@ class NoNondeterminism(Rule):
                         node,
                         f"import from {node.module!r}: use the seeded "
                         "repro.rng streams instead",
+                    )
+                elif node.module and self._pool_import(f, node.module):
+                    yield self.finding(
+                        f,
+                        node,
+                        f"import from {node.module!r}: process pools are "
+                        "confined to repro.parallel (the deterministic "
+                        "sweep engine); go through SweepExecutor",
                     )
             elif isinstance(node, ast.Call):
                 yield from self._check_call(f, node)

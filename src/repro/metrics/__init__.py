@@ -9,9 +9,18 @@
 * :mod:`repro.metrics.resilience` — :class:`ResilienceReport`, the
   fault-campaign companion to Table I, assembled from a :class:`FaultLog`
   of primitive facts shared by the live injector and trace replay.
+* :mod:`repro.metrics.merge` — merge-from-payload entry points restoring
+  serial order over the parallel sweep engine's worker results.
 """
 
 from repro.metrics.accumulators import RunningStats, WastedAreaAccumulator
+from repro.metrics.merge import (
+    digests_in_order,
+    in_submission_order,
+    monitors_in_order,
+    reports_in_order,
+    resilience_in_order,
+)
 from repro.metrics.resilience import FaultLog, ResilienceReport, assemble_resilience
 from repro.metrics.table1 import MetricsReport, compute_report
 from repro.metrics.timeseries import TimeSeries
@@ -25,4 +34,9 @@ __all__ = [
     "WastedAreaAccumulator",
     "assemble_resilience",
     "compute_report",
+    "digests_in_order",
+    "in_submission_order",
+    "monitors_in_order",
+    "reports_in_order",
+    "resilience_in_order",
 ]

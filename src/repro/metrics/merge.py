@@ -1,0 +1,84 @@
+"""Merge-from-payload entry points for the parallel sweep engine.
+
+Workers return :class:`~repro.parallel.spec.RunPayload` bundles in whatever
+order the pool completes them; every figure/Table assembly in this repo is
+defined over *serial* order (the order specs were submitted).  These
+functions are the single place that re-establishes it: payloads are keyed
+by their spec index, validated to be exactly the submitted set (a dropped
+or duplicated spec is an error, never a silent truncation), and unpacked
+into the column the consumer asked for.
+
+Only ordering and unpacking happen here — no arithmetic.  All metric
+arithmetic already lives in :func:`repro.metrics.table1.assemble_report`
+and :func:`repro.metrics.resilience.assemble_resilience`, which the workers
+ran in-process, so a merged sweep is bit-identical to a serial sweep by
+construction.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional, Sequence
+
+from repro.metrics.resilience import ResilienceReport
+from repro.metrics.table1 import MetricsReport
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.parallel.spec import MonitorSeries, RunPayload
+
+
+def in_submission_order(
+    payloads: Sequence["RunPayload"], expected: Optional[int] = None
+) -> list["RunPayload"]:
+    """Sort payloads back into spec-submission order and validate the set.
+
+    ``expected`` (when given) asserts the sweep lost nothing: exactly that
+    many payloads, with contiguous indexes ``0..expected-1``.
+    """
+    ordered = sorted(payloads, key=lambda p: p.index)
+    indexes = [p.index for p in ordered]
+    if len(set(indexes)) != len(indexes):
+        raise ValueError(f"duplicate payload indexes in merge: {indexes}")
+    if expected is not None:
+        if indexes != list(range(expected)):
+            raise ValueError(
+                f"payload set does not cover the sweep: got indexes {indexes}, "
+                f"expected 0..{expected - 1}"
+            )
+    return ordered
+
+
+def reports_in_order(
+    payloads: Sequence["RunPayload"], expected: Optional[int] = None
+) -> list[MetricsReport]:
+    """The Table I reports, ordered as the specs were submitted."""
+    return [p.report for p in in_submission_order(payloads, expected)]
+
+
+def resilience_in_order(
+    payloads: Sequence["RunPayload"], expected: Optional[int] = None
+) -> list[Optional[ResilienceReport]]:
+    """Per-run resilience reports (``None`` for fault-free specs), in order."""
+    return [p.resilience for p in in_submission_order(payloads, expected)]
+
+
+def digests_in_order(
+    payloads: Sequence["RunPayload"], expected: Optional[int] = None
+) -> list[Optional[str]]:
+    """Per-run trace digests (``None`` unless the spec collected one), in order."""
+    return [p.digest for p in in_submission_order(payloads, expected)]
+
+
+def monitors_in_order(
+    payloads: Sequence["RunPayload"], expected: Optional[int] = None
+) -> list[Optional["MonitorSeries"]]:
+    """Per-run monitor series bundles, in order."""
+    return [p.monitor for p in in_submission_order(payloads, expected)]
+
+
+__all__ = [
+    "digests_in_order",
+    "in_submission_order",
+    "monitors_in_order",
+    "reports_in_order",
+    "resilience_in_order",
+]

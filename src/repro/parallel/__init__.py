@@ -1,0 +1,47 @@
+"""The parallel sweep engine (DESIGN.md §12).
+
+Every headline artifact of the reproduction — the Fig. 6–10 series, the
+§VI-A claim scorecard, fault-campaign soaks, the benches and the perf
+harness — is a *sweep* of independent ``(nodes, tasks, mode, seed, faults)``
+simulation runs.  This package executes such sweeps across a process pool
+while keeping every output bit-identical to serial execution:
+
+* :class:`RunSpec` — picklable run description (specs, never live
+  simulator objects, cross the process boundary);
+* :func:`~repro.parallel.worker.execute_spec` — the worker: derives the
+  workload from the seed, runs it, computes the trace digest in-process;
+* :class:`SweepExecutor` — pool management: worker reuse, bounded
+  in-flight submission, per-sweep progress timeout, worker-crash
+  propagation with the failing spec attached, and graceful degradation to
+  in-process serial execution (``jobs=1`` or pool-less platforms);
+* :class:`RunPayload` — the ``SimulationResult``-equivalent return bundle,
+  merged back into figure/Table assemblies in submission order.
+
+This is the **only** module tree allowed to touch ``multiprocessing`` /
+``concurrent.futures`` (enforced by dreamlint DL001), so worker management
+stays in one audited place.
+"""
+
+from repro.parallel.executor import (
+    SpecFailure,
+    SweepExecutor,
+    SweepTimeoutError,
+    SweepWorkerError,
+    resolve_jobs,
+    run_specs,
+)
+from repro.parallel.spec import MonitorSeries, RunPayload, RunSpec
+from repro.parallel.worker import execute_spec
+
+__all__ = [
+    "MonitorSeries",
+    "RunPayload",
+    "RunSpec",
+    "SpecFailure",
+    "SweepExecutor",
+    "SweepTimeoutError",
+    "SweepWorkerError",
+    "execute_spec",
+    "resolve_jobs",
+    "run_specs",
+]

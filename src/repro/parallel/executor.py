@@ -1,0 +1,274 @@
+"""The deterministic multiprocess sweep executor.
+
+:class:`SweepExecutor` fans :class:`~repro.parallel.spec.RunSpec` sequences
+out over a ``ProcessPoolExecutor`` and returns their
+:class:`~repro.parallel.spec.RunPayload` results **in submission order** —
+payloads are keyed by spec index and re-sorted at the end, so the merged
+output of a ``jobs=N`` sweep is bit-identical to the ``jobs=1`` sweep no
+matter how the pool interleaved completions.
+
+Execution model
+---------------
+* **Worker reuse** — one pool serves the whole sweep; workers amortise
+  interpreter/import start-up across specs (``ProcessPoolExecutor`` keeps
+  its processes alive between tasks).
+* **Bounded in-flight work** — at most ``max_inflight`` (default
+  ``4 × jobs``) specs are submitted at a time, so a 10 000-spec sweep never
+  materialises 10 000 pending futures or their pickled arguments at once.
+* **Graceful degradation** — ``jobs=1`` runs every spec in-process with no
+  pool at all (the CI/golden path: byte-identical semantics, zero
+  multiprocessing surface), and a platform that cannot start a pool at all
+  falls back to the same serial path with a notice through ``on_message``.
+* **Failure propagation** — a worker exception is caught per spec; the
+  executor finishes collecting every other outcome, then raises
+  :class:`SweepWorkerError` carrying each failing spec (with its index and
+  cause) *and* the successfully completed payloads, so a 100-spec sweep
+  with one bad spec does not silently discard 99 results.
+* **Progress timeout** — ``timeout`` bounds how long the executor waits
+  without *any* spec completing; on expiry it raises
+  :class:`SweepTimeoutError` naming the in-flight specs.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import multiprocessing
+import os
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
+from typing import Callable, Iterator, Optional, Sequence
+
+from repro.parallel.spec import RunPayload, RunSpec
+from repro.parallel.worker import execute_spec
+
+
+def resolve_jobs(jobs: int) -> int:
+    """Normalise a ``--jobs`` value: ``0`` means one per CPU, negative is an error."""
+    if jobs < 0:
+        raise ValueError(f"jobs must be >= 0 (0 = one per CPU), got {jobs}")
+    if jobs == 0:
+        return os.cpu_count() or 1
+    return jobs
+
+
+@dataclass(frozen=True)
+class SpecFailure:
+    """One spec that raised in a worker: where, what, and why."""
+
+    index: int
+    spec: RunSpec
+    cause: BaseException
+
+    def describe(self) -> str:
+        """One-line account for error messages."""
+        return f"spec[{self.index}] {self.spec.label()}: {type(self.cause).__name__}: {self.cause}"
+
+
+class SweepWorkerError(RuntimeError):
+    """A sweep finished with one or more failed specs.
+
+    ``failures`` lists every failing spec (submission order) with its cause;
+    ``completed`` carries the payloads of every spec that *did* finish, in
+    submission order, so callers can report or salvage partial sweeps.
+    """
+
+    def __init__(
+        self, failures: Sequence[SpecFailure], completed: Sequence[RunPayload]
+    ) -> None:
+        self.failures = list(failures)
+        self.completed = list(completed)
+        lines = "; ".join(f.describe() for f in self.failures[:3])
+        more = f" (+{len(self.failures) - 3} more)" if len(self.failures) > 3 else ""
+        super().__init__(
+            f"{len(self.failures)} of {len(self.failures) + len(self.completed)} "
+            f"sweep spec(s) failed: {lines}{more}"
+        )
+
+
+class SweepTimeoutError(RuntimeError):
+    """No spec completed within the executor's progress timeout."""
+
+    def __init__(self, timeout: float, inflight: Sequence[SpecFailure]) -> None:
+        self.timeout = timeout
+        self.inflight = list(inflight)
+        labels = ", ".join(f"spec[{f.index}] {f.spec.label()}" for f in inflight[:4])
+        super().__init__(
+            f"no sweep progress within {timeout}s; in flight: {labels}"
+            + (f" (+{len(inflight) - 4} more)" if len(inflight) > 4 else "")
+        )
+
+
+def _preferred_context() -> multiprocessing.context.BaseContext:
+    """Fork where available (cheap, inherits the loaded package), else default."""
+    methods = multiprocessing.get_all_start_methods()
+    if "fork" in methods:
+        return multiprocessing.get_context("fork")
+    return multiprocessing.get_context()
+
+
+class SweepExecutor:
+    """Run specs across a worker pool; return payloads in submission order.
+
+    Parameters
+    ----------
+    jobs:
+        Worker count after :func:`resolve_jobs` semantics (``0`` = one per
+        CPU, ``1`` = in-process serial execution, negative = error).
+    timeout:
+        Progress timeout in seconds: the longest the executor will wait
+        without any spec completing before raising
+        :class:`SweepTimeoutError`.  ``None`` (default) waits forever.
+    max_inflight:
+        Cap on submitted-but-unfinished specs (default ``4 × jobs``).
+    on_message:
+        Optional sink for human-facing notices (serial-fallback reasons,
+        progress); defaults to silent.
+    """
+
+    def __init__(
+        self,
+        jobs: int = 1,
+        timeout: Optional[float] = None,
+        max_inflight: Optional[int] = None,
+        on_message: Optional[Callable[[str], None]] = None,
+    ) -> None:
+        self.jobs = resolve_jobs(jobs)
+        if timeout is not None and timeout <= 0:
+            raise ValueError(f"timeout must be positive, got {timeout}")
+        self.timeout = timeout
+        if max_inflight is not None and max_inflight < 1:
+            raise ValueError(f"max_inflight must be >= 1, got {max_inflight}")
+        self.max_inflight = max_inflight if max_inflight is not None else 4 * self.jobs
+        self._say = on_message if on_message is not None else (lambda _msg: None)
+
+    # -- public API ------------------------------------------------------------
+
+    def run(self, specs: Sequence[RunSpec]) -> list[RunPayload]:
+        """Execute every spec; return payloads ordered like ``specs``.
+
+        Raises :class:`SweepWorkerError` after the sweep drains if any spec
+        failed, and :class:`SweepTimeoutError` if the progress timeout
+        expires with work still in flight.
+        """
+        specs = list(specs)
+        if not specs:
+            return []
+        if self.jobs == 1:
+            return self._run_serial(specs)
+        pool = self._make_pool()
+        if pool is None:
+            return self._run_serial(specs)
+        try:
+            return self._run_pool(pool, specs)
+        finally:
+            pool.shutdown(wait=False, cancel_futures=True)
+
+    # -- serial path -----------------------------------------------------------
+
+    def _run_serial(self, specs: Sequence[RunSpec]) -> list[RunPayload]:
+        """In-process execution: the reference semantics every mode must match."""
+        completed: list[RunPayload] = []
+        failures: list[SpecFailure] = []
+        for i, spec in enumerate(specs):
+            try:
+                completed.append(execute_spec((i, spec)))
+            except Exception as exc:  # noqa: BLE001 — reported, never swallowed
+                failures.append(SpecFailure(index=i, spec=spec, cause=exc))
+        if failures:
+            raise SweepWorkerError(failures, completed)
+        return completed
+
+    # -- pool path -------------------------------------------------------------
+
+    def _make_pool(self) -> Optional[concurrent.futures.ProcessPoolExecutor]:
+        """Build the worker pool, or ``None`` to degrade to serial."""
+        try:
+            return concurrent.futures.ProcessPoolExecutor(
+                max_workers=self.jobs, mp_context=_preferred_context()
+            )
+        except (NotImplementedError, OSError, ValueError) as exc:
+            self._say(
+                f"multiprocessing unavailable on this platform ({exc}); "
+                "falling back to serial execution"
+            )
+            return None
+
+    def _run_pool(
+        self,
+        pool: concurrent.futures.ProcessPoolExecutor,
+        specs: Sequence[RunSpec],
+    ) -> list[RunPayload]:
+        results: dict[int, RunPayload] = {}
+        failures: dict[int, SpecFailure] = {}
+        pending: dict[concurrent.futures.Future[RunPayload], int] = {}
+        feed: Iterator[tuple[int, RunSpec]] = iter(enumerate(specs))
+
+        def refill() -> None:
+            while len(pending) < self.max_inflight:
+                nxt = next(feed, None)
+                if nxt is None:
+                    return
+                i, spec = nxt
+                try:
+                    pending[pool.submit(execute_spec, (i, spec))] = i
+                except RuntimeError as exc:
+                    # Pool already broken: record and stop feeding.
+                    failures[i] = SpecFailure(index=i, spec=spec, cause=exc)
+                    return
+
+        refill()
+        while pending:
+            done, _not_done = concurrent.futures.wait(
+                set(pending),
+                timeout=self.timeout,
+                return_when=concurrent.futures.FIRST_COMPLETED,
+            )
+            if not done:
+                inflight = [
+                    SpecFailure(index=i, spec=specs[i], cause=TimeoutError())
+                    for _f, i in sorted(pending.items(), key=lambda kv: kv[1])
+                ]
+                for f in pending:
+                    f.cancel()
+                assert self.timeout is not None
+                raise SweepTimeoutError(self.timeout, inflight)
+            for future in done:
+                i = pending.pop(future)
+                try:
+                    results[i] = future.result()
+                except BrokenProcessPool as exc:
+                    # The pool died (worker killed mid-run); every remaining
+                    # future fails the same way — drain them into failures.
+                    failures[i] = SpecFailure(index=i, spec=specs[i], cause=exc)
+                except concurrent.futures.CancelledError as exc:
+                    failures[i] = SpecFailure(index=i, spec=specs[i], cause=exc)
+                except Exception as exc:  # noqa: BLE001 — reported, never swallowed
+                    failures[i] = SpecFailure(index=i, spec=specs[i], cause=exc)
+            refill()
+
+        completed = [results[i] for i in sorted(results)]
+        if failures:
+            raise SweepWorkerError(
+                [failures[i] for i in sorted(failures)], completed
+            )
+        return completed
+
+
+def run_specs(
+    specs: Sequence[RunSpec],
+    jobs: int = 1,
+    timeout: Optional[float] = None,
+    on_message: Optional[Callable[[str], None]] = None,
+) -> list[RunPayload]:
+    """One-shot convenience wrapper over :class:`SweepExecutor`."""
+    return SweepExecutor(jobs=jobs, timeout=timeout, on_message=on_message).run(specs)
+
+
+__all__ = [
+    "SpecFailure",
+    "SweepExecutor",
+    "SweepTimeoutError",
+    "SweepWorkerError",
+    "resolve_jobs",
+    "run_specs",
+]

@@ -1,0 +1,68 @@
+"""The worker side of the sweep engine: one spec in, one payload out.
+
+:func:`execute_spec` is the only function the pool ever runs.  It is a
+module-level callable (picklable by qualified name under every start
+method), derives the entire workload from the spec's seed via
+:func:`repro.framework.campaign.run_campaign`, and reduces the finished
+:class:`~repro.framework.simulator.SimulationResult` to a picklable
+:class:`~repro.parallel.spec.RunPayload`.
+
+Determinism: the worker attaches its own :class:`~repro.trace.TraceBus` and
+computes the trace digest *in-process*, over exactly the event stream the
+run emitted.  A digest therefore never depends on transport — it is the
+same BLAKE2b a single-process run with the same spec produces, byte for
+byte, which is what the parallel-vs-serial differential suite asserts.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.framework.campaign import run_campaign
+from repro.parallel.spec import MonitorSeries, RunPayload, RunSpec
+from repro.trace.bus import DigestSink, MemorySink, TraceBus
+
+
+def execute_spec(indexed_spec: tuple[int, RunSpec]) -> RunPayload:
+    """Run one spec to completion and bundle its picklable end products.
+
+    Takes ``(index, spec)`` so the result can be re-keyed into submission
+    order by the executor; runs identically in-process (``jobs=1``) and in
+    a pool worker.
+    """
+    index, spec = indexed_spec
+    digest_sink: Optional[DigestSink] = None
+    memory_sink: Optional[MemorySink] = None
+    trace: Optional[TraceBus] = None
+    if spec.collect_digest or spec.collect_events:
+        trace = TraceBus()
+        digest_sink = DigestSink()
+        trace.attach(digest_sink)
+        if spec.collect_events:
+            memory_sink = MemorySink()
+            trace.attach(memory_sink)
+    result, injector = run_campaign(spec.campaign, indexed=spec.indexed, trace=trace)
+    resilience = injector.resilience(result) if injector is not None else None
+    monitor: Optional[MonitorSeries] = None
+    if spec.collect_monitor:
+        mon = result.monitor
+        monitor = MonitorSeries(
+            busy_nodes=mon.busy_nodes,
+            queue_length=mon.queue_length,
+            wasted_area=mon.wasted_area,
+            running_tasks=mon.running_tasks,
+            sample_count=len(mon),
+        )
+    return RunPayload(
+        index=index,
+        spec=spec,
+        report=result.report,
+        final_time=result.final_time,
+        resilience=resilience,
+        digest=digest_sink.hexdigest() if digest_sink is not None else None,
+        monitor=monitor,
+        events=memory_sink.events if memory_sink is not None else None,
+    )
+
+
+__all__ = ["execute_spec"]

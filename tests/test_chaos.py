@@ -5,20 +5,25 @@ SEU-only soak comparing partial against full reconfiguration, plus a
 differential digest check (indexed vs reference-scan manager) under a mixed
 fault regime.  Excluded from the default run by the ``-m "not chaos"``
 addopts; CI runs them as a separate step.  Scale can be tuned through
-``REPRO_CHAOS_NODES`` / ``REPRO_CHAOS_TASKS`` for slower machines.
+``REPRO_CHAOS_NODES`` / ``REPRO_CHAOS_TASKS`` for slower machines, and the
+soak pairs run through the parallel sweep engine — ``REPRO_CHAOS_JOBS=N``
+executes them across N worker processes (results are bit-identical, the
+workers compute digests in-process).
 """
 
 import os
 
 import pytest
 
-from repro.framework import FaultCampaignSpec, run_campaign
-from repro.trace import DigestSink, MemorySink, TraceBus, TraceReplayer
+from repro.framework import FaultCampaignSpec
+from repro.parallel import RunSpec, run_specs
+from repro.trace import TraceReplayer
 
 pytestmark = pytest.mark.chaos
 
 CHAOS_NODES = int(os.environ.get("REPRO_CHAOS_NODES", "200"))
 CHAOS_TASKS = int(os.environ.get("REPRO_CHAOS_TASKS", "20000"))
+CHAOS_JOBS = int(os.environ.get("REPRO_CHAOS_JOBS", "1"))
 
 # SEU-only: configuration-memory strikes with scrub repair and a bounded
 # retry budget (unbounded instant resubmit livelocks under storms this hot).
@@ -53,19 +58,21 @@ MIXED_SPEC = FaultCampaignSpec(
 )
 
 
-def traced_campaign(spec, indexed=True):
-    mem, digest = MemorySink(), DigestSink()
-    bus = TraceBus(mem, digest)
-    result, injector = run_campaign(spec, indexed=indexed, trace=bus)
-    return result, injector, mem, digest
+def traced_specs(campaigns, indexed=(True, True)):
+    """Run campaigns through the sweep engine with full capture enabled."""
+    specs = [
+        RunSpec(campaign=c, indexed=ix, collect_digest=True, collect_events=True)
+        for c, ix in zip(campaigns, indexed)
+    ]
+    return run_specs(specs, jobs=CHAOS_JOBS)
 
 
 @pytest.fixture(scope="module")
 def soak_pair():
-    return {
-        partial: traced_campaign(SOAK_SPEC.with_mode(partial))
-        for partial in (True, False)
-    }
+    payloads = traced_specs(
+        [SOAK_SPEC.with_mode(partial) for partial in (True, False)]
+    )
+    return {p.spec.campaign.partial: p for p in payloads}
 
 
 class TestSeuSoak:
@@ -73,30 +80,31 @@ class TestSeuSoak:
         # A strike hits one region (or free area) under partial
         # reconfiguration but wipes the whole monolithic context under full:
         # same workload, same fault stream, strictly less collateral.
-        rep_p = soak_pair[True][1].resilience(soak_pair[True][0])
-        rep_f = soak_pair[False][1].resilience(soak_pair[False][0])
+        rep_p = soak_pair[True].resilience
+        rep_f = soak_pair[False].resilience
         assert rep_p.interrupts_total < rep_f.interrupts_total
         assert rep_p.interrupts_total > 0
 
     def test_partial_degrades_more_gracefully(self, soak_pair):
-        rep_p = soak_pair[True][1].resilience(soak_pair[True][0])
-        rep_f = soak_pair[False][1].resilience(soak_pair[False][0])
+        rep_p = soak_pair[True].resilience
+        rep_f = soak_pair[False].resilience
         assert rep_p.goodput > rep_f.goodput
         assert rep_p.retry_discards <= rep_f.retry_discards
 
     @pytest.mark.parametrize("partial", [True, False], ids=["partial", "full"])
     def test_live_equals_replay_at_scale(self, soak_pair, partial):
-        result, injector, mem, _ = soak_pair[partial]
-        replayer = TraceReplayer(mem.events).replay()
-        assert replayer.resilience_report() == injector.resilience(result)
-        assert replayer.report() == result.report
+        payload = soak_pair[partial]
+        replayer = TraceReplayer(payload.events).replay()
+        assert replayer.resilience_report() == payload.resilience
+        assert replayer.report() == payload.report
 
 
 class TestDifferentialDigest:
     def test_indexed_and_scan_agree_under_mixed_faults(self):
-        r_i, inj_i, mem_i, dig_i = traced_campaign(MIXED_SPEC, indexed=True)
-        r_s, inj_s, mem_s, dig_s = traced_campaign(MIXED_SPEC, indexed=False)
-        assert dig_i.hexdigest() == dig_s.hexdigest()
-        assert [e.canonical() for e in mem_i] == [e.canonical() for e in mem_s]
-        assert inj_i.resilience(r_i) == inj_s.resilience(r_s)
-        assert r_i.report == r_s.report
+        p_i, p_s = traced_specs([MIXED_SPEC, MIXED_SPEC], indexed=(True, False))
+        assert p_i.digest == p_s.digest
+        assert [e.canonical() for e in p_i.events] == [
+            e.canonical() for e in p_s.events
+        ]
+        assert p_i.resilience == p_s.resilience
+        assert p_i.report == p_s.report

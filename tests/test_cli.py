@@ -206,3 +206,61 @@ class TestGraphCommand:
             ]
         )
         assert rc == 0
+
+
+class TestJobsFlag:
+    def test_negative_jobs_rejected_at_parse(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["figures", "-j", "-2"])
+
+    def test_jobs_zero_resolves_to_cpu_count(self, capsys):
+        rc = main(
+            ["sweep", "--nodes", "8", "--tasks", "30", "--configs", "5",
+             "--seed", "1", "-j", "0"]
+        )
+        captured = capsys.readouterr()
+        assert rc == 0
+        assert "resolved to" in captured.err
+
+    def test_sweep_parallel_output_matches_serial(self, capsys):
+        base = ["sweep", "--nodes", "8", "--tasks", "30", "60",
+                "--configs", "5", "--seed", "1"]
+        from repro.analysis.runner import clear_cache
+
+        clear_cache()
+        assert main(base) == 0
+        serial_out = capsys.readouterr().out
+        clear_cache()
+        assert main(base + ["-j", "2"]) == 0
+        parallel_out = capsys.readouterr().out
+        clear_cache()
+        assert parallel_out == serial_out
+
+
+class TestSeedSweep:
+    BASE = ["run", "--nodes", "8", "--tasks", "30", "--configs", "5", "--seed", "3"]
+
+    def test_multi_seed_reports_in_seed_order(self, capsys):
+        rc = main(self.BASE + ["--seeds", "3", "--trace-digest"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert out.index("seed 3") < out.index("seed 4") < out.index("seed 5")
+        assert out.count("trace digest:") == 3
+
+    def test_multi_seed_parallel_matches_serial(self, capsys):
+        args = self.BASE + ["--seeds", "2", "--faults", "--trace-digest"]
+        assert main(args) == 0
+        serial_out = capsys.readouterr().out
+        assert "resilience" in serial_out
+        assert main(args + ["-j", "2"]) == 0
+        assert capsys.readouterr().out == serial_out
+
+    def test_seeds_incompatible_with_per_run_artifacts(self, tmp_path, capsys):
+        rc = main(self.BASE + ["--seeds", "2", "--xml", str(tmp_path / "r.xml")])
+        assert rc == 2
+        assert "incompatible" in capsys.readouterr().err
+
+    def test_seeds_must_be_positive(self, capsys):
+        rc = main(self.BASE + ["--seeds", "0"])
+        assert rc == 2
+        assert "--seeds" in capsys.readouterr().err

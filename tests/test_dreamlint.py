@@ -88,6 +88,38 @@ def test_dl001_negative(tmp_path: Path) -> None:
     assert "DL001" not in rules_hit(report)
 
 
+@pytest.mark.parametrize(
+    "snippet",
+    [
+        "import multiprocessing\n",
+        "import multiprocessing.pool\n",
+        "from multiprocessing import Pool\n",
+        "import concurrent.futures\n",
+        "from concurrent.futures import ProcessPoolExecutor\n",
+        "from concurrent.futures.process import BrokenProcessPool\n",
+    ],
+)
+def test_dl001_pool_imports_flagged_outside_parallel(
+    tmp_path: Path, snippet: str
+) -> None:
+    report = lint_tree(tmp_path, {"framework/mod.py": snippet})
+    assert "DL001" in rules_hit(report)
+
+
+@pytest.mark.parametrize(
+    "snippet",
+    [
+        "from concurrent.futures import ProcessPoolExecutor\n",
+        "import multiprocessing\n",
+    ],
+)
+def test_dl001_pool_imports_allowed_inside_parallel(
+    tmp_path: Path, snippet: str
+) -> None:
+    report = lint_tree(tmp_path, {"parallel/executor.py": snippet})
+    assert "DL001" not in rules_hit(report)
+
+
 # ---------------------------------------------------------------------------
 # DL002 — integer accounting
 # ---------------------------------------------------------------------------

@@ -25,6 +25,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import platform
 import sys
 import time
@@ -32,9 +33,16 @@ from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
-from repro import quick_simulation  # noqa: E402
+from repro import DReAMSim, Node, RNG, Task  # noqa: E402
 from repro.framework import FaultCampaignSpec, run_campaign  # noqa: E402
 from repro.trace import DigestSink, TraceBus  # noqa: E402
+from repro.workload import ConfigSpec, NodeSpec, TaskSpec  # noqa: E402
+from repro.workload.generator import (  # noqa: E402
+    TaskArrival,
+    generate_configs,
+    generate_nodes,
+    generate_task_stream,
+)
 
 # (nodes, tasks, partial) — headline last so progress output ends on the gate.
 FULL_MATRIX = [
@@ -50,12 +58,65 @@ QUICK_MATRIX = [
 HEADLINE = (200, 20000, True)
 
 
-def time_run(nodes: int, tasks: int, partial: bool, seed: int, indexed: bool):
-    """Run one simulation, returning (elapsed_seconds, report_dict)."""
+class WorkloadBundle:
+    """One ``(nodes, tasks, seed)`` workload, generated exactly once.
+
+    The Marsaglia generators are deterministic but not free; the timing
+    matrix runs every cell 2 × ``repeats`` times (indexed and scan arms),
+    and regenerating the node table and 20k-task arrival stream each time
+    charges workload construction to whichever arm runs it.  A bundle
+    materialises the workload once and hands every arm a *fresh clone* of
+    the mutable objects — ``Task`` and ``Node`` carry run state, while
+    ``Configuration`` is frozen and safely shared — so each run starts from
+    a bit-identical initial state and the timed region is simulation only.
+    """
+
+    def __init__(self, nodes: int, tasks: int, seed: int, configs: int = 50):
+        rng = RNG(seed=seed)
+        self.nodes = generate_nodes(NodeSpec(count=nodes), rng)
+        self.configs = generate_configs(ConfigSpec(count=configs), rng)
+        self.arrivals = list(
+            generate_task_stream(TaskSpec(count=tasks), self.configs, rng)
+        )
+
+    def fresh(self):
+        """``(nodes, configs, arrivals)`` with brand-new mutable state."""
+        nodes = [
+            Node(
+                node_no=n.node_no,
+                total_area=n.total_area,
+                family=n.family,
+                caps=n.caps,
+                network_delay=n.network_delay,
+            )
+            for n in self.nodes
+        ]
+        arrivals = [
+            TaskArrival(
+                at=a.at,
+                task=Task(
+                    task_no=a.task.task_no,
+                    required_time=a.task.required_time,
+                    pref_config=a.task.pref_config,
+                    data=a.task.data,
+                ),
+            )
+            for a in self.arrivals
+        ]
+        return nodes, self.configs, arrivals
+
+
+def time_run(bundle: WorkloadBundle, partial: bool, indexed: bool, trace=None):
+    """Run one simulation off the bundle, returning (seconds, report_dict).
+
+    Cloning happens outside the timed region: only simulation is measured.
+    """
+    nodes, configs, arrivals = bundle.fresh()
     t0 = time.perf_counter()
-    result = quick_simulation(
-        nodes=nodes, tasks=tasks, partial=partial, seed=seed, indexed=indexed
+    sim = DReAMSim(
+        nodes, configs, arrivals, partial=partial, indexed=indexed, trace=trace
     )
+    result = sim.run()
     elapsed = time.perf_counter() - t0
     return elapsed, result.report.as_dict()
 
@@ -63,14 +124,18 @@ def time_run(nodes: int, tasks: int, partial: bool, seed: int, indexed: bool):
 def run_matrix(matrix, seed: int, repeats: int):
     """Time every (nodes, tasks, partial) cell in both manager modes."""
     rows = []
+    bundles: dict[tuple[int, int], WorkloadBundle] = {}
     for nodes, tasks, partial in matrix:
         mode = "partial" if partial else "full"
+        if (nodes, tasks) not in bundles:
+            bundles[(nodes, tasks)] = WorkloadBundle(nodes, tasks, seed)
+        bundle = bundles[(nodes, tasks)]
         indexed_s = scan_s = float("inf")
         report_indexed = report_scan = None
         for _ in range(repeats):
-            t, report_indexed = time_run(nodes, tasks, partial, seed, indexed=True)
+            t, report_indexed = time_run(bundle, partial, indexed=True)
             indexed_s = min(indexed_s, t)
-            t, report_scan = time_run(nodes, tasks, partial, seed, indexed=False)
+            t, report_scan = time_run(bundle, partial, indexed=False)
             scan_s = min(scan_s, t)
         row = {
             "nodes": nodes,
@@ -114,15 +179,13 @@ def run_trace_overhead(nodes: int, tasks: int, partial: bool, seed: int, repeats
     """
     from repro.trace import MemorySink
 
+    bundle = WorkloadBundle(nodes, tasks, seed)
+
     def best(factory):
         elapsed = float("inf")
         for _ in range(repeats):
-            trace = factory()
-            t0 = time.perf_counter()
-            quick_simulation(
-                nodes=nodes, tasks=tasks, partial=partial, seed=seed, trace=trace
-            )
-            elapsed = min(elapsed, time.perf_counter() - t0)
+            t, _ = time_run(bundle, partial, indexed=True, trace=factory())
+            elapsed = min(elapsed, t)
         return elapsed
 
     disabled = best(lambda: None)
@@ -207,6 +270,67 @@ def run_faults_scenario(seed: int, repeats: int, quick: bool):
     return row
 
 
+def run_sweep_engine(seed: int, repeats: int, quick: bool):
+    """Time the parallel sweep engine: jobs=1 vs jobs=4 over one figure sweep.
+
+    Both arms execute the identical :class:`RunSpec` list (a Fig. 6–10 style
+    task-count sweep, partial and full modes, digests on) and the merged
+    payloads are compared for bit-identical reports and digests.  The
+    speedup is wall-clock only; on hosts with >= 4 CPUs it should be >= 2x,
+    and the row records ``cpus`` so a 1-core container's honest ~1x is not
+    mistaken for a regression.
+    """
+    from repro.parallel import RunSpec, SweepExecutor
+
+    if quick:
+        nodes, task_counts = 50, (200, 400)
+    else:
+        nodes, task_counts = 200, (1000, 2000, 5000, 10000)
+    specs = [
+        RunSpec(
+            campaign=FaultCampaignSpec(
+                nodes=nodes, configs=50, tasks=tasks, partial=partial, seed=seed
+            ),
+            collect_digest=True,
+        )
+        for tasks in task_counts
+        for partial in (True, False)
+    ]
+
+    def best(jobs):
+        elapsed, payloads = float("inf"), None
+        for _ in range(repeats):
+            t0 = time.perf_counter()
+            payloads = SweepExecutor(jobs=jobs).run(specs)
+            elapsed = min(elapsed, time.perf_counter() - t0)
+        return elapsed, payloads
+
+    serial_s, serial_payloads = best(1)
+    parallel_s, parallel_payloads = best(4)
+    payloads_equal = [
+        (s.report, s.digest) for s in serial_payloads
+    ] == [(p.report, p.digest) for p in parallel_payloads]
+    row = {
+        "scale": f"{nodes} nodes x tasks {list(task_counts)} x (partial, full)",
+        "spec_count": len(specs),
+        "cpus": os.cpu_count(),
+        "jobs1_seconds": round(serial_s, 3),
+        "jobs4_seconds": round(parallel_s, 3),
+        "speedup": round(serial_s / parallel_s, 2) if parallel_s else None,
+        "payloads_equal": payloads_equal,
+        "note": (
+            "jobs=4 must be >= 2x on hosts with >= 4 CPUs; below that the "
+            "engine's value is the bit-identical merge, not wall-clock."
+        ),
+    }
+    print(
+        f"sweep engine @ {row['scale']}: jobs=1 {serial_s:6.2f}s  "
+        f"jobs=4 {parallel_s:6.2f}s  speedup {row['speedup']:.2f}x  "
+        f"payloads_equal={payloads_equal}  (host has {row['cpus']} CPU(s))"
+    )
+    return row
+
+
 def run_dreamlint_timing(repeats: int):
     """Time one dreamlint pass over the full ``src/repro`` tree.
 
@@ -262,6 +386,7 @@ def main(argv=None) -> int:
         args.seed, max(1, args.repeats),
     )
     faults = run_faults_scenario(args.seed, max(1, args.repeats), args.quick)
+    sweep_engine = run_sweep_engine(args.seed, max(1, args.repeats), args.quick)
     static_analysis = run_dreamlint_timing(max(1, args.repeats))
 
     headline = next(
@@ -293,6 +418,7 @@ def main(argv=None) -> int:
         "results": rows,
         "tracing_overhead": tracing,
         "faults": faults,
+        "sweep_engine": sweep_engine,
         "static_analysis": static_analysis,
     }
     Path(args.output).write_text(json.dumps(payload, indent=2) + "\n")
@@ -306,6 +432,11 @@ def main(argv=None) -> int:
         return 1
     if not (faults["reports_equal"] and faults["resilience_equal"]):
         print("FAIL: fault-campaign reports differ between modes", file=sys.stderr)
+        return 1
+    if not sweep_engine["payloads_equal"]:
+        print(
+            "FAIL: parallel sweep payloads differ from serial", file=sys.stderr
+        )
         return 1
     if static_analysis["errors"]:
         print("FAIL: dreamlint found errors in src/repro", file=sys.stderr)
