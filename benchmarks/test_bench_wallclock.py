@@ -1,9 +1,9 @@
-"""Wall-clock bench: indexed resource manager vs the reference scan manager.
+"""Wall-clock bench: the three resource-manager backends on one workload.
 
 Unlike the figure benches (which compare *simulated* metrics), this bench
-compares *real* runtime of the two manager modes on identical workloads and
-asserts the thing the indexed refactor promises: simulated outputs are
-bit-identical while wall-clock drops.
+compares *real* runtime of the backends on identical workloads and asserts
+the thing the array core promises: simulated outputs are bit-identical
+while wall-clock drops.
 
 Scale control: ``REPRO_BENCH_WALLCLOCK_TASKS`` overrides the task count
 (default 2000, small enough for CI).  The committed end-to-end numbers live
@@ -21,39 +21,44 @@ BENCH_NODES = 100
 SEED = 42
 
 
-def timed_run(indexed: bool, partial: bool = True):
+def timed_run(backend: str, partial: bool = True):
     t0 = time.perf_counter()
     result = quick_simulation(
         nodes=BENCH_NODES,
         tasks=BENCH_TASKS,
         partial=partial,
         seed=SEED,
-        indexed=indexed,
+        backend=backend,
     )
     return time.perf_counter() - t0, result
 
 
-class TestWallclockIndexedVsScan:
+class TestWallclockBackends:
     def test_identical_reports_and_timing(self):
-        indexed_s, indexed = timed_run(indexed=True)
-        scan_s, scan = timed_run(indexed=False)
-        assert indexed.report.as_dict() == scan.report.as_dict()
+        array_s, array = timed_run("array")
+        indexed_s, indexed = timed_run("indexed")
+        scan_s, scan = timed_run("scan")
+        assert array.report.as_dict() == indexed.report.as_dict()
+        assert array.report.as_dict() == scan.report.as_dict()
         print(
             f"\n=== wall-clock ({BENCH_NODES} nodes, {BENCH_TASKS} tasks, partial) ==="
+            f"\narray   : {array_s:7.3f}s"
             f"\nindexed : {indexed_s:7.3f}s"
             f"\nscan    : {scan_s:7.3f}s"
-            f"\nspeedup : {scan_s / indexed_s:7.2f}x"
+            f"\nspeedup : {scan_s / array_s:7.2f}x vs scan, "
+            f"{indexed_s / array_s:.2f}x vs indexed"
         )
-        # Loose sanity gate (CI machines are noisy): the indexed manager must
-        # never be meaningfully *slower* than the reference scan.
+        # Loose sanity gates (CI machines are noisy): the faster backends
+        # must never be meaningfully *slower* than the reference scan.
+        assert array_s < scan_s * 1.5
         assert indexed_s < scan_s * 1.5
 
     def test_simulated_counters_independent_of_wallclock_mode(self):
-        _, indexed = timed_run(indexed=True, partial=False)
-        _, scan = timed_run(indexed=False, partial=False)
-        ri, rs = indexed.report, scan.report
-        assert ri.avg_scheduling_steps_per_task == rs.avg_scheduling_steps_per_task
-        assert ri.total_scheduler_workload == rs.total_scheduler_workload
+        _, array = timed_run("array", partial=False)
+        _, scan = timed_run("scan", partial=False)
+        ra, rs = array.report, scan.report
+        assert ra.avg_scheduling_steps_per_task == rs.avg_scheduling_steps_per_task
+        assert ra.total_scheduler_workload == rs.total_scheduler_workload
 
 
 class TestPerfHarness:
@@ -75,16 +80,34 @@ class TestPerfHarness:
         assert set(head) >= {
             "scale",
             "before_scan_seconds",
-            "after_indexed_seconds",
-            "speedup",
+            "after_array_seconds",
+            "speedup_vs_scan",
+            "speedup_vs_indexed",
         }
         for row in payload["results"]:
             assert row["reports_equal"] is True
-            assert row["indexed_seconds"] > 0 and row["scan_seconds"] > 0
+            assert (
+                row["array_seconds"] > 0
+                and row["indexed_seconds"] > 0
+                and row["scan_seconds"] > 0
+            )
+            # Peak RSS is measured per row and per backend (forked children).
+            assert (
+                row["array_peak_rss_mb"] > 0
+                and row["indexed_peak_rss_mb"] > 0
+                and row["scan_peak_rss_mb"] > 0
+            )
 
     def test_committed_bench_numbers_meet_the_gate(self):
-        """The repo-root BENCH_perf.json documents the >=3x headline win."""
+        """The repo-root BENCH_perf.json documents the headline win: the
+        array backend >= 10x vs scan and >= 3x vs indexed at 200n/20k,
+        plus a routine 200n/100k paper-scale row."""
         path = os.path.join(os.path.dirname(__file__), "..", "BENCH_perf.json")
         payload = json.loads(open(path).read())
-        assert payload["headline"]["speedup"] >= 3.0
+        assert payload["headline"]["speedup_vs_scan"] >= 10.0
+        assert payload["headline"]["speedup_vs_indexed"] >= 3.0
         assert all(row["reports_equal"] for row in payload["results"])
+        assert any(
+            row["nodes"] == 200 and row["tasks"] == 100000
+            for row in payload["results"]
+        )

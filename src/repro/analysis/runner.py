@@ -25,15 +25,22 @@ from repro.workload.generator import (
 _CACHE: dict[Scenario, MetricsReport] = {}
 
 
-def run_scenario(scenario: Scenario, use_cache: bool = True) -> MetricsReport:
-    """Run one scenario to completion and return its Table I report."""
+def run_scenario(
+    scenario: Scenario, use_cache: bool = True, backend: Optional[str] = None
+) -> MetricsReport:
+    """Run one scenario to completion and return its Table I report.
+
+    The memo is keyed on the scenario alone: every backend produces a
+    bit-identical report (the differential suite asserts it), so a cache
+    hit from a different backend's run is the same report.
+    """
     if use_cache and scenario in _CACHE:
         return _CACHE[scenario]
     rng = RNG(seed=scenario.seed)
     nodes = generate_nodes(scenario.node_spec(), rng)
     configs = generate_configs(scenario.config_spec(), rng)
     stream = generate_task_stream(scenario.task_spec(), configs, rng)
-    sim = DReAMSim(nodes, configs, stream, partial=scenario.partial)
+    sim = DReAMSim(nodes, configs, stream, partial=scenario.partial, backend=backend)
     report = sim.run().report
     if use_cache:
         _CACHE[scenario] = report
@@ -49,6 +56,7 @@ def prefetch_scenarios(
     scenarios: Iterable[Scenario],
     jobs: int = 1,
     progress: Optional[Callable[[str], None]] = None,
+    backend: Optional[str] = None,
 ) -> int:
     """Run every uncached scenario through the sweep engine, filling the memo.
 
@@ -73,7 +81,7 @@ def prefetch_scenarios(
         return 0
     if progress:
         progress(f"running {len(wanted)} scenario(s) with jobs={jobs}")
-    specs = [RunSpec.from_scenario(sc) for sc in wanted]
+    specs = [RunSpec.from_scenario(sc, backend=backend) for sc in wanted]
     payloads = SweepExecutor(jobs=jobs, on_message=progress).run(specs)
     for sc, report in zip(wanted, reports_in_order(payloads, expected=len(specs))):
         _CACHE[sc] = report
@@ -110,6 +118,7 @@ def run_sweep(
     seed: int,
     progress: Optional[Callable[[str], None]] = None,
     jobs: int = 1,
+    backend: Optional[str] = None,
 ) -> SweepResult:
     """Run the partial/full pair for every task count.
 
@@ -121,7 +130,10 @@ def run_sweep(
     task_counts = list(task_counts)
     if jobs != 1:
         prefetch_scenarios(
-            sweep_scenarios(nodes, task_counts, seed), jobs=jobs, progress=progress
+            sweep_scenarios(nodes, task_counts, seed),
+            jobs=jobs,
+            progress=progress,
+            backend=backend,
         )
     result = SweepResult(nodes=nodes, task_counts=task_counts)
     for tasks in task_counts:
@@ -129,7 +141,7 @@ def run_sweep(
             sc = Scenario(nodes=nodes, tasks=tasks, partial=partial, seed=seed)
             if progress:
                 progress(f"running {sc.label()}")
-            report = run_scenario(sc)
+            report = run_scenario(sc, backend=backend)
             (result.partial if partial else result.full).append(report)
     return result
 

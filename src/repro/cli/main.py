@@ -61,6 +61,21 @@ def _add_jobs(p: argparse.ArgumentParser) -> None:
     )
 
 
+def _resolved_backend(args: argparse.Namespace) -> str:
+    """Resolve ``--backend`` (with the deprecated ``--no-indexed`` alias).
+
+    The CLI defaults to the array backend — all three backends produce
+    bit-identical results (the differential suite asserts it), so the
+    fastest one is the only sensible interactive default.
+    """
+    backend = getattr(args, "backend", None)
+    if backend is not None:
+        return backend
+    if getattr(args, "no_indexed", False):
+        return "scan"
+    return "array"
+
+
 def _resolved_jobs(args: argparse.Namespace) -> int:
     """Resolve ``--jobs`` (0 → CPU count), announcing the resolution."""
     from repro.parallel import resolve_jobs
@@ -100,9 +115,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="run under cProfile and print the hottest functions",
     )
     run_p.add_argument(
+        "--backend", choices=("array", "indexed", "scan"), default=None,
+        help="resource-manager backend (default: array — flat-table hot "
+        "loop; all three produce bit-identical results)",
+    )
+    run_p.add_argument(
         "--no-indexed", action="store_true",
-        help="use the reference linear-scan resource manager "
-        "(same results/counters; O(n) wall-clock per query)",
+        help="deprecated alias for --backend scan (reference linear-scan "
+        "manager; same results/counters, O(n) wall-clock per query)",
     )
     run_p.add_argument(
         "--trace", type=str, default=None, metavar="PATH",
@@ -200,6 +220,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--metric", type=str, default="avg_waiting_time_per_task",
         help="MetricsReport attribute to tabulate",
     )
+    sweep_p.add_argument(
+        "--backend", choices=("array", "indexed", "scan"), default=None,
+        help="resource-manager backend (default: array; results are "
+        "bit-identical across backends, only wall-clock differs)",
+    )
     _add_jobs(sweep_p)
     _add_common(sweep_p)
 
@@ -209,7 +234,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
     fig_p.add_argument(
         "--paper-scale", action="store_true",
-        help="full Table II sweep to 100k tasks (very slow in pure Python)",
+        help="full Table II sweep to 100k tasks (retired as an escape "
+        "hatch: the array backend makes this routine — see README "
+        "'Backends'; kept as a shorthand for the full task grid)",
     )
     fig_p.add_argument(
         "--tasks", type=int, nargs="+", default=None,
@@ -364,7 +391,7 @@ def _run_seed_sweep(args: argparse.Namespace) -> int:
     progress = lambda m: print(m, file=sys.stderr)  # noqa: E731
     base = RunSpec(
         campaign=_campaign_spec_from_args(args),
-        indexed=not args.no_indexed,
+        backend=_resolved_backend(args),
         collect_digest=args.trace_digest,
     )
     specs = [base.with_seed(args.seed + i) for i in range(args.seeds)]
@@ -421,7 +448,7 @@ def cmd_run(args: argparse.Namespace) -> int:
         spec = _campaign_spec_from_args(args)
         result, injector = run_campaign(
             spec,
-            indexed=not getattr(args, "no_indexed", False),
+            backend=_resolved_backend(args),
             trace=trace,
         )
         params = {
@@ -521,6 +548,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         args.nodes, args.tasks, args.seed,
         progress=lambda m: print(m, file=sys.stderr),
         jobs=_resolved_jobs(args),
+        backend=_resolved_backend(args),
     )
     print(
         series_table(

@@ -86,6 +86,7 @@ class FaultCampaignSpec:
 def build_campaign(
     spec: FaultCampaignSpec,
     indexed: bool = True,
+    backend: Optional[str] = None,
     trace: Optional[TraceBus] = None,
     **sim_kwargs: Any,
 ) -> tuple[DReAMSim, Optional[FailureInjector]]:
@@ -105,6 +106,7 @@ def build_campaign(
         stream,
         partial=spec.partial,
         indexed=indexed,
+        backend=backend,
         trace=trace,
         **sim_kwargs,
     )
@@ -136,11 +138,14 @@ def build_campaign(
 def run_campaign(
     spec: FaultCampaignSpec,
     indexed: bool = True,
+    backend: Optional[str] = None,
     trace: Optional[TraceBus] = None,
     **sim_kwargs: Any,
 ) -> tuple[SimulationResult, Optional[FailureInjector]]:
     """Build and run one campaign; returns the result and the injector."""
-    sim, injector = build_campaign(spec, indexed=indexed, trace=trace, **sim_kwargs)
+    sim, injector = build_campaign(
+        spec, indexed=indexed, backend=backend, trace=trace, **sim_kwargs
+    )
     return sim.run(), injector
 
 

@@ -1,0 +1,805 @@
+"""The flat-table hot loop: a specialised clean-run driver for ``backend="array"``.
+
+The generic :class:`~repro.framework.simulator.DReAMSim` run loop routes
+every arrival and completion through the event kernel, the four-phase
+scheduler, the monitor, and the load balancer as separate objects — clean
+layering, but at paper scale (200 nodes / 100k tasks) the per-event call
+overhead dominates the wall clock.  This module collapses that stack into
+one loop over the :class:`~repro.resources.arraycore.ArrayRIM` flat tables:
+the event heap, phase-0..4 placement, suspension-queue maintenance,
+monitor/load sampling and the metric accumulators all run as straight-line
+code over the packed integer arrays.
+
+**The hot loop is an implementation of the same semantics, not a variant.**
+Every simulated quantity — scheduling/housekeeping step charges, task
+timestamps and state history, monitor and load series, waste accumulators,
+scheduler statistics, event ordering (``(time, insertion sequence)`` heap
+ties) — is produced exactly as the generic path produces it, so a hot run
+and a generic run of the same inputs are bit-identical
+(``tests/test_array_differential.py`` asserts this).  The loop therefore
+only engages for configurations whose behaviour it replicates completely
+(:func:`hot_eligible`):
+
+* array backend (``ArrayRIM`` + ``ArraySuspensionQueue``), homogeneous;
+* the paper's MIN_AREA placement policy and a ``FixedDelayModel`` network;
+* no trace bus attached (traced runs keep the generic path, which is also
+  how golden digests stay backend-identical), no GPP pool, no armed
+  failure injector (no pending env events, no quarantine hooks, all nodes
+  in service), no debug invariant checking.
+
+Anything else falls back to the generic loop — correctness first, speed
+where the envelope allows.
+
+This module intentionally reaches into manager/susqueue internals — it *is*
+the manager's hot path, hoisted out of per-call method dispatch; dreamlint's
+DL005 manager-state rule exempts it alongside the managers themselves.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, insort
+from heapq import heappop, heappush
+from math import sqrt
+from typing import TYPE_CHECKING, Optional
+
+from repro.core.policies import PlacementPolicy, SelectionCriterion
+from repro.core.scheduler import DreamScheduler
+from repro.framework.loadbalance import LoadSnapshot
+from repro.framework.monitoring import MonitorSample
+from repro.model.task import Task, TaskStatus
+from repro.network.delays import FixedDelayModel
+from repro.resources.arraycore import (
+    _POS_BITS,
+    _POS_MASK,
+    _SEQ_BITS,
+    _SEQ_MASK,
+    ArrayRIM,
+    ArraySuspensionQueue,
+)
+from repro.resources.susqueue import NO_KEY
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.framework.simulator import DReAMSim
+
+
+def hot_eligible(sim: "DReAMSim") -> bool:
+    """True when the flat-table hot loop replicates ``sim`` exactly.
+
+    Every condition here guards a semantic the hot loop does not reimplement
+    (tracing, GPP offload, fault campaigns, policy ablations, debug
+    invariant checking, custom network models).  The check is cheap and runs
+    once per :meth:`DReAMSim.run`.
+    """
+    rim = sim.rim
+    susq = sim.susqueue
+    sched = sim.scheduler
+    pol = sched.policy
+    min_area = SelectionCriterion.MIN_AREA
+    key_fn = susq.key_fn
+    return (
+        type(rim) is ArrayRIM
+        and type(susq) is ArraySuspensionQueue
+        and sim.trace is None
+        and sim.gpp is None
+        and sched.gpp_pool is None
+        and sim._debug_every is None
+        and type(pol) is PlacementPolicy
+        and pol.idle is min_area
+        and pol.blank is min_area
+        and pol.partially_blank is min_area
+        and type(sched.network) is FixedDelayModel
+        and sim.env.tracer is None
+        and not sim.env._queue
+        and sim.env._now == 0
+        and not sim.tasks
+        and not sim._placements
+        and sim._pending_retries == 0
+        and rim.on_quarantine_release is None
+        and not rim._quarantined
+        and rim._failed_count == 0
+        and all(rim.t_live)
+        and not susq._order
+        and getattr(key_fn, "__func__", None) is DreamScheduler.matched_config_no
+        and getattr(key_fn, "__self__", None) is sched
+    )
+
+
+def run_hot(sim: "DReAMSim") -> None:  # noqa: C901 - deliberately monolithic
+    """Run ``sim`` to completion through the flat-table hot loop.
+
+    Mutates ``sim`` exactly as ``sim.env.run()`` would have under the
+    :func:`hot_eligible` envelope; the caller (:meth:`DReAMSim.run`)
+    finishes up (final-time housekeeping, report) identically for both
+    paths.
+
+    The bodies of ``ArrayRIM.assign_task`` / ``complete_task`` (including
+    ``Node.add_task`` / ``remove_task`` and ``_apply_load_delta``) are
+    inlined below rather than called: every transition in the clean
+    envelope is legal by construction, the completion event carries its
+    busy entry (so no per-node task scan), and all nodes stay live (no
+    injector), which lets the ``t_live`` branches drop out.  The inlined
+    code performs the identical table updates in the identical order.
+    """
+    # Hot-path aliases: module globals and builtins rebound as locals so
+    # the loop body uses LOAD_FAST instead of LOAD_GLOBAL everywhere.
+    bl = bisect_left
+    ins = insort
+    hpush = heappush
+    hpop = heappop
+    pos_bits = _POS_BITS
+    pos_mask = _POS_MASK
+    seq_bits = _SEQ_BITS
+    seq_mask = _SEQ_MASK
+    no_key = NO_KEY
+    rim = sim.rim
+    susq = sim.susqueue
+    sched = sim.scheduler
+    counters = sim.counters
+    stats = sched.stats
+    by_kind = stats.by_kind
+    partial = sim.partial
+    monitor = sim.monitor
+    load = sim.load
+
+    # -- manager tables (list/dict objects are mutated in place, never
+    #    rebound, so one binding stays valid for the whole run) -----------
+    nodes_list = rim.nodes
+    n_nodes = len(nodes_list)
+    configs_list = rim.configs
+    ncfg = len(configs_list)
+    config_by_no = rim._config_by_no
+    cfg_keys = rim._cfg_keys
+    idle_m = rim._idle_m
+    busy_m = rim._busy_m
+    blank_m = rim._blank_m
+    ie = rim._ie
+    entry_by_seq = rim._entry_by_seq
+    node_by_bseq = rim._node_by_bseq
+    sp = rim._sp
+    sr = rim._sr
+    sa = rim._sa
+    sb = rim._sb
+    bq = rim._sq
+    busy_pos = rim._busy_pos
+    t_total = rim.t_total
+    t_avail = rim.t_avail
+    t_nent = rim.t_nent
+    t_busy_area = rim.t_busy_area
+    t_busy_cnt = rim.t_busy_cnt
+    pos_of = rim._pos
+    state_counts = rim.state_counts
+    sl = rim._sl
+    load_w = rim._load_w
+    load_den = rim._load_den
+    load_den_sq = rim._load_den_sq
+    used_nodes = rim._used_nodes
+    configure_node = rim.configure_node
+    evict_entries = rim.evict_entries
+    scan_any_idle = rim._scan_any_idle_node
+
+    # Step counters and scheduler tallies, hoisted to locals.  The rare
+    # external calls (configure_node / evict_entries / scan_any_idle)
+    # charge ``counters`` themselves, so the locals are synced to the
+    # shared object around those calls; everything else — and the stats
+    # tallies, which nothing external mutates — flushes once at the end.
+    sched_steps = counters.scheduling_steps
+    hk_steps = counters.housekeeping_steps
+    st_scheduled = stats.scheduled
+    st_suspended = stats.suspended
+    st_discarded = stats.discarded
+    st_closest = stats.closest_match_used
+    st_cfg_paid = stats.total_config_time_paid
+    st_evicted = stats.total_evicted_area
+
+    # Hot aggregates owned exclusively by the inlined assign/complete code
+    # (configure/evict never touch them), hoisted to locals for the run and
+    # written back at the end.
+    running_count = rim.running_tasks_count
+    load_sum_i = rim._load_sum_i
+    load_sumsq_i = rim._load_sumsq_i
+    # Read-only mirrors of aggregates that only configure/evict mutate;
+    # re-synced right after the (rare) configure_node call in submit.
+    wasted_total = rim._wasted_total
+    conf_total = rim._configured_total
+    # Node-state tallies, hoisted like the step counters: the inlined
+    # assign/complete code flips them; scan_any_idle reads the shared
+    # dict and configure/evict mutate it, so the locals are written into
+    # ``state_counts`` before those rare calls and re-read after.
+    sc_busy = state_counts["busy"]
+    sc_idle = state_counts["idle"]
+    sc_blank = state_counts["blank"]
+
+    # -- suspension-queue columns ----------------------------------------
+    sq_order = susq._order
+    by_key = susq._by_key
+    sq_task = susq._task
+    sq_seq_c = susq._seq_c
+    sq_key_c = susq._key_c
+    sq_rank_c = susq._rank_c
+    sq_free = susq._free
+    rank_fn = susq._rank_fn
+    fifo = susq.order == "fifo"
+    max_len = susq.max_length
+    max_retries = susq.max_retries
+    susq_expired = susq.expired
+
+    memo = sched._match_memo
+    min_cfg_area = sched._min_config_area
+    # config_no -> req_area for the redispatch fits-key filter (static).
+    req_of = {no: hit[1].req_area for no, hit in config_by_no.items()}
+
+    # -- monitor / load series (column appends replicate TimeSeries.add:
+    #    event times are non-decreasing, so the guard never fires) --------
+    ml = monitor.min_interval
+    mon_last = monitor._last_time
+    mon_samples = monitor.samples
+    mb_t, mb_v = monitor.busy_nodes.times, monitor.busy_nodes.values
+    mq_t, mq_v = monitor.queue_length.times, monitor.queue_length.values
+    mw_t, mw_v = monitor.wasted_area.times, monitor.wasted_area.values
+    mr_t, mr_v = monitor.running_tasks.times, monitor.running_tasks.values
+    snapshots = load.snapshots
+    cv_t, cv_v = load.cv_series.times, load.cv_series.values
+    jn_t, jn_v = load.jain_series.times, load.jain_series.values
+    # Frozen-dataclass fast construction: __new__ + a one-display __dict__
+    # skips the per-field object.__setattr__ of the frozen __init__ while
+    # producing an indistinguishable instance (same fields, eq, repr).
+    ms_new = MonitorSample.__new__
+    ls_new = LoadSnapshot.__new__
+
+    # RunningStats (Welford) locals for placement waste — written back at
+    # the end; the identical op order keeps the floats bit-identical.
+    pw = sim.placement_waste
+    pw_n = pw.n
+    pw_total = pw.total
+    pw_mean = pw._mean
+    pw_m2 = pw._m2
+    pw_min = pw.min
+    pw_max = pw.max
+    sample_system = sim._sample_system
+    tasks_append = sim.tasks.append
+    per_tick = sim._per_tick_hk
+    last_hk = sim._last_hk_time
+    sys_waste = sim.system_waste_total
+    waste_samples = sim._system_waste_samples
+    placed = sim._placed_count
+
+    created_s = TaskStatus.CREATED
+    running_s = TaskStatus.RUNNING
+    suspended_s = TaskStatus.SUSPENDED
+    completed_s = TaskStatus.COMPLETED
+    discarded_s = TaskStatus.DISCARDED
+
+    # Event records: ``(time, seq, task, node, entry)`` — ``node`` is None
+    # for an arrival, the hosting node (and its busy entry) for a
+    # completion.  All events carry the kernel's NORMAL priority, so heap
+    # order is ``(time, insertion seq)``; allocating ``seq`` at the same
+    # call sites as the generic path's ``Environment.schedule`` reproduces
+    # its tie-breaks exactly.
+    heap: list = []
+    seq = 0
+    events = 0
+    now = 0
+
+    def matched_cno(task: Task) -> Optional[int]:
+        # DreamScheduler.matched_config: memoised exact-then-closest match.
+        tno = task.task_no
+        if tno in memo:
+            cfg = memo[tno]
+        else:
+            pref = task.pref_config
+            hit = config_by_no.get(pref.config_no)
+            if hit is not None:
+                cfg = hit[1]
+            else:
+                i = bl(cfg_keys, pref.req_area << pos_bits)
+                cfg = configs_list[cfg_keys[i] & pos_mask] if i < len(cfg_keys) else None
+            memo[tno] = cfg
+        return cfg.config_no if cfg is not None else None
+
+    def submit(task: Task, now: int) -> int:
+        """One ``DreamScheduler.schedule`` + framework follow-up, inlined.
+
+        Returns 0 scheduled / 1 suspended / 2 discarded (the framework only
+        branches on "scheduled or not").  Step charges accumulate in the
+        local ``ss`` and are flushed to the shared counters once per exit
+        path (and before ``scan_any_idle``, which charges internally).
+        """
+        nonlocal seq, sys_waste, waste_samples, placed
+        nonlocal running_count, load_sum_i, load_sumsq_i
+        nonlocal pw_n, pw_total, pw_mean, pw_m2, pw_min, pw_max
+        nonlocal wasted_total, conf_total
+        nonlocal sched_steps, hk_steps
+        nonlocal st_scheduled, st_suspended, st_discarded
+        nonlocal st_closest, st_cfg_paid, st_evicted
+        nonlocal sc_busy, sc_idle, sc_blank, mon_last
+        steps0 = sched_steps
+
+        # Phase 0: exact configuration match, else closest (both charged as
+        # the reference linear scans).
+        pref = task.pref_config
+        hit = config_by_no.get(pref.config_no)
+        if hit is not None:
+            ss = hit[0] + 1
+            config = hit[1]
+            used_closest = False
+        else:
+            ss = 2 * ncfg
+            i = bl(cfg_keys, pref.req_area << pos_bits)
+            if i == len(cfg_keys):
+                task.status = discarded_s
+                task._history.append((now, discarded_s))
+                sched_steps = steps0 + ss
+                task.scheduling_steps += ss
+                st_discarded += 1
+                return 2
+            config = configs_list[cfg_keys[i] & pos_mask]
+            used_closest = True
+        cno = config.config_no
+        req = config.req_area
+        config_time = 0
+        evicted = 0
+
+        # Phase 1: best idle entry holding the matched configuration.
+        ss += len(idle_m[cno])
+        lst = ie[cno]
+        if lst:
+            entry = entry_by_seq[lst[0] & seq_mask]
+            node = entry._node  # type: ignore[attr-defined]
+            kind = "allocation"
+        else:
+            node = None
+            kind = ""
+            # Phase 2: best blank node.
+            ss += len(blank_m)
+            j = bl(bq, req << seq_bits)
+            if j < len(bq):
+                node = node_by_bseq[bq[j] & seq_mask]
+                kind = "configuration"
+            elif partial:
+                # Phase 3: best partially blank node.
+                ss += n_nodes - sc_blank
+                k = bl(sp, req << pos_bits)
+                if k < len(sp):
+                    node = nodes_list[sp[k] & pos_mask]
+                    kind = "partial_configuration"
+            if node is None:
+                # Phase 4: FindAnyIdleNode (Alg. 1); full mode requires an
+                # all-idle node (whole-node reconfiguration).  The
+                # ``_failed_count`` term of the miss charge is zero inside
+                # the envelope (no injector, all nodes live).
+                lst4 = sr if partial else sa
+                if not lst4 or lst4[-1] < req << pos_bits:
+                    if partial:
+                        ss += len(blank_m) + rim._entries_total
+                    else:
+                        ss += sc_busy + len(blank_m) + rim._idle_node_entries
+                else:
+                    counters.scheduling_steps = steps0 + ss
+                    counters.housekeeping_steps = hk_steps
+                    state_counts["busy"] = sc_busy
+                    state_counts["idle"] = sc_idle
+                    state_counts["blank"] = sc_blank
+                    node, evict = scan_any_idle(config, not partial)
+                    ss = counters.scheduling_steps - steps0
+                    hk_steps = counters.housekeeping_steps
+                    if node is not None:
+                        evicted = evict_entries(node, evict) if evict else 0
+                        hk_steps = counters.housekeeping_steps
+                        sc_busy = state_counts["busy"]
+                        sc_idle = state_counts["idle"]
+                        sc_blank = state_counts["blank"]
+                        kind = "partial_reconfiguration"
+            if node is None:
+                # Last resort: suspend if any busy node could ever host it.
+                if not sb or sb[-1] < req << pos_bits:
+                    ss += n_nodes
+                    exists = False
+                else:
+                    exists = False
+                    for p in busy_pos:
+                        if t_total[p] >= req:
+                            ss += p + 1
+                            exists = True
+                            break
+                if exists:
+                    if max_len is None or len(sq_order) < max_len:
+                        # ArraySuspensionQueue.add, inlined.
+                        task.status = suspended_s
+                        task._history.append((now, suspended_s))
+                        susq._seq += 1
+                        s = susq._seq
+                        # matched_cno with the memo hit unwrapped inline.
+                        tno = task.task_no
+                        if tno in memo:
+                            cfgm = memo[tno]
+                            key = cfgm.config_no if cfgm is not None else no_key
+                        else:
+                            key = matched_cno(task)
+                            if key is None:
+                                key = no_key
+                        rank = 0.0 if fifo else rank_fn(task)
+                        if sq_free:
+                            slot = sq_free.pop()
+                            sq_task[slot] = task
+                            sq_seq_c[slot] = s
+                            sq_key_c[slot] = key
+                            sq_rank_c[slot] = rank
+                        else:
+                            slot = len(sq_task)
+                            sq_task.append(task)
+                            sq_seq_c.append(s)
+                            sq_key_c.append(key)
+                            sq_rank_c.append(rank)
+                        triple = (rank, s, slot)
+                        # FIFO rank is constant 0.0 and the seq strictly
+                        # grows, so the new triple always sorts last and
+                        # insort degenerates to append.
+                        if fifo:
+                            sq_order.append(triple)
+                        else:
+                            ins(sq_order, triple)
+                        bucket = by_key.get(key)
+                        if bucket is None:
+                            by_key[key] = [triple]
+                        elif fifo:
+                            bucket.append(triple)
+                        else:
+                            ins(bucket, triple)
+                        hk_steps += 1
+                        susq.total_suspended += 1
+                        sched_steps = steps0 + ss
+                        task.scheduling_steps += ss
+                        st_suspended += 1
+                        return 1
+                # Queue full or nothing can ever host it: discard.  (The
+                # quarantine rescue rung is unreachable — the eligibility
+                # gate admits no quarantined nodes and no injector.)
+                task.status = discarded_s
+                task._history.append((now, discarded_s))
+                sched_steps = steps0 + ss
+                task.scheduling_steps += ss
+                st_discarded += 1
+                return 2
+            counters.housekeeping_steps = hk_steps
+            state_counts["busy"] = sc_busy
+            state_counts["idle"] = sc_idle
+            state_counts["blank"] = sc_blank
+            entry = configure_node(node, config, now=now)
+            hk_steps = counters.housekeeping_steps
+            sc_busy = state_counts["busy"]
+            sc_idle = state_counts["idle"]
+            sc_blank = state_counts["blank"]
+            config_time = config.config_time
+            # FixedDelayModel ships bitstreams for free (transfer time 0).
+            # Re-mirror the aggregates configure/evict just changed.
+            wasted_total = rim._wasted_total
+            conf_total = rim._configured_total
+
+        # DreamScheduler._start + DReAMSim._submit/_record_placement.
+        comm = node.network_delay
+        task.status = running_s
+        task._history.append((now, running_s))
+        task.start_time = now
+        task.assigned_config = config
+        task.comm_time = comm
+        task.config_time_paid = config_time
+        # ArrayRIM.assign_task (incl. Node.add_task), inlined: the entry is
+        # idle on ``node`` by construction, so the validation scans and the
+        # (always-true) liveness branch drop out.
+        ecfg = entry.config
+        req2 = ecfg.req_area
+        cno2 = ecfg.config_no
+        del idle_m[cno2][entry]
+        akey = entry._akey  # type: ignore[attr-defined]
+        if akey is not None:
+            lst2 = ie[cno2]
+            del lst2[bl(lst2, akey)]
+            del entry_by_seq[akey & seq_mask]
+            entry._akey = None  # type: ignore[attr-defined]
+        hk_steps += 1
+        entry.task = task
+        node._busy_count += 1
+        node._busy_area += req2
+        pos = pos_of[node]
+        ba0 = t_busy_area[pos]
+        ba1 = ba0 + req2
+        bc0 = t_busy_cnt[pos]
+        t_busy_area[pos] = ba1
+        t_busy_cnt[pos] = bc0 + 1
+        running_count += 1
+        total = t_total[pos]
+        if bc0 == 0:
+            sc_idle -= 1
+            sc_busy += 1
+        okey = (total - ba0) << pos_bits | pos
+        del sr[bl(sr, okey)]
+        ins(sr, (total - ba1) << pos_bits | pos)
+        if bc0 == 0:
+            tkey = total << pos_bits | pos
+            del sa[bl(sa, tkey)]
+            ins(sb, tkey)
+            ins(busy_pos, pos)
+            rim._idle_node_entries -= t_nent[pos]  # dreamlint: disable=DL005 (inlined copy of the array manager's own update)
+        # _apply_load_delta, inlined (same float ops, same order).
+        old = (ba0 / total, pos)
+        del sl[bl(sl, old)]
+        ins(sl, (ba1 / total, pos))
+        w = load_w[pos]
+        d = (ba1 - ba0) * w
+        load_sum_i += d
+        load_sumsq_i += d * ((ba1 + ba0) * w)
+        busy_m[cno2][entry] = None
+        hk_steps += 1
+        used_nodes.add(node.node_no)
+
+        sched_steps = steps0 + ss
+        task.scheduling_steps += ss
+        st_scheduled += 1
+        by_kind[kind] = by_kind.get(kind, 0) + 1
+        if used_closest:
+            st_closest += 1
+        st_cfg_paid += config_time
+        st_evicted += evicted
+        # RunningStats.add, inlined.
+        x = float(node._available_area)
+        pw_n += 1
+        pw_total += x
+        delta = x - pw_mean
+        pw_mean += delta / pw_n
+        pw_m2 += delta * (x - pw_mean)
+        if x < pw_min:
+            pw_min = x
+        if x > pw_max:
+            pw_max = x
+        if sample_system:
+            sys_waste += wasted_total
+            waste_samples += 1
+        # Monitor.sample, inlined (direct item stores into the fresh
+        # instance dict — no intermediate display dict).
+        if mon_last is None or now - mon_last >= ml:
+            qlen = len(sq_order)
+            ms = ms_new(MonitorSample)
+            dd = ms.__dict__
+            dd["time"] = now
+            dd["busy_nodes"] = sc_busy
+            dd["idle_nodes"] = sc_idle
+            dd["blank_nodes"] = sc_blank
+            dd["running_tasks"] = running_count
+            dd["suspended_tasks"] = qlen
+            dd["configured_area"] = conf_total
+            dd["wasted_area"] = wasted_total
+            mon_samples.append(ms)
+            mb_t.append(now)
+            mb_v.append(sc_busy)
+            mq_t.append(now)
+            mq_v.append(qlen)
+            mw_t.append(now)
+            mw_v.append(wasted_total)
+            mr_t.append(now)
+            mr_v.append(running_count)
+            mon_last = now
+        placed += 1
+        seq += 1
+        hpush(
+            heap, (now + config_time + comm + task.required_time, seq, task, node, entry)
+        )
+        return 0
+
+    # -- main event loop ---------------------------------------------------
+    arr_iter = sim._arrivals
+    arrivals_done = sim._arrivals_done
+    arrival = next(arr_iter, None)
+    if arrival is None:
+        arrivals_done = True
+    else:
+        seq += 1
+        at = arrival.at
+        hpush(heap, (at if at > 0 else 0, seq, arrival.task, None, None))
+
+    while heap:
+        now, _s, task, cnode, centry = hpop(heap)
+        events += 1
+        if now > last_hk:
+            if per_tick:
+                hk_steps += (now - last_hk) * per_tick
+            last_hk = now
+        if cnode is None:
+            # -- arrival (DReAMSim._on_arrival) ---------------------------
+            task.create_time = now
+            task._history.append((now, created_s))
+            tasks_append(task)
+            submit(task, now)
+            arrival = next(arr_iter, None)
+            if arrival is None:
+                arrivals_done = True
+            else:
+                seq += 1
+                at = arrival.at
+                hpush(heap, (at if at > now else now, seq, arrival.task, None, None))
+        else:
+            # -- completion (DReAMSim._on_complete) -----------------------
+            task.status = completed_s
+            task._history.append((now, completed_s))
+            task.completion_time = now
+            # ArrayRIM.complete_task (incl. Node.remove_task), inlined: the
+            # event carries the busy entry, so no per-node scan; liveness
+            # branch drops out as in assign.
+            centry.task = None
+            ecfg = centry.config
+            req = ecfg.req_area
+            cno = ecfg.config_no
+            cnode._busy_count -= 1
+            cnode._busy_area -= req
+            pos = pos_of[cnode]
+            ba0 = t_busy_area[pos]
+            ba1 = ba0 - req
+            bc1 = t_busy_cnt[pos] - 1
+            t_busy_area[pos] = ba1
+            t_busy_cnt[pos] = bc1
+            running_count -= 1
+            total = t_total[pos]
+            if bc1 == 0:
+                sc_busy -= 1
+                sc_idle += 1
+            okey = (total - ba0) << pos_bits | pos
+            del sr[bl(sr, okey)]
+            ins(sr, (total - ba1) << pos_bits | pos)
+            if bc1 == 0:
+                tkey = total << pos_bits | pos
+                del sb[bl(sb, tkey)]
+                del busy_pos[bl(busy_pos, pos)]
+                ins(sa, tkey)
+                rim._idle_node_entries += t_nent[pos]  # dreamlint: disable=DL005 (inlined copy of the array manager's own update)
+            # _apply_load_delta, inlined.
+            old = (ba0 / total, pos)
+            del sl[bl(sl, old)]
+            ins(sl, (ba1 / total, pos))
+            w = load_w[pos]
+            d = (ba1 - ba0) * w
+            load_sum_i += d
+            load_sumsq_i += d * ((ba1 + ba0) * w)
+            del busy_m[cno][centry]
+            hk_steps += 1
+            idle_m[cno][centry] = None
+            # _idle_append, inlined (allocates a chain sequence number).
+            rim._chain_seq = cseq = rim._chain_seq + 1  # dreamlint: disable=DL005 (inlined copy of the array manager's own update)
+            akey = t_avail[pos] << seq_bits | cseq
+            centry._akey = akey  # type: ignore[attr-defined]
+            entry_by_seq[cseq] = centry
+            ins(ie[cno], akey)
+            hk_steps += 1
+
+            # Monitor.sample, inlined (same form as the submit site).
+            if mon_last is None or now - mon_last >= ml:
+                qlen = len(sq_order)
+                ms = ms_new(MonitorSample)
+                dd = ms.__dict__
+                dd["time"] = now
+                dd["busy_nodes"] = sc_busy
+                dd["idle_nodes"] = sc_idle
+                dd["blank_nodes"] = sc_blank
+                dd["running_tasks"] = running_count
+                dd["suspended_tasks"] = qlen
+                dd["configured_area"] = conf_total
+                dd["wasted_area"] = wasted_total
+                mon_samples.append(ms)
+                mb_t.append(now)
+                mb_v.append(sc_busy)
+                mq_t.append(now)
+                mq_v.append(qlen)
+                mw_t.append(now)
+                mw_v.append(wasted_total)
+                mr_t.append(now)
+                mr_v.append(running_count)
+                mon_last = now
+            # LoadBalancer.observe, inlined (indexed O(1) aggregates).
+            s1 = load_sum_i / load_den
+            s2 = load_sumsq_i / load_den_sq
+            max_load = sl[-1][0] if sl else 0.0
+            mean = s1 / n_nodes if n_nodes else 0.0
+            if n_nodes and mean > 0:
+                var = s2 / n_nodes - mean * mean
+                cv = sqrt(var) / mean if var > 0.0 else 0.0
+                jain = min((s1 * s1) / (n_nodes * s2), 1.0) if s2 > 0.0 else 1.0
+            else:
+                cv, jain = 0.0, 1.0
+            snap = ls_new(LoadSnapshot)
+            dd = snap.__dict__
+            dd["time"] = now
+            dd["mean_load"] = mean
+            dd["cv"] = cv
+            dd["jain"] = jain
+            dd["max_load"] = max_load
+            snapshots.append(snap)
+            cv_t.append(now)
+            cv_v.append(cv)
+            jn_t.append(now)
+            jn_v.append(jain)
+            # -- redispatch (DreamScheduler.next_redispatch loop) ---------
+            while sq_order:
+                reclaimable = t_total[pos] - t_busy_area[pos]
+                if reclaimable <= 0:
+                    break
+                sched_steps += len(sq_order)
+                best = None
+                for e in cnode.entries:
+                    if e.task is None:
+                        bucket = by_key.get(e.config.config_no)
+                        if bucket is not None:
+                            head = bucket[0]
+                            if best is None or head < best:
+                                best = head
+                if best is not None:
+                    rec = best[2]
+                else:
+                    if reclaimable < min_cfg_area:
+                        break
+                    # first_matching_key(fits_key), inlined.
+                    for key, bucket in by_key.items():
+                        ra = req_of.get(key)
+                        if ra is None or ra > reclaimable:
+                            continue
+                        head = bucket[0]
+                        if best is None or head < best:
+                            best = head
+                    if best is None:
+                        hk_steps += len(sq_order)
+                        break
+                    hk_steps += bl(sq_order, best) + 1
+                    rec = best[2]
+                # ArraySuspensionQueue.remove, inlined.
+                rtask = sq_task[rec]
+                triple = (sq_rank_c[rec], sq_seq_c[rec], rec)
+                del sq_order[bl(sq_order, triple)]
+                key = sq_key_c[rec]
+                bucket = by_key[key]
+                del bucket[bl(bucket, triple)]
+                if not bucket:
+                    del by_key[key]
+                sq_task[rec] = None
+                sq_key_c[rec] = None
+                sq_free.append(rec)
+                hk_steps += 1
+                rtask.sus_retry += 1
+                if submit(rtask, now) != 0:
+                    break
+            if max_retries is not None:
+                for ex in susq_expired():
+                    ex.status = discarded_s
+                    ex._history.append((now, discarded_s))
+                    st_discarded += 1
+
+    # -- write back state the generic loop keeps on the objects ------------
+    counters.scheduling_steps = sched_steps
+    counters.housekeeping_steps = hk_steps
+    state_counts["busy"] = sc_busy
+    state_counts["idle"] = sc_idle
+    state_counts["blank"] = sc_blank
+    stats.scheduled = st_scheduled
+    stats.suspended = st_suspended
+    stats.discarded = st_discarded
+    stats.closest_match_used = st_closest
+    stats.total_config_time_paid = st_cfg_paid
+    stats.total_evicted_area = st_evicted
+    sim._arrivals_done = arrivals_done
+    sim._last_hk_time = last_hk
+    sim.system_waste_total = sys_waste
+    sim._system_waste_samples = waste_samples
+    sim._placed_count = placed
+    pw.n = pw_n
+    pw.total = pw_total
+    pw._mean = pw_mean
+    pw._m2 = pw_m2
+    pw.min = pw_min
+    pw.max = pw_max
+    rim.running_tasks_count = running_count  # dreamlint: disable=DL005 (end-of-run write-back of the hoisted aggregate)
+    rim._load_sum_i = load_sum_i  # dreamlint: disable=DL005 (end-of-run write-back of the hoisted aggregate)
+    rim._load_sumsq_i = load_sumsq_i  # dreamlint: disable=DL005 (end-of-run write-back of the hoisted aggregate)
+    monitor._last_time = mon_last
+    env = sim.env
+    env._now = now
+    env._seq = seq
+    env._event_count += events
+
+
+__all__ = ["hot_eligible", "run_hot"]

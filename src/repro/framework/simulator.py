@@ -20,6 +20,7 @@ randomness lives in the workload generators.
 
 from __future__ import annotations
 
+import gc
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Iterable, Iterator, Optional
 
@@ -31,9 +32,10 @@ from repro.metrics.table1 import MetricsReport, compute_report
 from repro.model.config import Configuration
 from repro.model.node import Node
 from repro.model.task import Task
+from repro.resources import create_manager, resolve_backend
+from repro.resources.arraycore import ArraySuspensionQueue
 from repro.resources.counters import SearchCounters
 from repro.resources.invariants import check_invariants
-from repro.resources.manager import ResourceInformationManager
 from repro.resources.susqueue import SuspensionQueue
 from repro.sim.environment import Environment
 from repro.trace.events import (
@@ -45,6 +47,7 @@ from repro.trace.events import (
 )
 from repro.workload.generator import TaskArrival
 
+from repro.framework.hotloop import hot_eligible, run_hot
 from repro.framework.loadbalance import LoadBalancer
 from repro.framework.monitoring import Monitor
 
@@ -90,15 +93,21 @@ class DReAMSim:
     sample_system_waste:
         Sample Eq. 6 at every placement (O(nodes) each; on by default).
     indexed:
-        Resource-manager mode: ``True`` (default) answers scheduler queries
-        from area-ordered indexes with identical simulated step accounting;
-        ``False`` runs the reference linear scans (differential baseline).
+        Legacy resource-manager mode switch: ``True`` (default) answers
+        scheduler queries from area-ordered indexes with identical simulated
+        step accounting; ``False`` runs the reference linear scans
+        (differential baseline).  Ignored when ``backend`` is given.
+    backend:
+        Explicit backend selector: ``"array"`` (flat-table hot loop,
+        :class:`repro.resources.arraycore.ArrayRIM` plus the array
+        suspension queue), ``"indexed"`` or ``"scan"`` (object manager).
+        ``None`` (default) resolves from ``indexed``.
     trace:
         Optional :class:`repro.trace.TraceBus`.  The simulator wires its
         clock and counters onto the bus and hands it to every subsystem, so
         one attached bus observes the full event stream (DESIGN.md §9).
-        The ``indexed`` flag is deliberately NOT recorded in the trace —
-        both manager modes must produce identical digests.
+        The backend is deliberately NOT recorded in the trace — all three
+        backends must produce identical digests.
     """
 
     def __init__(
@@ -118,6 +127,7 @@ class DReAMSim:
         queue_order: str = "fifo",
         gpp: Optional["GppPool"] = None,
         indexed: bool = True,
+        backend: Optional[str] = None,
         trace: Optional["TraceBus"] = None,
     ) -> None:
         self.env = Environment()
@@ -126,10 +136,15 @@ class DReAMSim:
         if trace is not None:
             trace.clock = lambda: int(self.env.now)
             trace.counters = self.counters
-        self.rim = ResourceInformationManager(
-            list(nodes), list(configs), self.counters, indexed=indexed, trace=trace
+        self.backend = resolve_backend(backend, indexed)
+        self.rim = create_manager(
+            list(nodes), list(configs), self.counters,
+            backend=self.backend, trace=trace,
         )
-        self.susqueue = SuspensionQueue(
+        queue_cls = (
+            ArraySuspensionQueue if self.backend == "array" else SuspensionQueue
+        )
+        self.susqueue = queue_cls(
             self.counters,
             max_retries=max_retries,
             max_length=max_queue_length,
@@ -154,6 +169,7 @@ class DReAMSim:
         self._sample_system = sample_system_waste
         self._placed_count = 0
         self._done = False
+        self._final_value: Optional[int] = None  # cached by run()
         self._arrivals_done = False  # the lazy arrival feed hit stream end
         # Tasks parked in a fault-retry backoff: interrupted, scheduled to
         # re-enter at now + delay, in neither _placements nor the susqueue.
@@ -182,9 +198,27 @@ class DReAMSim:
                 partial=self.partial,
                 sample_system=self._sample_system,
             )
-        self._feed_next_arrival()
-        self.env.run(until=until)
+        if until is None and hot_eligible(self):
+            # Clean array-backend run: the flat-table hot loop replays the
+            # exact event/charge/sampling semantics of the generic path an
+            # order of magnitude faster (see repro.framework.hotloop).
+            # The cyclic collector is paused for the loop: the hot path
+            # allocates heavily but creates no cycles, and gen-0 scans of
+            # the growing task/sample lists otherwise cost >10% of the
+            # run.  Liveness is unaffected, so results are identical.
+            gc_was_enabled = gc.isenabled()
+            if gc_was_enabled:
+                gc.disable()
+            try:
+                run_hot(self)
+            finally:
+                if gc_was_enabled:
+                    gc.enable()
+        else:
+            self._feed_next_arrival()
+            self.env.run(until=until)
         final = self._final_time()
+        self._final_value = final
         self._charge_tick_housekeeping(final)
         if self.trace is not None:
             self.trace.emit(RUN_FINISHED, final=final)
@@ -213,14 +247,21 @@ class DReAMSim:
         """
         from repro.model.task import TaskStatus
 
+        completed = TaskStatus.COMPLETED
+        discarded = TaskStatus.DISCARDED
         last = 0
         for t in self.tasks:
-            if t.status is TaskStatus.COMPLETED:
-                last = max(last, t.completion_time)
-            elif t.status is TaskStatus.DISCARDED:
+            status = t.status
+            if status is completed:
+                ct = t.completion_time
+                if ct > last:
+                    last = ct
+            elif status is discarded:
                 hist = t.history
                 if hist:
-                    last = max(last, hist[-1][0])
+                    ht = hist[-1][0]
+                    if ht > last:
+                        last = ht
             else:
                 return int(self.env.now)  # workload unfinished: use the clock
         if not self._arrivals_done:
@@ -236,7 +277,7 @@ class DReAMSim:
             counters=self.counters,
             scheduler_stats=self.scheduler.stats,
             reconfig_count_by_config=self.rim.reconfig_count_by_config,
-            final_time=self._final_time(),
+            final_time=self._final_value if self._final_value is not None else self._final_time(),
             total_used_nodes=self.rim.total_used_nodes,
             placement_waste=self.placement_waste,
             system_waste_total=self.system_waste_total,

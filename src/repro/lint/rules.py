@@ -45,14 +45,24 @@ DL002_ALLOW: dict[str, frozenset[str]] = {
     "framework/failures.py": frozenset({"FailureInjector.availability"}),
     # load_stats() divides the exact integer sums once, on read.
     "resources/manager.py": frozenset({"ResourceInformationManager.load_stats"}),
+    # The array manager's load_stats() mirrors the indexed manager's.
+    "resources/arraycore.py": frozenset({"ArrayRIM.load_stats"}),
 }
 
 #: Modules on hot simulated paths where deepcopy is banned (DL007).
 HOT_PREFIXES = ("resources/", "model/", "core/", "sim/", "framework/", "trace/")
 
+#: Files that *implement* a resource manager (DL005): these own the guarded
+#: chain/index/aggregate state and may mutate it.  ``manager.py`` is the
+#: object-graph implementation; ``arraycore.py`` is the flat-table array
+#: backend, whose columns carry the same invariants (checked by
+#: ``validate_structures`` and the three-way differential suite).
+DL005_OWNERS = frozenset({"resources/manager.py", "resources/arraycore.py"})
+
 #: Manager-owned chain/index/aggregate attributes (DL005): mutating any of
-#: these outside ``resources/manager.py`` bypasses the ``_track`` guard that
-#: keeps the §IV-B redundant views and the I9/I10 aggregates exact.
+#: these outside the manager implementations (:data:`DL005_OWNERS`) bypasses
+#: the ``_track`` guard that keeps the §IV-B redundant views and the I9/I10
+#: aggregates exact.
 GUARDED_ATTRS = frozenset(
     {
         "_ix_partial",
@@ -494,16 +504,17 @@ class GuardedMutation(Rule):
     """DL005: manager-owned state is mutated only inside manager.py."""
 
     id = "DL005"
-    title = "manager-owned chain/index/aggregate state mutated only in manager.py"
+    title = "manager-owned chain/index/aggregate state mutated only in the managers"
     severity = Severity.ERROR
     rationale = (
         "The redundant §IV-B views stay consistent because every mutation "
-        "runs inside ResourceInformationManager's _track-guarded methods; "
-        "ad-hoc writes from other modules drift the I9/I10 aggregates."
+        "runs inside a manager implementation's guarded methods (the indexed "
+        "manager's _track, the array manager's column updates); ad-hoc "
+        "writes from other modules drift the I9/I10 aggregates."
     )
 
     def check_file(self, f: SourceFile) -> Iterator[Finding]:
-        if f.rel == "resources/manager.py":
+        if f.rel in DL005_OWNERS:
             return
 
         def guarded(expr: ast.expr) -> Optional[str]:
@@ -528,8 +539,8 @@ class GuardedMutation(Rule):
                         yield self.finding(
                             f,
                             node,
-                            f"write to manager-owned state {name!r} outside "
-                            "resources/manager.py",
+                            f"write to manager-owned state {name!r} "
+                            "outside the resource managers",
                         )
             elif isinstance(node, ast.Delete):
                 for tgt in node.targets:
@@ -538,8 +549,8 @@ class GuardedMutation(Rule):
                         yield self.finding(
                             f,
                             node,
-                            f"del on manager-owned state {name!r} outside "
-                            "resources/manager.py",
+                            f"del on manager-owned state {name!r} "
+                            "outside the resource managers",
                         )
             elif isinstance(node, ast.Call):
                 func = node.func
@@ -552,8 +563,8 @@ class GuardedMutation(Rule):
                         yield self.finding(
                             f,
                             node,
-                            f"mutating call {name}.{func.attr}() outside "
-                            "resources/manager.py",
+                            f"mutating call {name}.{func.attr}() "
+                            "outside the resource managers",
                         )
 
 
@@ -708,6 +719,7 @@ __all__ = [
     "ACCOUNTING_FILES",
     "ACCOUNTING_PREFIXES",
     "DL002_ALLOW",
+    "DL005_OWNERS",
     "GUARDED_ATTRS",
     "HOT_PREFIXES",
     "GuardedMutation",

@@ -47,6 +47,10 @@ class RunSpec:
         describes exactly the run :func:`repro.quick_simulation` performs.
     indexed:
         Resource-manager mode (same switch as :class:`repro.framework.DReAMSim`).
+    backend:
+        Explicit resource-manager backend (``"array"`` / ``"indexed"`` /
+        ``"scan"``); when set it overrides ``indexed``, which remains for
+        spec compatibility with existing callers.
     collect_digest:
         Attach a :class:`~repro.trace.bus.DigestSink` in the worker and
         return the run's order-sensitive trace digest.
@@ -60,6 +64,7 @@ class RunSpec:
 
     campaign: FaultCampaignSpec
     indexed: bool = True
+    backend: Optional[str] = None
     collect_digest: bool = False
     collect_events: bool = False
     collect_monitor: bool = False
@@ -69,6 +74,7 @@ class RunSpec:
         cls,
         scenario: "Scenario",
         indexed: bool = True,
+        backend: Optional[str] = None,
         collect_digest: bool = False,
         collect_events: bool = False,
         collect_monitor: bool = False,
@@ -89,6 +95,7 @@ class RunSpec:
                 seed=scenario.seed,
             ),
             indexed=indexed,
+            backend=backend,
             collect_digest=collect_digest,
             collect_events=collect_events,
             collect_monitor=collect_monitor,
@@ -105,7 +112,10 @@ class RunSpec:
         tag = f"n{c.nodes}-t{c.tasks}-{mode}-s{c.seed}"
         if c.faults_enabled:
             tag += "-faults"
-        if not self.indexed:
+        if self.backend is not None:
+            if self.backend != "indexed":
+                tag += f"-{self.backend}"
+        elif not self.indexed:
             tag += "-scan"
         return tag
 

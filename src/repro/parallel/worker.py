@@ -41,7 +41,9 @@ def execute_spec(indexed_spec: tuple[int, RunSpec]) -> RunPayload:
         if spec.collect_events:
             memory_sink = MemorySink()
             trace.attach(memory_sink)
-    result, injector = run_campaign(spec.campaign, indexed=spec.indexed, trace=trace)
+    result, injector = run_campaign(
+        spec.campaign, indexed=spec.indexed, backend=spec.backend, trace=trace
+    )
     resilience = injector.resilience(result) if injector is not None else None
     monitor: Optional[MonitorSeries] = None
     if spec.collect_monitor:

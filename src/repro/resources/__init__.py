@@ -17,19 +17,85 @@ Implements §IV-B's "dynamic data structures for resource management":
   scheduler queries (best idle / best blank / best partially-blank /
   FindAnyIdleNode) and all housekeeping mutations, with search-step counting
   per Table I.
+* :class:`~repro.resources.arraycore.ArrayRIM` — the flat-table backend
+  (``backend="array"``): same queries, charges and trace events served from
+  packed integer arrays (see the module docstring for the layout).
 * :class:`~repro.resources.susqueue.SuspensionQueue` — the ``SusList`` of
-  Fig. 4 (bounded-retry FIFO of suspended tasks).
+  Fig. 4 (bounded-retry FIFO of suspended tasks), plus its array twin
+  :class:`~repro.resources.arraycore.ArraySuspensionQueue`.
 * :mod:`~repro.resources.invariants` — a full-state consistency checker used
   by the tests and by the simulator's optional debug mode.
+
+The three backends are selected through :func:`create_manager`:
+``"array"`` (flat tables), ``"indexed"`` (object manager with sorted
+indexes), ``"scan"`` (object manager, reference linear scans).  All three
+produce bit-identical placements, counters, reports and trace digests.
 """
 
+from typing import Optional, Sequence
+
+from repro.model.config import Configuration
+from repro.model.node import Node
+from repro.resources.arraycore import ArrayRIM, ArraySuspensionQueue
 from repro.resources.chains import ChainError, IntrusiveChain
 from repro.resources.counters import SearchCounters
 from repro.resources.invariants import InvariantViolation, check_invariants
 from repro.resources.manager import ResourceInformationManager
 from repro.resources.susqueue import SuspendedTask, SuspensionQueue
+from repro.trace.bus import TraceBus
+
+#: Valid ``backend=`` selectors, fastest first.
+BACKENDS = ("array", "indexed", "scan")
+
+
+def resolve_backend(backend: Optional[str], indexed: bool) -> str:
+    """Normalise the (``backend``, legacy ``indexed``) pair to one selector.
+
+    ``backend=None`` preserves the historical behaviour: ``indexed=True`` →
+    ``"indexed"``, ``indexed=False`` → ``"scan"``.
+    """
+    if backend is None:
+        return "indexed" if indexed else "scan"
+    if backend not in BACKENDS:
+        raise ValueError(f"unknown backend {backend!r}; options: {BACKENDS}")
+    return backend
+
+
+def create_manager(
+    nodes: Sequence[Node],
+    configs: Sequence[Configuration],
+    counters: Optional[SearchCounters] = None,
+    backend: str = "array",
+    trace: Optional[TraceBus] = None,
+) -> "ArrayRIM | ResourceInformationManager":
+    """Build the resource manager for ``backend`` (the manager seam).
+
+    ``"array"`` requires the paper's homogeneous single-family system; a
+    heterogeneous setup transparently falls back to the object manager in
+    indexed mode, which handles per-pair compatibility via its reference
+    scans.
+    """
+    if backend == "array":
+        if all(c.family is None for c in configs) and all(n.family is None for n in nodes):
+            return ArrayRIM(nodes, configs, counters=counters, trace=trace)
+        return ResourceInformationManager(
+            nodes, configs, counters=counters, indexed=True, trace=trace
+        )
+    if backend == "indexed":
+        return ResourceInformationManager(
+            nodes, configs, counters=counters, indexed=True, trace=trace
+        )
+    if backend == "scan":
+        return ResourceInformationManager(
+            nodes, configs, counters=counters, indexed=False, trace=trace
+        )
+    raise ValueError(f"unknown backend {backend!r}; options: {BACKENDS}")
+
 
 __all__ = [
+    "ArrayRIM",
+    "ArraySuspensionQueue",
+    "BACKENDS",
     "ChainError",
     "IntrusiveChain",
     "InvariantViolation",
@@ -38,4 +104,6 @@ __all__ = [
     "SuspendedTask",
     "SuspensionQueue",
     "check_invariants",
+    "create_manager",
+    "resolve_backend",
 ]

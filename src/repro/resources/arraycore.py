@@ -1,0 +1,1453 @@
+"""The array-backed simulation core — the ``backend="array"`` hot loop.
+
+:class:`ArrayRIM` is a drop-in replacement for
+:class:`repro.resources.manager.ResourceInformationManager` whose *entire*
+query state lives in flat integer tables instead of object graphs:
+
+* **node table** — parallel ``list[int]`` columns (``total``, ``avail``,
+  ``busy_area``, ``busy_cnt``, ``n_entries``, ``live``) indexed by the
+  node's position, so the Alg. 1 scans touch nothing but C-level list
+  reads;
+* **config table** — one sorted list of ``req_area << POS | position``
+  ints replacing the closest-match index;
+* **sorted query arrays** — each ``SortedKeyIndex`` of the object manager
+  becomes one plain sorted ``list[int]`` with the key packed into the high
+  bits and the tie-break (table position or an append sequence number) in
+  the low bits, maintained with ``bisect``/``insort``:
+
+  =============  ======================================  =================
+  array          packing                                 replaces
+  =============  ======================================  =================
+  ``_sp``        ``avail  << 20 | pos``                  ``_ix_partial``
+  ``_sr``        ``reclaim << 20 | pos``                 ``_ix_reclaim``
+  ``_sa``        ``total  << 20 | pos``                  ``_ix_allidle``
+  ``_sb``        ``total  << 20 | pos``                  ``_ix_busy``
+  ``_sq``        ``total  << 44 | seq``                  ``_ix_blank``
+  ``_ie[cno]``   ``avail  << 44 | seq``                  ``_ix_idle_entries``
+  =============  ======================================  =================
+
+* **load aggregates** — the same exact big-int sums as the object manager
+  (``Σ busy·w`` over the lcm denominator) plus one sorted list of
+  ``(load, pos)`` pairs for the max;
+* **suspension queue** — :class:`ArraySuspensionQueue` stores records in
+  parallel columns with free-list slot recycling; the record handle is the
+  (truthy, ≥ 1) slot integer.
+
+Node/entry objects remain the authoritative per-region state (they are
+mutated through the same :class:`~repro.model.node.Node` methods), so the
+report generator, the failure injector and the shared invariant checks read
+them unchanged — but no query or charge-accounting path ever walks them.
+
+**Exactness contract**: every query bills exactly the simulated scheduling
+steps the reference scan would explore, every mutation charges the same
+housekeeping steps *in the same order relative to trace emissions* (the bus
+stamps cumulative counters into each event), and chain sequence numbers are
+allocated at exactly the same points — so trace digests are byte-for-byte
+identical to both object backends, clean and under fault campaigns
+(``tests/test_array_differential.py``).
+
+The array backend requires the paper's homogeneous single-family system
+(the packed keys cannot encode per-pair compatibility); the
+:func:`create_manager` seam falls back to the object manager otherwise.
+"""
+
+from __future__ import annotations
+
+import math
+from bisect import bisect_left, insort
+from typing import Callable, Hashable, Iterable, Iterator, Optional, Sequence
+
+from repro.model.config import Configuration
+from repro.model.errors import ConfigurationError
+from repro.model.node import ConfigTaskEntry, Node
+from repro.model.task import Task
+from repro.resources.counters import SearchCounters
+from repro.resources.susqueue import _DISCIPLINES, NO_KEY
+from repro.trace.bus import TraceBus
+from repro.trace.events import (
+    CONFIG_EVICTED,
+    CONFIG_FAULT,
+    CONFIG_LOADED,
+    NODE_FAILED,
+    NODE_PROBATION,
+    NODE_QUARANTINED,
+    NODE_REPAIRED,
+    RESUMED,
+)
+
+# Key packings: area << bits | tie-break.  Positions are table indexes
+# (< 2^20 nodes); sequence numbers are monotone append stamps (< 2^44 over
+# any realistic run — 100k-task campaigns allocate ~10^5 of them).
+_POS_BITS = 20
+_POS_MASK = (1 << _POS_BITS) - 1
+_SEQ_BITS = 44
+_SEQ_MASK = (1 << _SEQ_BITS) - 1
+
+
+class ArrayRIM:
+    """Flat-table resource information manager (``backend="array"``).
+
+    Same public surface and identical simulated-step/trace behaviour as
+    ``ResourceInformationManager(indexed=True)``; see the module docstring
+    for the layout.  ``indexed`` is a class attribute (always ``True``) so
+    the scheduler and load balancer take their indexed code paths.
+    """
+
+    indexed = True
+    backend = "array"
+
+    def __init__(
+        self,
+        nodes: Sequence[Node],
+        configs: Sequence[Configuration],
+        counters: Optional[SearchCounters] = None,
+        trace: Optional[TraceBus] = None,
+    ) -> None:
+        self.nodes: list[Node] = list(nodes)
+        self.configs: list[Configuration] = list(configs)
+        self.counters = counters if counters is not None else SearchCounters()
+        self.trace = trace
+
+        seen_nos = set()
+        for c in self.configs:
+            if c.config_no in seen_nos:
+                raise ValueError(f"duplicate config_no {c.config_no} in configurations list")
+            seen_nos.add(c.config_no)
+        if any(c.family is not None for c in self.configs) or any(
+            n.family is not None for n in self.nodes
+        ):
+            raise ConfigurationError(
+                "the array backend requires a homogeneous (family-free) system; "
+                "use create_manager() for the automatic object-manager fallback"
+            )
+        if len(self.nodes) > _POS_MASK:
+            raise ValueError(f"array backend supports at most {_POS_MASK} nodes")
+
+        # -- config table -------------------------------------------------
+        self._config_by_no: dict[int, tuple[int, Configuration]] = {
+            c.config_no: (i, c) for i, c in enumerate(self.configs)
+        }
+        self._cfg_keys: list[int] = sorted(
+            c.req_area << _POS_BITS | i for i, c in enumerate(self.configs)
+        )
+
+        # -- chains as insertion-ordered dicts ----------------------------
+        # dicts preserve append order, give O(1) remove-by-identity, and
+        # iterate/len at C speed — the Fig. 3 chains without link objects.
+        self._idle_m: dict[int, dict[ConfigTaskEntry, None]] = {
+            c.config_no: {} for c in self.configs
+        }
+        self._busy_m: dict[int, dict[ConfigTaskEntry, None]] = {
+            c.config_no: {} for c in self.configs
+        }
+        self._blank_m: dict[Node, None] = {}
+        self._used_nodes: set[int] = set()
+        self.reconfig_count_by_config: dict[int, int] = {c.config_no: 0 for c in self.configs}
+
+        # -- flat node table ----------------------------------------------
+        self._pos: dict[Node, int] = {n: i for i, n in enumerate(self.nodes)}
+        self.t_total: list[int] = [n.total_area for n in self.nodes]
+        self.t_avail: list[int] = [n.available_area for n in self.nodes]
+        self.t_busy_area: list[int] = [n.busy_area for n in self.nodes]
+        self.t_busy_cnt: list[int] = [n.busy_count for n in self.nodes]
+        self.t_nent: list[int] = [len(n.entries) for n in self.nodes]
+        self.t_live: list[int] = [1 if n.in_service else 0 for n in self.nodes]
+
+        # -- sorted query arrays ------------------------------------------
+        self._sp: list[int] = []
+        self._sr: list[int] = []
+        self._sa: list[int] = []
+        self._sb: list[int] = []
+        self._busy_pos: list[int] = []  # table positions of live busy nodes
+        self._sq: list[int] = []
+        self._blank_key: dict[Node, int] = {}
+        self._node_by_bseq: dict[int, Node] = {}
+        self._ie: dict[int, list[int]] = {c.config_no: [] for c in self.configs}
+        self._entry_by_seq: dict[int, ConfigTaskEntry] = {}
+
+        # -- scan-charge aggregates ---------------------------------------
+        self._entries_total = 0
+        self._idle_node_entries = 0
+        self._failed_count = sum(1 for n in self.nodes if not n.in_service)
+        self._chain_seq = 0
+        self._quarantined: dict[int, tuple[Node, int]] = {}
+        self.on_quarantine_release: Optional[Callable[[Node, str], None]] = None
+
+        # -- exact-integer load aggregates --------------------------------
+        self._load_den = math.lcm(*(n.total_area for n in self.nodes)) if self.nodes else 1
+        self._load_den_sq = self._load_den * self._load_den
+        self._load_w = [self._load_den // n.total_area for n in self.nodes]
+        self._load_sum_i = 0
+        self._load_sumsq_i = 0
+        self._sl: list[tuple[float, int]] = []
+        for i, n in enumerate(self.nodes):
+            # dreamlint: disable=DL002 (load keys are float ratios by design; the accounted sums stay integer)
+            self._sl.append((n.busy_area / n.total_area, i))
+            b = n.busy_area * self._load_w[i]
+            self._load_sum_i += b
+            self._load_sumsq_i += b * b
+        self._sl.sort()
+
+        # Populate chains and query arrays in the object manager's exact
+        # construction order (sequence numbers must match for tie-breaks).
+        for i, node in enumerate(self.nodes):
+            if node.is_blank:
+                if node.in_service:
+                    self._blank_append(node)
+            else:
+                self._used_nodes.add(node.node_no)
+                for entry in node.entries:
+                    entry._node = node  # type: ignore[attr-defined]
+                    entry._akey = None  # type: ignore[attr-defined]
+                    table = self._idle_m if entry.is_idle else self._busy_m
+                    chain = table.get(entry.config.config_no)
+                    if chain is None:
+                        raise ConfigurationError(
+                            f"config {entry.config.config_no} is not in the configurations list"
+                        )
+                    chain[entry] = None
+                    if entry.is_idle and node.in_service:
+                        self._idle_append(entry, i)
+            self._node_add(i, node)
+
+        self.state_counts: dict[str, int] = {"blank": 0, "idle": 0, "busy": 0}
+        self._wasted_total = 0
+        self._configured_total = 0
+        self.running_tasks_count = 0
+        for i, node in enumerate(self.nodes):
+            nent = self.t_nent[i]
+            bc = self.t_busy_cnt[i]
+            self.state_counts["blank" if not nent else ("busy" if bc else "idle")] += 1
+            if nent:
+                self._wasted_total += self.t_avail[i]
+            self._configured_total += self.t_total[i] - self.t_avail[i]
+            self.running_tasks_count += bc
+
+    # -- structure maintenance ----------------------------------------------
+
+    @property
+    def fast_queries_active(self) -> bool:
+        """Always true: the array backend only exists in indexed form."""
+        return True
+
+    def _next_seq(self) -> int:
+        self._chain_seq += 1
+        return self._chain_seq
+
+    def _node_add(self, pos: int, node: Node) -> None:
+        """Insert one node's contributions into the query arrays (construction)."""
+        if not self.t_live[pos] or not self.t_nent[pos]:
+            return
+        total = self.t_total[pos]
+        insort(self._sp, self.t_avail[pos] << _POS_BITS | pos)
+        insort(self._sr, (total - self.t_busy_area[pos]) << _POS_BITS | pos)
+        if self.t_busy_cnt[pos]:
+            insort(self._sb, total << _POS_BITS | pos)
+            insort(self._busy_pos, pos)
+        else:
+            insort(self._sa, total << _POS_BITS | pos)
+            self._idle_node_entries += self.t_nent[pos]
+        self._entries_total += self.t_nent[pos]
+
+    def _blank_append(self, node: Node) -> None:
+        """Append to the blank chain and key it (allocates a sequence number)."""
+        seq = self._next_seq()
+        key = node.total_area << _SEQ_BITS | seq
+        self._blank_m[node] = None
+        self._blank_key[node] = key
+        self._node_by_bseq[seq] = node
+        insort(self._sq, key)
+
+    def _blank_remove(self, node: Node) -> None:
+        del self._blank_m[node]
+        key = self._blank_key.pop(node)
+        del self._node_by_bseq[key & _SEQ_MASK]
+        lst = self._sq
+        del lst[bisect_left(lst, key)]
+
+    def _idle_append(self, entry: ConfigTaskEntry, pos: int) -> None:
+        """Key an entry just appended to its idle chain (allocates a seq)."""
+        seq = self._next_seq()
+        key = self.t_avail[pos] << _SEQ_BITS | seq
+        entry._akey = key  # type: ignore[attr-defined]
+        self._entry_by_seq[seq] = entry
+        insort(self._ie[entry.config.config_no], key)
+
+    def _idle_unkey(self, entry: ConfigTaskEntry) -> None:
+        key = entry._akey  # type: ignore[attr-defined]
+        if key is not None:
+            lst = self._ie[entry.config.config_no]
+            del lst[bisect_left(lst, key)]
+            del self._entry_by_seq[key & _SEQ_MASK]
+            entry._akey = None  # type: ignore[attr-defined]
+
+    def _rekey_idle(self, pos: int, node: Node) -> None:
+        """Refresh idle-entry keys after the node's available area changed."""
+        avail = self.t_avail[pos]
+        for entry in node.entries:
+            key = entry._akey  # type: ignore[attr-defined]
+            if key is not None and key >> _SEQ_BITS != avail:
+                lst = self._ie[entry.config.config_no]
+                del lst[bisect_left(lst, key)]
+                new_key = avail << _SEQ_BITS | (key & _SEQ_MASK)
+                entry._akey = new_key  # type: ignore[attr-defined]
+                insort(lst, new_key)
+
+    def _sorted_replace(self, lst: list[int], old: int, new: int) -> None:
+        del lst[bisect_left(lst, old)]
+        insort(lst, new)
+
+    # -- chain views ---------------------------------------------------------
+
+    def idle_chain(self, config: Configuration) -> Iterable[ConfigTaskEntry]:
+        """The Idle_start chain (Fig. 3) for one configuration (sized view)."""
+        return self._idle_m[config.config_no].keys()
+
+    def busy_chain(self, config: Configuration) -> Iterable[ConfigTaskEntry]:
+        """The Busy_start chain (Fig. 3) for one configuration (sized view)."""
+        return self._busy_m[config.config_no].keys()
+
+    @property
+    def blank_chain(self) -> Iterable[Node]:
+        return self._blank_m.keys()
+
+    @property
+    def total_used_nodes(self) -> int:
+        """Table I: nodes that received at least one configuration."""
+        return len(self._used_nodes)
+
+    # -- configuration lookup ------------------------------------------------
+
+    def peek_preferred_config(self, pref: Configuration) -> Optional[Configuration]:
+        """Uncharged exact-match lookup (O(1) dict hit)."""
+        hit = self._config_by_no.get(pref.config_no)
+        return hit[1] if hit is not None else None
+
+    def config_with_no(self, config_no: int) -> Optional[Configuration]:
+        """Uncharged O(1) lookup of a configuration by number."""
+        hit = self._config_by_no.get(config_no)
+        return hit[1] if hit is not None else None
+
+    def peek_closest_config(self, pref: Configuration) -> Optional[Configuration]:
+        """Uncharged closest-match lookup (O(log m) bisect on packed keys)."""
+        keys = self._cfg_keys
+        i = bisect_left(keys, pref.req_area << _POS_BITS)
+        return self.configs[keys[i] & _POS_MASK] if i < len(keys) else None
+
+    def find_preferred_config(self, pref: Configuration) -> Optional[Configuration]:
+        """Exact match, billing the reference linear scan's steps."""
+        hit = self._config_by_no.get(pref.config_no)
+        if hit is None:
+            self.counters.scheduling_steps += len(self.configs)
+            return None
+        self.counters.scheduling_steps += hit[0] + 1
+        return hit[1]
+
+    def find_closest_config(self, pref: Configuration) -> Optional[Configuration]:
+        """Minimal sufficient ``ReqArea``, billing the full-list scan."""
+        self.counters.scheduling_steps += len(self.configs)
+        return self.peek_closest_config(pref)
+
+    # -- scheduler queries ----------------------------------------------------
+
+    def find_best_idle_entry(self, config: Configuration) -> Optional[ConfigTaskEntry]:
+        """Idle entry on the node with minimum ``AvailableArea`` (§V)."""
+        cno = config.config_no
+        self.counters.scheduling_steps += len(self._idle_m[cno])
+        lst = self._ie[cno]
+        if not lst:
+            return None
+        return self._entry_by_seq[lst[0] & _SEQ_MASK]
+
+    def find_best_blank_node(self, config: Configuration) -> Optional[Node]:
+        """Blank node with minimal sufficient ``TotalArea`` for ``config``."""
+        self.counters.scheduling_steps += len(self._blank_m)
+        lst = self._sq
+        i = bisect_left(lst, config.req_area << _SEQ_BITS)
+        if i == len(lst):
+            return None
+        return self._node_by_bseq[lst[i] & _SEQ_MASK]
+
+    def find_best_partially_blank_node(self, config: Configuration) -> Optional[Node]:
+        """Configured node with minimal sufficient free region (§V)."""
+        self.counters.scheduling_steps += len(self.nodes) - self.state_counts["blank"]
+        lst = self._sp
+        i = bisect_left(lst, config.req_area << _POS_BITS)
+        if i == len(lst):
+            return None
+        return self.nodes[lst[i] & _POS_MASK]
+
+    def _configured_node_count(self) -> int:
+        """Nodes currently holding ≥ 1 configuration (failed nodes are blank)."""
+        return len(self.nodes) - self.state_counts["blank"]
+
+    def find_any_idle_node(
+        self, config: Configuration, require_all_idle: bool = False
+    ) -> tuple[Optional[Node], list[ConfigTaskEntry]]:
+        """Alg. 1 (``FindAnyIdleNode``) over the flat node table.
+
+        Prefilters feasibility on the packed reclaimable/all-idle arrays
+        (their max is the last element), bulk-charging the failed scan when
+        no candidate can exist; otherwise runs the scan over the integer
+        columns, billing exactly the reference per-node/per-entry steps.
+        """
+        req = config.req_area
+        bound = req << _POS_BITS
+        lst = self._sa if require_all_idle else self._sr
+        if not lst or lst[-1] < bound:
+            self.counters.scheduling_steps += self._failed_scan_steps(require_all_idle)
+            return None, []
+        return self._scan_any_idle_node(config, require_all_idle)
+
+    def _failed_scan_steps(self, require_all_idle: bool) -> int:
+        """Steps the Alg. 1 scan explores when no candidate exists."""
+        if require_all_idle:
+            return (
+                self._failed_count
+                + self.state_counts["busy"]
+                + len(self._blank_m)
+                + self._idle_node_entries
+            )
+        return self._failed_count + len(self._blank_m) + self._entries_total
+
+    def _scan_any_idle_node(
+        self, config: Configuration, require_all_idle: bool
+    ) -> tuple[Optional[Node], list[ConfigTaskEntry]]:
+        req = config.req_area
+        t_live = self.t_live
+        t_busy_cnt = self.t_busy_cnt
+        t_nent = self.t_nent
+        t_avail = self.t_avail
+        t_busy_area = self.t_busy_area
+        t_total = self.t_total
+        steps = 0
+        hit = -1
+        for pos in range(len(self.nodes)):
+            if not t_live[pos]:
+                steps += 1
+                continue
+            if require_all_idle and t_busy_cnt[pos]:
+                steps += 1
+                continue
+            nent = t_nent[pos]
+            if t_avail[pos] >= req and nent and not require_all_idle:
+                # Free region alone suffices; nothing to evict.
+                steps += 1
+                self.counters.scheduling_steps += steps
+                return self.nodes[pos], []
+            if not nent:
+                steps += 1
+                continue
+            if t_total[pos] - t_busy_area[pos] < req:
+                # Candidate examined end to end without accumulating enough.
+                steps += nent
+                continue
+            hit = pos
+            break
+        if hit < 0:
+            self.counters.scheduling_steps += steps
+            return None, []
+        # Reclaimable area suffices: the entry walk is guaranteed to reach
+        # ``req``; replicate it on the hit node only, for the eviction set
+        # and the exact per-entry charge.
+        node = self.nodes[hit]
+        accum = t_avail[hit]
+        collected: list[ConfigTaskEntry] = []
+        for entry in node.entries:
+            steps += 1
+            if entry.task is None:
+                accum += entry.config.req_area
+                collected.append(entry)
+                if accum >= req:
+                    self.counters.scheduling_steps += steps
+                    if require_all_idle:
+                        return node, list(node.entries)
+                    return node, collected
+        raise AssertionError("reclaimable-area prefilter admitted an infeasible node")
+
+    def busy_candidate_exists(self, config: Configuration) -> bool:
+        """§V last resort: any busy node whose ``TotalArea`` could host it.
+
+        A definite "no" (read off the packed busy array) bulk-charges the
+        full scan; a "yes" finds the first busy candidate in table order by
+        walking the (short) busy-position list, charging its position — the
+        exact cost of the reference early-exit scan.
+        """
+        req = config.req_area
+        sb = self._sb
+        if not sb or sb[-1] < req << _POS_BITS:
+            self.counters.scheduling_steps += len(self.nodes)
+            return False
+        t_total = self.t_total
+        for pos in self._busy_pos:
+            if t_total[pos] >= req:
+                self.counters.scheduling_steps += pos + 1
+                return True
+        raise AssertionError("busy-area prefilter admitted an infeasible query")
+
+    # -- mutations (housekeeping) ---------------------------------------------
+
+    def configure_node(self, node: Node, config: Configuration, now: int = 0) -> ConfigTaskEntry:
+        """Send a bitstream: load ``config`` onto ``node`` as an idle entry."""
+        pos = self._pos[node]
+        entry = node.send_bitstream(config, now=now)
+        entry._node = node  # type: ignore[attr-defined]
+        entry._akey = None  # type: ignore[attr-defined]
+        req = config.req_area
+        avail0 = self.t_avail[pos]
+        avail1 = avail0 - req
+        nent0 = self.t_nent[pos]
+        self.t_avail[pos] = avail1
+        self.t_nent[pos] = nent0 + 1
+        live = self.t_live[pos]
+        counters = self.counters
+        self._configured_total += req
+        if nent0:
+            self._wasted_total -= req
+            if live:
+                self._sorted_replace(
+                    self._sp, avail0 << _POS_BITS | pos, avail1 << _POS_BITS | pos
+                )
+                self._entries_total += 1
+                if not self.t_busy_cnt[pos]:
+                    self._idle_node_entries += 1
+            self._rekey_idle(pos, node)
+        else:
+            # blank -> configured (a blank node is never busy)
+            self.state_counts["blank"] -= 1
+            self.state_counts["idle"] += 1
+            self._wasted_total += avail1
+            if live:
+                total = self.t_total[pos]
+                insort(self._sp, avail1 << _POS_BITS | pos)
+                insort(self._sr, (total - self.t_busy_area[pos]) << _POS_BITS | pos)
+                insort(self._sa, total << _POS_BITS | pos)
+                self._idle_node_entries += 1
+                self._entries_total += 1
+            if node in self._blank_m:
+                self._blank_remove(node)
+                counters.housekeeping_steps += 1
+        self._idle_m[config.config_no][entry] = None
+        self._idle_append(entry, pos)
+        counters.housekeeping_steps += 1
+        self._used_nodes.add(node.node_no)
+        self.reconfig_count_by_config[config.config_no] += 1
+        if self.trace is not None:
+            self.trace.emit(
+                CONFIG_LOADED,
+                node=node.node_no,
+                cfg=config.config_no,
+                ctime=config.config_time,
+            )
+        return entry
+
+    def assign_task(self, task: Task, node: Node, entry: ConfigTaskEntry) -> None:
+        """Bind a task to an idle entry and move it idle→busy chain."""
+        cno = entry.config.config_no
+        del self._idle_m[cno][entry]
+        self._idle_unkey(entry)
+        counters = self.counters
+        counters.housekeeping_steps += 1
+        node.add_task(task, entry)
+        pos = self._pos[node]
+        req = entry.config.req_area
+        ba0 = self.t_busy_area[pos]
+        ba1 = ba0 + req
+        bc0 = self.t_busy_cnt[pos]
+        self.t_busy_area[pos] = ba1
+        self.t_busy_cnt[pos] = bc0 + 1
+        self.running_tasks_count += 1
+        total = self.t_total[pos]
+        if bc0 == 0:
+            self.state_counts["idle"] -= 1
+            self.state_counts["busy"] += 1
+        if self.t_live[pos]:
+            self._sorted_replace(
+                self._sr,
+                (total - ba0) << _POS_BITS | pos,
+                (total - ba1) << _POS_BITS | pos,
+            )
+            if bc0 == 0:
+                tkey = total << _POS_BITS | pos
+                self._sorted_remove(self._sa, tkey)
+                insort(self._sb, tkey)
+                insort(self._busy_pos, pos)
+                self._idle_node_entries -= self.t_nent[pos]
+        self._apply_load_delta(pos, ba0, ba1)
+        self._busy_m[cno][entry] = None
+        counters.housekeeping_steps += 1
+        self._used_nodes.add(node.node_no)
+
+    def _apply_load_delta(self, pos: int, ba0: int, ba1: int) -> None:
+        """Exact-integer load-sum update plus max-load list rekey."""
+        total = self.t_total[pos]
+        old = (ba0 / total, pos)  # dreamlint: disable=DL002 (load keys are float ratios by design)
+        new = (ba1 / total, pos)  # dreamlint: disable=DL002 (load keys are float ratios by design)
+        sl = self._sl
+        del sl[bisect_left(sl, old)]
+        insort(sl, new)
+        w = self._load_w[pos]
+        d = (ba1 - ba0) * w
+        self._load_sum_i += d
+        self._load_sumsq_i += d * ((ba1 + ba0) * w)
+
+    def complete_task(self, task: Task, node: Node) -> ConfigTaskEntry:
+        """Release a finished task's entry and move it busy→idle chain."""
+        entry = node.remove_task(task)
+        cno = entry.config.config_no
+        pos = self._pos[node]
+        req = entry.config.req_area
+        ba0 = self.t_busy_area[pos]
+        ba1 = ba0 - req
+        bc1 = self.t_busy_cnt[pos] - 1
+        self.t_busy_area[pos] = ba1
+        self.t_busy_cnt[pos] = bc1
+        self.running_tasks_count -= 1
+        total = self.t_total[pos]
+        if bc1 == 0:
+            self.state_counts["busy"] -= 1
+            self.state_counts["idle"] += 1
+        if self.t_live[pos]:
+            self._sorted_replace(
+                self._sr,
+                (total - ba0) << _POS_BITS | pos,
+                (total - ba1) << _POS_BITS | pos,
+            )
+            if bc1 == 0:
+                tkey = total << _POS_BITS | pos
+                self._sorted_remove(self._sb, tkey)
+                self._sorted_remove(self._busy_pos, pos)
+                insort(self._sa, tkey)
+                self._idle_node_entries += self.t_nent[pos]
+        self._apply_load_delta(pos, ba0, ba1)
+        counters = self.counters
+        del self._busy_m[cno][entry]
+        counters.housekeeping_steps += 1
+        self._idle_m[cno][entry] = None
+        self._idle_append(entry, pos)
+        counters.housekeeping_steps += 1
+        return entry
+
+    def evict_entries(self, node: Node, entries: Iterable[ConfigTaskEntry]) -> int:
+        """Remove idle entries (partial re-configuration); returns area freed."""
+        entries = list(entries)
+        counters = self.counters
+        for entry in entries:
+            del self._idle_m[entry.config.config_no][entry]
+            self._idle_unkey(entry)
+            counters.housekeeping_steps += 1
+        reclaimed = node.make_partially_blank(entries)
+        pos = self._pos[node]
+        avail0 = self.t_avail[pos]
+        avail1 = avail0 + reclaimed
+        nent0 = self.t_nent[pos]
+        nent1 = nent0 - len(entries)
+        self.t_avail[pos] = avail1
+        self.t_nent[pos] = nent1
+        self._configured_total -= reclaimed
+        live = self.t_live[pos]
+        if nent1:
+            self._wasted_total += reclaimed
+            if live:
+                self._sorted_replace(
+                    self._sp, avail0 << _POS_BITS | pos, avail1 << _POS_BITS | pos
+                )
+                self._entries_total -= len(entries)
+                if not self.t_busy_cnt[pos]:
+                    self._idle_node_entries -= len(entries)
+            self._rekey_idle(pos, node)
+        else:
+            # Node became blank (evicted entries were idle ⇒ nothing busy left).
+            self.state_counts["idle"] -= 1
+            self.state_counts["blank"] += 1
+            self._wasted_total -= avail0
+            if live:
+                total = self.t_total[pos]
+                self._sorted_remove(self._sp, avail0 << _POS_BITS | pos)
+                self._sorted_remove(
+                    self._sr, (total - self.t_busy_area[pos]) << _POS_BITS | pos
+                )
+                self._sorted_remove(self._sa, total << _POS_BITS | pos)
+                self._entries_total -= nent0
+                self._idle_node_entries -= nent0
+            if node not in self._blank_m:
+                self._blank_append(node)
+                counters.housekeeping_steps += 1
+        if entries and self.trace is not None:
+            self.trace.emit(
+                CONFIG_EVICTED,
+                node=node.node_no,
+                cfgs=[e.config.config_no for e in entries],
+                area=reclaimed,
+            )
+        return reclaimed
+
+    def _sorted_remove(self, lst: list[int], key: int) -> None:
+        del lst[bisect_left(lst, key)]
+
+    def blank_node(self, node: Node) -> None:
+        """Remove *all* (idle) entries from a node — full-reconfiguration reuse."""
+        evicted = [e.config.config_no for e in node.entries if e.is_idle]
+        reclaimed = node.configured_area
+        counters = self.counters
+        for entry in node.entries:
+            if entry.is_idle:
+                del self._idle_m[entry.config.config_no][entry]
+                self._idle_unkey(entry)
+                counters.housekeeping_steps += 1
+        node.make_blank()
+        pos = self._pos[node]
+        avail0 = self.t_avail[pos]
+        nent0 = self.t_nent[pos]
+        total = self.t_total[pos]
+        if nent0:
+            # busy_count is zero here: make_blank raises otherwise.
+            self.state_counts["idle"] -= 1
+            self.state_counts["blank"] += 1
+            self._wasted_total -= avail0
+            self._configured_total -= total - avail0
+            if self.t_live[pos]:
+                self._sorted_remove(self._sp, avail0 << _POS_BITS | pos)
+                self._sorted_remove(self._sr, total << _POS_BITS | pos)
+                self._sorted_remove(self._sa, total << _POS_BITS | pos)
+                self._entries_total -= nent0
+                self._idle_node_entries -= nent0
+        self.t_avail[pos] = total
+        self.t_nent[pos] = 0
+        if node not in self._blank_m:
+            self._blank_append(node)
+            counters.housekeeping_steps += 1
+        if evicted and self.trace is not None:
+            self.trace.emit(
+                CONFIG_EVICTED, node=node.node_no, cfgs=evicted, area=reclaimed
+            )
+
+    # -- failure injection ----------------------------------------------------
+
+    def fail_node(self, node: Node, cls: str = "crash") -> list[Task]:
+        """Take a node out of service; see the object manager for semantics."""
+        if not node.in_service:
+            raise ConfigurationError(f"node {node.node_no} is already failed")
+        interrupted: list[Task] = []
+        lost = len(node.entries)
+        counters = self.counters
+        for entry in list(node.entries):
+            cno = entry.config.config_no
+            if entry.is_busy:
+                del self._busy_m[cno][entry]
+            else:
+                del self._idle_m[cno][entry]
+                self._idle_unkey(entry)
+            counters.housekeeping_steps += 1
+        interrupted.extend(node.interrupt_all())
+        node.make_blank()
+        pos = self._pos[node]
+        nent0 = self.t_nent[pos]
+        bc0 = self.t_busy_cnt[pos]
+        ba0 = self.t_busy_area[pos]
+        avail0 = self.t_avail[pos]
+        total = self.t_total[pos]
+        key0 = "blank" if not nent0 else ("busy" if bc0 else "idle")
+        self.state_counts[key0] -= 1
+        self.state_counts["blank"] += 1
+        if nent0:
+            self._wasted_total -= avail0
+        self._configured_total -= total - avail0
+        self.running_tasks_count -= bc0
+        if nent0:  # node was live (in_service checked above)
+            self._sorted_remove(self._sp, avail0 << _POS_BITS | pos)
+            self._sorted_remove(self._sr, (total - ba0) << _POS_BITS | pos)
+            tkey = total << _POS_BITS | pos
+            if bc0:
+                self._sorted_remove(self._sb, tkey)
+                self._sorted_remove(self._busy_pos, pos)
+            else:
+                self._sorted_remove(self._sa, tkey)
+                self._idle_node_entries -= nent0
+            self._entries_total -= nent0
+        if ba0:
+            self._apply_load_delta(pos, ba0, 0)
+        self.t_avail[pos] = total
+        self.t_busy_area[pos] = 0
+        self.t_busy_cnt[pos] = 0
+        self.t_nent[pos] = 0
+        if node in self._blank_m:
+            self._blank_remove(node)
+            counters.housekeeping_steps += 1
+        node.in_service = False
+        node.failure_count += 1
+        self.t_live[pos] = 0
+        self._failed_count += 1
+        if self.trace is not None:
+            self.trace.emit(
+                NODE_FAILED,
+                node=node.node_no,
+                interrupted=len(interrupted),
+                lost=lost,
+                cls=cls,
+            )
+        return interrupted
+
+    def repair_node(self, node: Node) -> None:
+        """Return a repaired node to service, blank."""
+        if node.in_service:
+            raise ConfigurationError(f"node {node.node_no} is not failed")
+        node.in_service = True
+        self.t_live[self._pos[node]] = 1
+        self._failed_count -= 1
+        self._blank_append(node)
+        self.counters.housekeeping_steps += 1
+        if self.trace is not None:
+            self.trace.emit(NODE_REPAIRED, node=node.node_no)
+
+    # -- transient configuration faults (SEU scrubbing) -------------------------
+
+    def seu_corrupt(self, node: Node, entry: ConfigTaskEntry, scrub_task: Task) -> Optional[Task]:
+        """A single-event upset corrupted ``entry``; bind the scrub task."""
+        if not node.in_service:
+            raise ConfigurationError(f"node {node.node_no} is not in service")
+        victim = entry.task
+        cno = entry.config.config_no
+        counters = self.counters
+        if victim is None:
+            del self._idle_m[cno][entry]
+            self._idle_unkey(entry)
+            counters.housekeeping_steps += 1
+            node.add_task(scrub_task, entry)
+            pos = self._pos[node]
+            req = entry.config.req_area
+            ba0 = self.t_busy_area[pos]
+            ba1 = ba0 + req
+            bc0 = self.t_busy_cnt[pos]
+            self.t_busy_area[pos] = ba1
+            self.t_busy_cnt[pos] = bc0 + 1
+            self.running_tasks_count += 1
+            total = self.t_total[pos]
+            if bc0 == 0:
+                self.state_counts["idle"] -= 1
+                self.state_counts["busy"] += 1
+            if self.t_live[pos]:
+                self._sorted_replace(
+                    self._sr,
+                    (total - ba0) << _POS_BITS | pos,
+                    (total - ba1) << _POS_BITS | pos,
+                )
+                if bc0 == 0:
+                    tkey = total << _POS_BITS | pos
+                    self._sorted_remove(self._sa, tkey)
+                    insort(self._sb, tkey)
+                    insort(self._busy_pos, pos)
+                    self._idle_node_entries -= self.t_nent[pos]
+            self._apply_load_delta(pos, ba0, ba1)
+            self._busy_m[cno][entry] = None
+        else:
+            # Busy region: swap the victim for the scrub task in place; the
+            # node's busy area/count and every query array are unchanged.
+            node.remove_task(victim)
+            node.add_task(scrub_task, entry)
+        counters.housekeeping_steps += 1
+        if self.trace is not None:
+            self.trace.emit(
+                CONFIG_FAULT,
+                node=node.node_no,
+                cfg=entry.config.config_no,
+                interrupted=victim.task_no if victim is not None else None,
+                scrub=scrub_task.required_time,
+            )
+        return victim
+
+    def finish_scrub(self, node: Node, entry: ConfigTaskEntry, scrub_task: Task) -> int:
+        """Scrubbing done: evict the corrupted configuration, free the region."""
+        node.remove_task(scrub_task)
+        pos = self._pos[node]
+        req = entry.config.req_area
+        ba0 = self.t_busy_area[pos]
+        ba1 = ba0 - req
+        bc1 = self.t_busy_cnt[pos] - 1
+        self.t_busy_area[pos] = ba1
+        self.t_busy_cnt[pos] = bc1
+        self.running_tasks_count -= 1
+        total = self.t_total[pos]
+        if bc1 == 0:
+            self.state_counts["busy"] -= 1
+            self.state_counts["idle"] += 1
+        live = self.t_live[pos]
+        if live:
+            self._sorted_replace(
+                self._sr,
+                (total - ba0) << _POS_BITS | pos,
+                (total - ba1) << _POS_BITS | pos,
+            )
+            if bc1 == 0:
+                tkey = total << _POS_BITS | pos
+                self._sorted_remove(self._sb, tkey)
+                self._sorted_remove(self._busy_pos, pos)
+                insort(self._sa, tkey)
+                self._idle_node_entries += self.t_nent[pos]
+        self._apply_load_delta(pos, ba0, ba1)
+        counters = self.counters
+        cno = entry.config.config_no
+        del self._busy_m[cno][entry]
+        counters.housekeeping_steps += 1
+        reclaimed = node.make_partially_blank([entry])
+        avail0 = self.t_avail[pos]
+        avail1 = avail0 + reclaimed
+        nent1 = self.t_nent[pos] - 1
+        nent0 = nent1 + 1
+        self.t_avail[pos] = avail1
+        self.t_nent[pos] = nent1
+        self._configured_total -= reclaimed
+        if nent1:
+            self._wasted_total += reclaimed
+            if live:
+                self._sorted_replace(
+                    self._sp, avail0 << _POS_BITS | pos, avail1 << _POS_BITS | pos
+                )
+                self._entries_total -= 1
+                if bc1 == 0:
+                    self._idle_node_entries -= 1
+            self._rekey_idle(pos, node)
+        else:
+            # bc1 is zero here: the scrubbed entry was the node's last one.
+            self.state_counts["idle"] -= 1
+            self.state_counts["blank"] += 1
+            self._wasted_total -= avail0
+            if live:
+                self._sorted_remove(self._sp, avail0 << _POS_BITS | pos)
+                self._sorted_remove(self._sr, (total - ba1) << _POS_BITS | pos)
+                self._sorted_remove(self._sa, total << _POS_BITS | pos)
+                self._entries_total -= nent0
+                self._idle_node_entries -= nent0
+        if nent1 == 0 and node not in self._blank_m:
+            self._blank_append(node)
+            counters.housekeeping_steps += 1
+        if self.trace is not None:
+            self.trace.emit(
+                CONFIG_EVICTED,
+                node=node.node_no,
+                cfgs=[entry.config.config_no],
+                area=reclaimed,
+            )
+        return reclaimed
+
+    # -- health scores and quarantine -------------------------------------------
+
+    def bump_health(self, node: Node, now: int, half_life: int) -> int:
+        """Record one failure on ``node``'s dyadic-decay health score."""
+        elapsed = now - node.health_updated
+        score = node.health_milli >> min(63, max(0, elapsed // max(1, half_life)))
+        score += 1000
+        node.health_milli = score
+        node.health_updated = now
+        return score
+
+    def has_quarantined(self) -> bool:
+        """O(1) guard for the scheduler's last-resort hook."""
+        return bool(self._quarantined)
+
+    def is_quarantined(self, node: Node) -> bool:
+        """Is this node currently held in the quarantine table?"""
+        return node.node_no in self._quarantined
+
+    def quarantine_node(self, node: Node, now: int, until: int, score_milli: int) -> None:
+        """Hold an (already failed) flaky node out of service until ``until``."""
+        if node.in_service:
+            raise ConfigurationError(f"node {node.node_no} must be failed to quarantine")
+        self._quarantined[node.node_no] = (node, until)
+        if self.trace is not None:
+            self.trace.emit(
+                NODE_QUARANTINED,
+                node=node.node_no,
+                until=until,
+                score=score_milli,
+            )
+
+    def release_quarantined(self, node: Node, reason: str = "probation") -> None:
+        """End a node's quarantine (probation elapsed, or requisitioned)."""
+        if node.node_no not in self._quarantined:
+            raise ConfigurationError(f"node {node.node_no} is not quarantined")
+        del self._quarantined[node.node_no]
+        if self.trace is not None:
+            self.trace.emit(NODE_PROBATION, node=node.node_no, reason=reason)
+        self.repair_node(node)
+        if self.on_quarantine_release is not None:
+            self.on_quarantine_release(node, reason)
+
+    def find_quarantined_host(self, config: Configuration) -> Optional[Node]:
+        """Last-resort scan: first quarantined node able to host ``config``."""
+        req = config.req_area
+        counters = self.counters
+        for node, _until in self._quarantined.values():
+            counters.scheduling_steps += 1
+            if node.total_area >= req:
+                return node
+        return None
+
+    # -- statistics -------------------------------------------------------------
+
+    def total_wasted_area(self, charge: bool = False) -> int:
+        """Eq. 6: Σ AvailableArea over nodes holding ≥ 1 configuration."""
+        if not charge:
+            return self._wasted_total
+        total = 0
+        t_nent = self.t_nent
+        t_avail = self.t_avail
+        counters = self.counters
+        for pos in range(len(self.nodes)):
+            counters.housekeeping_steps += 1
+            if t_nent[pos]:
+                total += t_avail[pos]
+        return total
+
+    def total_configured_area(self) -> int:
+        """Area currently occupied by loaded configurations, system-wide."""
+        return self._configured_total
+
+    def node_count_by_state(self) -> dict[str, int]:
+        """O(1) blank/idle/busy node counts (incrementally maintained)."""
+        return dict(self.state_counts)
+
+    def load_stats(self) -> tuple[float, float, float]:
+        """O(1) utilization aggregates: ``(Σ load, Σ load², max load)``."""
+        sl = self._sl
+        return (
+            self._load_sum_i / self._load_den,
+            self._load_sumsq_i / self._load_den_sq,
+            sl[-1][0] if sl else 0.0,
+        )
+
+    # -- internal ----------------------------------------------------------------
+
+    def _node_of(self, entry: ConfigTaskEntry) -> Node:
+        node = getattr(entry, "_node", None)
+        if node is None:
+            for n in self.nodes:
+                if entry in n.entries:
+                    entry._node = n  # type: ignore[attr-defined]
+                    return n
+            raise ConfigurationError(f"entry {entry!r} belongs to no known node")
+        return node
+
+    def attach_entry_backrefs(self) -> None:
+        """Cache entry→node back-references for O(1) ``_node_of``."""
+        for node in self.nodes:
+            for entry in node.entries:
+                entry._node = node  # type: ignore[attr-defined]
+
+    # -- structure validation (invariant checker capability hook) ----------------
+
+    def validate_structures(self) -> None:
+        """Cross-check every flat table against the node/entry ground truth.
+
+        The backend-specific half of :func:`repro.resources.invariants.
+        check_invariants`: the shared object-level invariants (I1, I6–I9,
+        I11) run unchanged; this verifies the mirror columns, the packed
+        sorted arrays, the chain dicts and the load sums — the structures
+        the object backends cover with I2–I5 and I10.
+        """
+        from repro.resources.invariants import InvariantViolation
+
+        exp_sp: list[int] = []
+        exp_sr: list[int] = []
+        exp_sa: list[int] = []
+        exp_sb: list[int] = []
+        exp_busy_pos: list[int] = []
+        entries_total = 0
+        idle_node_entries = 0
+        sum_i = 0
+        sumsq_i = 0
+        for pos, node in enumerate(self.nodes):
+            mirror = (
+                self.t_total[pos],
+                self.t_avail[pos],
+                self.t_busy_area[pos],
+                self.t_busy_cnt[pos],
+                self.t_nent[pos],
+                self.t_live[pos],
+            )
+            truth = (
+                node.total_area,
+                node.available_area,
+                node.busy_area,
+                node.busy_count,
+                len(node.entries),
+                1 if node.in_service else 0,
+            )
+            if mirror != truth:
+                raise InvariantViolation(
+                    f"array mirror drift on node {node.node_no}: "
+                    f"table {mirror} != node {truth}"
+                )
+            b = node.busy_area * self._load_w[pos]
+            sum_i += b
+            sumsq_i += b * b
+            if node.in_service and node.entries:
+                exp_sp.append(node.available_area << _POS_BITS | pos)
+                exp_sr.append(
+                    (node.total_area - node.busy_area) << _POS_BITS | pos
+                )
+                if node.busy_count:
+                    exp_sb.append(node.total_area << _POS_BITS | pos)
+                    exp_busy_pos.append(pos)
+                else:
+                    exp_sa.append(node.total_area << _POS_BITS | pos)
+                    idle_node_entries += len(node.entries)
+                entries_total += len(node.entries)
+        for name, got, expected in (
+            ("_sp", self._sp, sorted(exp_sp)),
+            ("_sr", self._sr, sorted(exp_sr)),
+            ("_sa", self._sa, sorted(exp_sa)),
+            ("_sb", self._sb, sorted(exp_sb)),
+            ("_busy_pos", self._busy_pos, sorted(exp_busy_pos)),
+        ):
+            if got != expected:
+                raise InvariantViolation(
+                    f"array {name} out of sync: {got!r} != {expected!r}"
+                )
+        if self._entries_total != entries_total:
+            raise InvariantViolation(
+                f"_entries_total {self._entries_total} != {entries_total}"
+            )
+        if self._idle_node_entries != idle_node_entries:
+            raise InvariantViolation(
+                f"_idle_node_entries {self._idle_node_entries} != {idle_node_entries}"
+            )
+        if self._failed_count != sum(1 for x in self.nodes if not x.in_service):
+            raise InvariantViolation("failed-node count out of sync")
+        if (self._load_sum_i, self._load_sumsq_i) != (sum_i, sumsq_i):
+            raise InvariantViolation("exact-integer load sums out of sync")
+        expected_sl = sorted(
+            # dreamlint: disable=DL002 (load keys are float ratios by design)
+            (node.busy_area / node.total_area, pos)
+            for pos, node in enumerate(self.nodes)
+        )
+        if self._sl != expected_sl:
+            raise InvariantViolation("load list out of sync with the node table")
+        # Blank chain/keys.
+        for node in self._blank_m:
+            if node.entries:
+                raise InvariantViolation(
+                    f"non-blank node {node.node_no} on the blank chain"
+                )
+            key = self._blank_key.get(node)
+            if key is None or self._node_by_bseq.get(key & _SEQ_MASK) is not node:
+                raise InvariantViolation(
+                    f"blank key mapping broken for node {node.node_no}"
+                )
+        if self._sq != sorted(self._blank_key.values()) or len(self._sq) != len(
+            self._blank_m
+        ):
+            raise InvariantViolation("_sq out of sync with the blank chain")
+        # Idle/busy chain dicts and per-config idle keys.
+        keyed = 0
+        for cno, chain in self._idle_m.items():
+            for entry in chain:
+                if not entry.is_idle:
+                    raise InvariantViolation(f"busy entry {entry!r} on idle[{cno}]")
+                if entry.config.config_no != cno:
+                    raise InvariantViolation(f"entry {entry!r} filed under C{cno}")
+                key = entry._akey  # type: ignore[attr-defined]
+                if key is not None:
+                    keyed += 1
+                    node = self._node_of(entry)
+                    if key >> _SEQ_BITS != node.available_area:
+                        raise InvariantViolation(
+                            f"stale idle key for {entry!r}: "
+                            f"{key >> _SEQ_BITS} != {node.available_area}"
+                        )
+                    if self._entry_by_seq.get(key & _SEQ_MASK) is not entry:
+                        raise InvariantViolation(f"idle seq mapping broken for {entry!r}")
+                elif self._node_of(entry).in_service:
+                    raise InvariantViolation(f"unkeyed live idle entry {entry!r}")
+            lst = self._ie[cno]
+            expected_keys = sorted(
+                entry._akey  # type: ignore[attr-defined]
+                for entry in chain
+                if entry._akey is not None  # type: ignore[attr-defined]
+            )
+            if lst != expected_keys:
+                raise InvariantViolation(f"_ie[{cno}] out of sync with idle chain")
+        if keyed != len(self._entry_by_seq):
+            raise InvariantViolation("idle-entry seq map holds stale records")
+        for cno, chain in self._busy_m.items():
+            for entry in chain:
+                if not entry.is_busy:
+                    raise InvariantViolation(f"idle entry {entry!r} on busy[{cno}]")
+                if entry.config.config_no != cno:
+                    raise InvariantViolation(f"entry {entry!r} filed under C{cno}")
+
+
+class ArraySuspensionQueue:
+    """Flat-column suspension queue with free-list slot recycling.
+
+    API, charging and :data:`~repro.trace.events.RESUMED` emission behaviour
+    match :class:`repro.resources.susqueue.SuspensionQueue`; the record
+    handle returned by :meth:`add` (and accepted by :meth:`remove`) is the
+    record's *slot number* — a truthy integer ≥ 1 (slot 0 is reserved), so
+    the scheduler's ``if susqueue.add(...):`` idiom keeps working.  Columns:
+
+    * ``_task``  — the suspended task (``None`` marks a free slot);
+    * ``_seq_c`` — arrival sequence numbers;
+    * ``_key_c`` — the caller's record keys (``NO_KEY`` for ``None``);
+    * ``_rank_c`` — service-discipline ranks.
+
+    ``_order`` is the service-order list of ``(rank, seq, slot)`` triples
+    (plain-tuple bisect, no record objects), ``_by_key`` the per-key
+    secondary index over the same triples, and ``_free`` the recycled-slot
+    stack exercised by the property-based fail/repair interleaving tests.
+    """
+
+    def __init__(
+        self,
+        counters: Optional[SearchCounters] = None,
+        max_retries: Optional[int] = None,
+        max_length: Optional[int] = None,
+        key_fn: Optional[Callable[[Task], Hashable]] = None,
+        order: str = "fifo",
+        trace: Optional[TraceBus] = None,
+    ) -> None:
+        if order not in _DISCIPLINES:
+            raise ValueError(
+                f"unknown queue discipline {order!r}; options: {sorted(_DISCIPLINES)}"
+            )
+        self.counters = counters if counters is not None else SearchCounters()
+        self.trace = trace
+        self.max_retries = max_retries
+        self.max_length = max_length
+        self.key_fn = key_fn
+        self.order = order
+        self._rank_fn = _DISCIPLINES[order]
+        self._task: list[Optional[Task]] = [None]  # slot 0 reserved (falsy handle)
+        self._seq_c: list[int] = [0]
+        self._key_c: list[Hashable] = [None]
+        self._rank_c: list[float] = [0.0]  # dreamlint: disable=DL002 (rank keys, ordering only)
+        self._free: list[int] = []
+        self._order: list[tuple[float, int, int]] = []
+        self._by_key: dict[Hashable, list[tuple[float, int, int]]] = {}
+        self._seq = 0
+        self.total_suspended = 0  # lifetime additions (statistics)
+
+    # -- container protocol ---------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._order)
+
+    def __bool__(self) -> bool:
+        return bool(self._order)
+
+    def __iter__(self) -> Iterator[int]:
+        """Yield live record handles (slots) in service order."""
+        return (slot for _rank, _seq, slot in list(self._order))
+
+    def __contains__(self, rec: int) -> bool:
+        return 0 < rec < len(self._task) and self._task[rec] is not None
+
+    @property
+    def head(self) -> Optional[int]:
+        return self._order[0][2] if self._order else None
+
+    def task_of(self, rec: int) -> Task:
+        """The task held by a live record handle (test/inspection hook)."""
+        task = self._task[rec]
+        if task is None:
+            raise KeyError(f"slot {rec} is free")
+        return task
+
+    # -- mutations ---------------------------------------------------------------
+
+    def add(self, task: Task, now: int) -> Optional[int]:
+        """``AddTaskToSusQueue``: append unless the queue is full.
+
+        Returns the record's slot handle (truthy int), or ``None`` when
+        ``max_length`` would be exceeded (caller discards the task).
+        """
+        if self.max_length is not None and len(self._order) >= self.max_length:
+            return None
+        task.mark_suspended(now)
+        self._seq += 1
+        seq = self._seq
+        key = self.key_fn(task) if self.key_fn is not None else None
+        if key is None:
+            key = NO_KEY
+        rank = self._rank_fn(task)
+        free = self._free
+        if free:
+            slot = free.pop()
+            self._task[slot] = task
+            self._seq_c[slot] = seq
+            self._key_c[slot] = key
+            self._rank_c[slot] = rank
+        else:
+            slot = len(self._task)
+            self._task.append(task)
+            self._seq_c.append(seq)
+            self._key_c.append(key)
+            self._rank_c.append(rank)
+        triple = (rank, seq, slot)
+        insort(self._order, triple)
+        insort(self._by_key.setdefault(key, []), triple)
+        self.counters.housekeeping_steps += 1
+        self.total_suspended += 1
+        return slot
+
+    def _unlink(self, slot: int) -> Task:
+        """Remove a slot from every structure and recycle it (uncharged)."""
+        task = self._task[slot]
+        if task is None:
+            raise KeyError(f"slot {slot} is already free")
+        triple = (self._rank_c[slot], self._seq_c[slot], slot)
+        order = self._order
+        i = bisect_left(order, triple)
+        del order[i]
+        key = self._key_c[slot]
+        bucket = self._by_key[key]
+        j = bisect_left(bucket, triple)
+        del bucket[j]
+        if not bucket:
+            del self._by_key[key]
+        self._task[slot] = None
+        self._key_c[slot] = None
+        self._free.append(slot)
+        return task
+
+    def remove(self, rec: int) -> Task:
+        """``RemoveTaskFromSusQueue``: unlink a record for re-dispatch.
+
+        Increments the task's retry counter.
+        """
+        task = self._unlink(rec)
+        self.counters.housekeeping_steps += 1
+        task.sus_retry += 1
+        if self.trace is not None:
+            self.trace.emit(RESUMED, task=task.task_no, retry=task.sus_retry)
+        return task
+
+    # -- queries ----------------------------------------------------------------------
+
+    def first_with_key(self, keys: Iterable[Hashable]) -> Optional[int]:
+        """Earliest queued record whose key is in ``keys`` (service order)."""
+        by_key = self._by_key
+        best: Optional[tuple[float, int, int]] = None
+        for key in keys:
+            bucket = by_key.get(key)
+            if bucket and (best is None or bucket[0] < best):
+                best = bucket[0]
+        return best[2] if best is not None else None
+
+    def charge_full_scan(self) -> int:
+        """Bill one scheduling step per queued record (reference traversal)."""
+        n = len(self._order)
+        self.counters.scheduling_steps += n
+        return n
+
+    def first_matching_key(self, key_pred: Callable[[Hashable], bool]) -> Optional[int]:
+        """Earliest record whose *key* satisfies ``key_pred``; exact charging."""
+        best: Optional[tuple[float, int, int]] = None
+        for key, bucket in self._by_key.items():
+            if key is NO_KEY or not key_pred(key):
+                continue
+            head = bucket[0]
+            if best is None or head < best:
+                best = head
+        if best is None:
+            self.counters.housekeeping_steps += len(self._order)
+            return None
+        self.counters.housekeeping_steps += bisect_left(self._order, best) + 1
+        return best[2]
+
+    def search(self, predicate: Callable[[Task], bool]) -> Optional[int]:
+        """``SearchSusQueue``: first record whose task satisfies ``predicate``."""
+        tasks = self._task
+        counters = self.counters
+        for _rank, _seq, slot in self._order:
+            counters.housekeeping_steps += 1
+            task = tasks[slot]
+            assert task is not None
+            if predicate(task):
+                return slot
+        return None
+
+    def collect_suitable(
+        self, predicate: Callable[[Task], bool], charge: str = "scheduling"
+    ) -> list[int]:
+        """Full-queue suitability scan; returns matching slots in service order."""
+        if charge == "scheduling":
+            bill = self.counters.charge_scheduling
+        elif charge == "housekeeping":
+            bill = self.counters.charge_housekeeping
+        elif charge == "none":
+            bill = None
+        else:
+            raise ValueError(f"unknown charge mode {charge!r}")
+        tasks = self._task
+        out: list[int] = []
+        for _rank, _seq, slot in self._order:
+            if bill is not None:
+                bill()
+            task = tasks[slot]
+            assert task is not None
+            if predicate(task):
+                out.append(slot)
+        return out
+
+    def expired(self) -> list[Task]:
+        """Remove and return tasks that exhausted their retry budget."""
+        if self.max_retries is None:
+            return []
+        tasks = self._task
+        budget = self.max_retries
+        hits = [
+            slot
+            for _rank, _seq, slot in self._order
+            if tasks[slot].sus_retry >= budget  # type: ignore[union-attr]
+        ]
+        return [self._unlink(slot) for slot in hits]
+
+    def drain(self) -> list[Task]:
+        """Empty the queue (end of simulation); returns the leftover tasks."""
+        tasks = self._task
+        out = []
+        for _rank, _seq, slot in self._order:
+            task = tasks[slot]
+            assert task is not None
+            out.append(task)
+        self._task = [None]
+        self._seq_c = [0]
+        self._key_c = [None]
+        self._rank_c = [0.0]  # dreamlint: disable=DL002 (rank keys are floats, ordering only)
+        self._free = []
+        self._order = []
+        self._by_key = {}
+        return out
+
+    def validate_index(self) -> None:
+        """Cross-check columns, free list, order list and key index (test hook)."""
+        live = {
+            slot
+            for slot in range(1, len(self._task))
+            if self._task[slot] is not None
+        }
+        order_slots = [slot for _rank, _seq, slot in self._order]
+        if sorted(order_slots) != sorted(live):
+            raise AssertionError("service-order list out of sync with slot columns")
+        if self._order != sorted(self._order):
+            raise AssertionError("queue not in service order")
+        indexed = sorted(t for bucket in self._by_key.values() for t in bucket)
+        if indexed != sorted(self._order):
+            raise AssertionError("suspension-queue index out of sync with order list")
+        for key, bucket in self._by_key.items():
+            if bucket != sorted(bucket):
+                raise AssertionError(f"bucket {key!r} not in service order")
+            for _rank, _seq, slot in bucket:
+                if self._key_c[slot] != key:
+                    raise AssertionError(f"record filed under wrong key {key!r}")
+        free = set(self._free)
+        if len(free) != len(self._free):
+            raise AssertionError("duplicate slots on the free list")
+        if free & live:
+            raise AssertionError("free list holds live slots")
+        if free | live | {0} != set(range(len(self._task))):
+            raise AssertionError("slots leaked: neither live nor free")
+
+
+__all__ = ["ArrayRIM", "ArraySuspensionQueue"]

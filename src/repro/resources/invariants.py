@@ -29,20 +29,33 @@ tests call it after every random operation sequence.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Union
 
 from repro.model.task import TaskStatus
 
 if TYPE_CHECKING:  # pragma: no cover
+    from repro.resources.arraycore import ArrayRIM
     from repro.resources.manager import ResourceInformationManager
+
+    AnyRIM = Union["ResourceInformationManager", "ArrayRIM"]
 
 
 class InvariantViolation(AssertionError):
     """A redundancy cross-check failed; message names the invariant."""
 
 
-def check_invariants(rim: "ResourceInformationManager") -> None:
-    """Validate every invariant; raises :class:`InvariantViolation`."""
+def check_invariants(rim: "AnyRIM") -> None:
+    """Validate every invariant; raises :class:`InvariantViolation`.
+
+    Backend-neutral: the object-level invariants (I1, I3–I9, I11) read only
+    the public manager surface (``nodes``, ``configs``, the chain views and
+    the aggregate accessors), so they run unchanged against every backend.
+    The structural half (I2 chain links, I10 sorted indexes) is
+    backend-specific: a manager exposing a ``validate_structures`` hook (the
+    array backend) verifies its own flat tables through it; the object
+    managers validate their intrusive chains and ``SortedKeyIndex`` mirrors
+    here.
+    """
     node_set = set(id(n) for n in rim.nodes)
 
     # I1 — area accounting per node.
@@ -56,9 +69,13 @@ def check_invariants(rim: "ResourceInformationManager") -> None:
         if node.available_area < 0:
             raise InvariantViolation(f"I1: node {node.node_no} negative available area")
 
-    # I2 — chain structure.
-    for chain in list(rim._idle.values()) + list(rim._busy.values()) + [rim.blank_chain]:
-        chain.validate()
+    # I2/I10 — backend-specific structure validation (see the docstring).
+    structured = getattr(rim, "validate_structures", None)
+    if structured is not None:
+        structured()
+    else:
+        for chain in list(rim._idle.values()) + list(rim._busy.values()) + [rim.blank_chain]:
+            chain.validate()
 
     # Gather ground truth from the node table.
     idle_truth: dict[int, set[int]] = {}
@@ -93,7 +110,9 @@ def check_invariants(rim: "ResourceInformationManager") -> None:
                     )
 
     # I3 — idle chains == idle truth.
-    for cno, chain in rim._idle.items():
+    for config in rim.configs:
+        cno = config.config_no
+        chain = rim.idle_chain(config)
         members = set()
         for entry in chain:
             if not entry.is_idle:
@@ -109,7 +128,9 @@ def check_invariants(rim: "ResourceInformationManager") -> None:
             )
 
     # I4 — busy chains == busy truth.
-    for cno, chain in rim._busy.items():
+    for config in rim.configs:
+        cno = config.config_no
+        chain = rim.busy_chain(config)
         members = set()
         for entry in chain:
             if not entry.is_busy:
@@ -196,8 +217,10 @@ def check_invariants(rim: "ResourceInformationManager") -> None:
             f"{expected_running}"
         )
 
-    # I10 — sorted indexes and step-formula aggregates (indexed fast paths).
-    _check_indexes(rim)
+    # I10 — sorted indexes and step-formula aggregates (object backends;
+    # the array backend covered its structures in validate_structures above).
+    if structured is None:
+        _check_indexes(rim)
 
     # I11 — quarantine-table consistency: a quarantined node is a failed node
     # (out of service, blank) registered under its own number; it can appear

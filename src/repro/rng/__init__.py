@@ -88,13 +88,14 @@ class RNG:
         span = high - low + 1
         # Rejection sampling from the 32-bit stream (span fits in 32 bits for
         # every parameter in this reproduction).
-        if span > 2**32:
+        if span > 4294967296:
             raise ValueError("randint span exceeds 32-bit generator range")
-        limit = (2**32 // span) * span
-        while True:
-            r = self._bits.next_uint32()
-            if r < limit:
-                return low + (r % span)
+        limit = 4294967296 - (4294967296 % span)
+        next_uint32 = self._bits.next_uint32
+        r = next_uint32()
+        while r >= limit:
+            r = next_uint32()
+        return low + (r % span)
 
     # -- continuous distributions -------------------------------------------
 

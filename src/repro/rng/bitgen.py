@@ -56,19 +56,38 @@ class KissGenerator:
 
     def next_uint32(self) -> int:
         """Next 32-bit unsigned integer from the combined stream."""
-        # CONG
-        self._x = (69069 * self._x + 1234567) & _MASK32
-        # SHR3
+        # Local-variable form of CONG + SHR3 + MWC; the intermediate MWC
+        # masks are dropped because bits ≥ 32 survive the XOR/ADD unchanged
+        # and the final mask removes them — the stream is bit-identical.
+        x = (69069 * self._x + 1234567) & _MASK32
         y = self._y
         y ^= (y << 13) & _MASK32
         y ^= y >> 17
         y ^= (y << 5) & _MASK32
+        z = (36969 * (self._z & 65535) + (self._z >> 16)) & _MASK32
+        w = (18000 * (self._w & 65535) + (self._w >> 16)) & _MASK32
+        self._x = x
         self._y = y
-        # MWC
-        self._z = (36969 * (self._z & 65535) + (self._z >> 16)) & _MASK32
-        self._w = (18000 * (self._w & 65535) + (self._w >> 16)) & _MASK32
-        mwc = (((self._z << 16) & _MASK32) + self._w) & _MASK32
-        return ((mwc ^ self._x) + y) & _MASK32
+        self._z = z
+        self._w = w
+        return ((((z << 16) + w) ^ x) + y) & _MASK32
+
+    def fill_uint32(self, out: list, n: int) -> None:
+        """Append ``n`` stream words to ``out`` (bulk form of
+        :meth:`next_uint32`; identical stream, one call instead of ``n``)."""
+        x, y, z, w = self._x, self._y, self._z, self._w
+        append = out.append
+        for _ in range(n):
+            x = (69069 * x + 1234567) & _MASK32
+            y ^= (y << 13) & _MASK32
+            y ^= y >> 17
+            y ^= (y << 5) & _MASK32
+            # 36969·0xFFFF + 0xFFFF < 2³² (same for 18000), so the MWC
+            # updates cannot overflow 32 bits and need no mask here.
+            z = 36969 * (z & 65535) + (z >> 16)
+            w = 18000 * (w & 65535) + (w >> 16)
+            append(((((z << 16) + w) ^ x) + y) & _MASK32)
+        self._x, self._y, self._z, self._w = x, y, z, w
 
     def next_int32(self) -> int:
         """Next signed 32-bit integer (two's complement view of the stream).
@@ -81,8 +100,23 @@ class KissGenerator:
 
     def next_double(self) -> float:
         """Uniform double in [0, 1) with 53 random bits."""
-        high = self.next_uint32() >> 6  # 26 bits
-        low = self.next_uint32() >> 5  # 27 bits
+        # Two inlined next_uint32 draws (26 high bits, then 27 low bits).
+        x, y, z, w = self._x, self._y, self._z, self._w
+        x = (69069 * x + 1234567) & _MASK32
+        y ^= (y << 13) & _MASK32
+        y ^= y >> 17
+        y ^= (y << 5) & _MASK32
+        z = (36969 * (z & 65535) + (z >> 16)) & _MASK32
+        w = (18000 * (w & 65535) + (w >> 16)) & _MASK32
+        high = (((((z << 16) + w) ^ x) + y) & _MASK32) >> 6
+        x = (69069 * x + 1234567) & _MASK32
+        y ^= (y << 13) & _MASK32
+        y ^= y >> 17
+        y ^= (y << 5) & _MASK32
+        z = (36969 * (z & 65535) + (z >> 16)) & _MASK32
+        w = (18000 * (w & 65535) + (w >> 16)) & _MASK32
+        low = (((((z << 16) + w) ^ x) + y) & _MASK32) >> 5
+        self._x, self._y, self._z, self._w = x, y, z, w
         return (high * 134217728.0 + low) * _INV_2_53
 
     def next_uni(self) -> float:

@@ -17,8 +17,9 @@ from typing import Iterator, Optional, Sequence
 
 from repro.model.config import Configuration, ProcessorParams, Ptype
 from repro.model.node import Node
-from repro.model.task import Task
+from repro.model.task import UNSET, Task, TaskStatus
 from repro.rng import RNG
+from repro.rng.distributions import Constant, UniformInt
 from repro.workload.spec import ConfigSpec, NodeSpec, TaskSpec
 
 # RNG sub-stream indices (stable across versions; part of the replay contract).
@@ -26,6 +27,10 @@ STREAM_NODES = 1
 STREAM_CONFIGS = 2
 STREAM_ARRIVALS = 3
 STREAM_TASK_ATTRS = 4
+
+# Words per bulk refill of the fast-path stream buffers (any value yields
+# the same stream; this just amortises the per-call generator overhead).
+_BLOCK = 1024
 
 
 def generate_nodes(spec: NodeSpec, rng: RNG) -> list[Node]:
@@ -129,10 +134,175 @@ class TaskStream:
         self._unknown_no = max(c.config_no for c in self.configs) + 1
 
     def __iter__(self) -> Iterator[TaskArrival]:
+        spec = self.spec
+        if (
+            type(spec.arrival_interval) is UniformInt
+            and type(spec.required_time) is UniformInt
+            and type(spec.data_size) is Constant
+            and type(spec.unknown_req_area) is UniformInt
+            and type(spec.unknown_config_time) is UniformInt
+        ):
+            yield from self._iter_fast()
+            return
         now = self.start_time
-        for i in range(self.spec.count):
-            now += max(1, self.spec.arrival_interval.sample_int(self._arrivals))
+        for i in range(spec.count):
+            now += max(1, spec.arrival_interval.sample_int(self._arrivals))
             yield TaskArrival(at=now, task=self._make_task(self.first_task_no + i))
+
+    def _iter_fast(self) -> Iterator[TaskArrival]:
+        """Specialised iteration for the default UniformInt/Constant spec.
+
+        Draw-for-draw identical to the generic ``__iter__``/``_make_task``
+        path — same rejection sampling, same stream interleaving — with the
+        distribution/RNG call layers collapsed into local bindings.  This is
+        the per-task hot path of every large sweep, shared by all backends.
+        """
+        spec = self.spec
+        # Stream words are pulled in blocks of ``_BLOCK`` (identical bit
+        # stream, consumed in the same order as the generic per-call path)
+        # so the per-draw cost is a list index instead of a method call.
+        # Every consumer of these two spawned streams is inlined below,
+        # so nothing can observe the buffered read-ahead.
+        a_fill = self._arrivals._bits.fill_uint32
+        t_fill = self._attrs._bits.fill_uint32
+        block = _BLOCK
+        abuf: list[int] = []
+        ai_ = block
+        tbuf: list[int] = []
+        ti = block
+        configs = self.configs
+        ncfg = len(configs)
+        pct = spec.closest_match_pct
+        arr = spec.arrival_interval
+        a_low, a_span = arr.low, arr.high - arr.low + 1
+        a_limit = 4294967296 - (4294967296 % a_span)
+        rt = spec.required_time
+        r_low, r_span = rt.low, rt.high - rt.low + 1
+        r_limit = 4294967296 - (4294967296 % r_span)
+        c_limit = 4294967296 - (4294967296 % ncfg)
+        data = max(0, int(round(spec.data_size.value))) or None
+        ua = spec.unknown_req_area
+        u_low, u_span = ua.low, ua.high - ua.low + 1
+        u_limit = 4294967296 - (4294967296 % u_span)
+        uc = spec.unknown_config_time
+        t_low, t_span = uc.low, uc.high - uc.low + 1
+        t_limit = 4294967296 - (4294967296 % t_span)
+        inv_2_53 = 1.0 / 9007199254740992.0
+        now = self.start_time
+        first = self.first_task_no
+        # Tasks built from a field template instead of the dataclass
+        # __init__ (its argument parsing and __post_init__ checks dominate
+        # construction cost; the values below always satisfy the checks).
+        task_new = Task.__new__
+        ta_new = TaskArrival.__new__
+        tmpl = {
+            "task_no": 0,
+            "required_time": 1,
+            "pref_config": None,
+            "data": data,
+            "create_time": UNSET,
+            "start_time": UNSET,
+            "completion_time": UNSET,
+            "comm_time": 0,
+            "config_time_paid": 0,
+            "assigned_config": None,
+            "on_gpp": False,
+            "status": TaskStatus.CREATED,
+            "sus_retry": 0,
+            "fault_retries": 0,
+            "scheduling_steps": 0,
+        }
+        for i in range(spec.count):
+            # arrival interval: UniformInt via rejection (RNG.randint)
+            while True:
+                if ai_ == block:
+                    del abuf[:]
+                    a_fill(abuf, block)
+                    ai_ = 0
+                r = abuf[ai_]
+                ai_ += 1
+                if r < a_limit:
+                    break
+            step = a_low + r % a_span
+            now += step if step > 1 else 1
+            # closest-match coin: uniform double from two words
+            if ti > block - 2:
+                if ti < block:
+                    w1 = tbuf[ti]
+                    del tbuf[:]
+                    t_fill(tbuf, block)
+                    w2 = tbuf[0]
+                    ti = 1
+                else:
+                    del tbuf[:]
+                    t_fill(tbuf, block)
+                    w1 = tbuf[0]
+                    w2 = tbuf[1]
+                    ti = 2
+            else:
+                w1 = tbuf[ti]
+                w2 = tbuf[ti + 1]
+                ti += 2
+            if ((w1 >> 6) * 134217728.0 + (w2 >> 5)) * inv_2_53 < pct:
+                # fabricate an unknown preference (two more rejections)
+                while True:
+                    if ti == block:
+                        del tbuf[:]
+                        t_fill(tbuf, block)
+                        ti = 0
+                    r = tbuf[ti]
+                    ti += 1
+                    if r < u_limit:
+                        break
+                area = u_low + r % u_span
+                while True:
+                    if ti == block:
+                        del tbuf[:]
+                        t_fill(tbuf, block)
+                        ti = 0
+                    r = tbuf[ti]
+                    ti += 1
+                    if r < t_limit:
+                        break
+                pref = Configuration(
+                    config_no=self._unknown_no,
+                    req_area=area if area > 1 else 1,
+                    config_time=t_low + r % t_span,
+                )
+                self._unknown_no += 1
+            else:
+                # uniform choice over the system configurations
+                while True:
+                    if ti == block:
+                        del tbuf[:]
+                        t_fill(tbuf, block)
+                        ti = 0
+                    r = tbuf[ti]
+                    ti += 1
+                    if r < c_limit:
+                        break
+                pref = configs[r % ncfg]
+            # required time
+            while True:
+                if ti == block:
+                    del tbuf[:]
+                    t_fill(tbuf, block)
+                    ti = 0
+                r = tbuf[ti]
+                ti += 1
+                if r < r_limit:
+                    break
+            req_time = r_low + r % r_span
+            d = dict(tmpl)
+            d["task_no"] = first + i
+            d["required_time"] = req_time if req_time > 1 else 1
+            d["pref_config"] = pref
+            d["_history"] = []
+            task = task_new(Task)
+            task.__dict__ = d
+            ta = ta_new(TaskArrival)
+            ta.__dict__.update({"at": now, "task": task})
+            yield ta
 
     def _make_task(self, task_no: int) -> Task:
         spec = self.spec

@@ -1,0 +1,277 @@
+"""Three-way backend differential: array vs indexed vs scan.
+
+The array backend (``backend="array"``, the flat-table hot core) must be
+observationally identical to both the indexed manager and the reference
+linear-scan manager in everything *simulated*: per-task placements and
+status, Table I counters, the report, resilience metrics under fault
+campaigns, and the byte-exact structured trace stream.  Only wall-clock
+time may differ.
+
+Three layers of evidence:
+
+1. **Campaign differential** — {clean, SEU, quarantine} × {partial, full}
+   campaigns run once per backend; reports, resilience reports and
+   BLAKE2b trace digests must match byte for byte.
+2. **Hot-vs-generic differential** — the specialized clean-run hot loop
+   (:func:`repro.framework.hotloop.run_hot`) against the generic event
+   loop on the same array backend, field by field (the generic path is
+   forced by an unreachable ``debug_invariants_every`` threshold, which
+   makes ``hot_eligible`` decline without ever running the checker).
+3. **Property-based free-list interleavings** — random add/remove/expired
+   scripts against :class:`~repro.resources.arraycore.ArraySuspensionQueue`,
+   twinned with the reference queue and cross-checked by
+   ``validate_index()`` after every operation.
+"""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+import pytest
+
+from repro import quick_simulation
+from repro.framework.campaign import FaultCampaignSpec, run_campaign
+from repro.model import Configuration, Task
+from repro.resources.arraycore import ArraySuspensionQueue
+from repro.resources.susqueue import SuspensionQueue
+from repro.trace import DigestSink, TraceBus
+
+BACKENDS = ("array", "indexed", "scan")
+
+
+# -- 1. campaign differential --------------------------------------------------
+
+
+CAMPAIGNS = {
+    # No fault knob set: exactly the quick_simulation workload.
+    "clean": {},
+    # Transient configuration faults with a retry budget: exercises
+    # seu_corrupt / finish_scrub / TASK_RETRY / retry discards.
+    "seu": {"seu_rate": 1500, "retry_budget": 2, "backoff_base": 20},
+    # Crash/repair churn with health-aware quarantine: exercises
+    # fail_node / repair_node / quarantine_node / release_quarantined.
+    "quarantine": {
+        "mtbf": 2500,
+        "mttr": 600,
+        "quarantine_threshold": 2,
+        "probation": 2000,
+        "health_half_life": 1000,
+    },
+}
+
+
+def run_backend(backend, partial, knobs):
+    digest = DigestSink()
+    spec = FaultCampaignSpec(
+        nodes=30, configs=15, tasks=400, partial=partial, seed=11, **knobs
+    )
+    result, injector = run_campaign(spec, backend=backend, trace=TraceBus(digest))
+    resilience = injector.resilience(result) if injector is not None else None
+    return result, injector, resilience, digest.hexdigest()
+
+
+@pytest.mark.parametrize("campaign", sorted(CAMPAIGNS))
+@pytest.mark.parametrize("partial", [True, False], ids=["partial", "full"])
+def test_three_backends_identical(campaign, partial):
+    knobs = CAMPAIGNS[campaign]
+    runs = {b: run_backend(b, partial, knobs) for b in BACKENDS}
+    ref_result, ref_injector, ref_resilience, ref_digest = runs["indexed"]
+    if campaign != "clean":
+        # The regime must actually exercise the fault machinery (crashes
+        # count as failures; SEU strikes show up as config faults).
+        assert ref_injector is not None and ref_resilience is not None
+        assert ref_resilience.failures_total + ref_resilience.config_faults > 0
+    for backend in BACKENDS:
+        result, _, resilience, digest = runs[backend]
+        # Table I counters and everything derived from them.
+        assert result.report.as_dict() == ref_result.report.as_dict(), backend
+        assert result.final_time == ref_result.final_time, backend
+        # Fault-campaign metrics (availability, MTTF/MTTR, retries, ...).
+        if ref_resilience is None:
+            assert resilience is None, backend
+        else:
+            assert resilience.as_dict() == ref_resilience.as_dict(), backend
+        # The full structured event stream, byte for byte.
+        assert digest == ref_digest, backend
+
+
+def test_quarantine_campaign_quarantines_nodes():
+    """Sanity: the quarantine regime above really triggers quarantines."""
+    _, _, resilience, _ = run_backend("array", True, CAMPAIGNS["quarantine"])
+    assert resilience is not None and resilience.quarantines_total > 0
+
+
+def test_seu_campaign_injects_config_faults():
+    """Sanity: the SEU regime above really strikes configurations."""
+    _, _, resilience, _ = run_backend("array", True, CAMPAIGNS["seu"])
+    assert resilience is not None and resilience.config_faults > 0
+
+
+# -- 2. hot loop vs generic event loop on the array backend --------------------
+
+
+def full_fingerprint(res):
+    """Every simulated observable, including per-task status history."""
+    tasks = [
+        (
+            t.task_no,
+            t.status.value,
+            t.create_time,
+            t.start_time,
+            t.completion_time,
+            t.comm_time,
+            t.config_time_paid,
+            t.assigned_config.config_no if t.assigned_config else None,
+            t.sus_retry,
+            t.scheduling_steps,
+            tuple((when, s.value) for when, s in t._history),
+        )
+        for t in res.tasks
+    ]
+    samples = [
+        (
+            s.time,
+            s.busy_nodes,
+            s.idle_nodes,
+            s.blank_nodes,
+            s.running_tasks,
+            s.suspended_tasks,
+            s.configured_area,
+            s.wasted_area,
+        )
+        for s in res.monitor.samples
+    ]
+    snaps = [
+        (s.time, s.mean_load, s.cv, s.jain, s.max_load) for s in res.load.snapshots
+    ]
+    return (res.report.as_dict(), res.final_time, tasks, samples, snaps)
+
+
+HOT_CASES = [
+    dict(nodes=30, tasks=400, seed=42, partial=True),
+    dict(nodes=30, tasks=400, seed=42, partial=False),
+    dict(nodes=20, tasks=350, seed=11, partial=True, max_retries=2),
+    dict(nodes=20, tasks=350, seed=11, partial=True, max_queue_length=5),
+    dict(nodes=15, tasks=300, seed=3, partial=True, queue_order="sjf"),
+    dict(nodes=15, tasks=300, seed=3, partial=True, queue_order="area"),
+    dict(nodes=25, tasks=300, seed=99, partial=True, monitor_min_interval=50),
+    dict(nodes=25, tasks=300, seed=99, partial=False, per_tick_housekeeping=0),
+]
+
+
+@pytest.mark.parametrize(
+    "case", HOT_CASES, ids=lambda c: "-".join(f"{k}={v}" for k, v in c.items())
+)
+def test_hot_loop_matches_generic_loop(case):
+    hot = quick_simulation(backend="array", **case)
+    # An unreachable invariant-check threshold makes hot_eligible decline,
+    # forcing the generic event loop without ever running the checker.
+    generic = quick_simulation(backend="array", debug_invariants_every=10**9, **case)
+    assert full_fingerprint(hot) == full_fingerprint(generic)
+
+
+# -- 3. property-based free-list interleavings ---------------------------------
+
+
+def make_task(no, required=50, retries=0):
+    # A preferred configuration so the "area" discipline has a rank key.
+    cfg = Configuration(config_no=no % 5, req_area=300 + 100 * (no % 5), config_time=10)
+    t = Task(task_no=no, required_time=required, pref_config=cfg)
+    t.mark_created(0)
+    t.sus_retry = retries
+    return t
+
+
+OPS = st.lists(
+    st.tuples(
+        st.sampled_from(["add", "remove", "head_remove", "expired", "bump"]),
+        st.integers(0, 7),  # operand selector (task sizing / victim index)
+    ),
+    max_size=60,
+)
+
+
+@settings(max_examples=120, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(ops=OPS, order=st.sampled_from(["fifo", "sjf", "area"]), max_retries=st.integers(1, 3))
+def test_array_susqueue_free_list_interleavings(ops, order, max_retries):
+    """Random fail/repair-shaped add/remove/expired scripts leave the flat
+    columns, service-order list, key index and free list consistent after
+    every single operation — and the queue behaves exactly like the
+    reference :class:`SuspensionQueue` throughout."""
+    key_fn = lambda t: t.task_no % 3  # noqa: E731 - small keyed buckets
+    array = ArraySuspensionQueue(
+        max_retries=max_retries, max_length=12, key_fn=key_fn, order=order
+    )
+    ref = SuspensionQueue(
+        max_retries=max_retries, max_length=12, key_fn=key_fn, order=order
+    )
+    live = []  # (array_slot, ref_record) pairs for targeted removals
+    next_no = 0
+    now = 0
+    for op, idx in ops:
+        now += 1
+        if op == "add":
+            ta = make_task(next_no, required=10 + 7 * idx)
+            tr = make_task(next_no, required=10 + 7 * idx)
+            next_no += 1
+            slot = array.add(ta, now)
+            rec = ref.add(tr, now)
+            assert (slot is None) == (rec is None)
+            if slot is not None:
+                assert slot >= 1  # slot 0 reserved: handles stay truthy
+                live.append((slot, rec))
+        elif op == "remove" and live:
+            slot, rec = live.pop(idx % len(live))
+            ta = array.remove(slot)
+            tr = ref.remove(rec)
+            assert ta.task_no == tr.task_no and ta.sus_retry == tr.sus_retry
+        elif op == "head_remove" and array:
+            slot, rec = array.head, ref.head
+            assert array.task_of(slot).task_no == rec.task.task_no
+            live = [(s, r) for s, r in live if s != slot]
+            assert array.remove(slot).task_no == ref.remove(rec).task_no
+        elif op == "bump" and live:
+            # Age a queued task toward its retry budget (fail/repair churn).
+            slot, rec = live[idx % len(live)]
+            array.task_of(slot).sus_retry += 1
+            rec.task.sus_retry += 1
+        elif op == "expired":
+            gone_a = array.expired()
+            gone_r = ref.expired()
+            assert [t.task_no for t in gone_a] == [t.task_no for t in gone_r]
+            dropped = {t.task_no for t in gone_a}
+            live = [
+                (s, r) for s, r in live if r.task.task_no not in dropped
+            ]
+        array.validate_index()
+        # Observable state tracks the reference exactly.
+        assert len(array) == len(ref)
+        assert [array.task_of(s).task_no for s in array] == [
+            r.task.task_no for r in ref
+        ]
+        assert array.counters.snapshot() == ref.counters.snapshot()
+        assert array.total_suspended == ref.total_suspended
+    leftover_a = array.drain()
+    leftover_r = ref.drain()
+    assert [t.task_no for t in leftover_a] == [t.task_no for t in leftover_r]
+    array.validate_index()
+    assert len(array) == 0 and not array._free
+
+
+@settings(max_examples=60, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(
+    adds=st.integers(1, 20),
+    removals=st.lists(st.integers(0, 19), max_size=20, unique=True),
+)
+def test_array_susqueue_slot_recycling(adds, removals):
+    """Freed slots are recycled LIFO and never collide with live records."""
+    q = ArraySuspensionQueue()
+    slots = [q.add(make_task(i), i) for i in range(adds)]
+    for r in removals:
+        if r < adds and q._task[slots[r]] is not None:
+            q.remove(slots[r])
+            q.validate_index()
+    freed = list(q._free)
+    refill = [q.add(make_task(100 + i), 100 + i) for i in range(len(freed))]
+    # LIFO recycling: the most recently freed slot is handed out first.
+    assert refill == list(reversed(freed))
+    q.validate_index()
+    assert not q._free

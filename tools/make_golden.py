@@ -1,13 +1,15 @@
 #!/usr/bin/env python3
 """Regenerate the committed golden traces under ``tests/golden/``.
 
-The golden suite pins the full structured event stream of two small,
+The golden suite pins the full structured event stream of three small,
 fully deterministic scenarios (20 nodes, 10 configurations, 200 tasks,
-seed 42 — one run per reconfiguration mode).  ``tests/test_trace_golden.py``
-asserts that a fresh simulation reproduces each committed trace byte for
-byte (and therefore digest for digest), in both resource-manager modes,
-and that the replayer derives the same Table I counters from the committed
-file as from a live run.
+seed 42 — one run per reconfiguration mode, plus one fault campaign whose
+crash/SEU/quarantine churn exercises every fault-path event type, so the
+digest covers the whole taxonomy).  ``tests/test_trace_golden.py`` asserts
+that a fresh simulation reproduces each committed trace byte for byte (and
+therefore digest for digest), on every resource-manager backend, and that
+the replayer derives the same Table I counters from the committed file as
+from a live run.
 
 Refresh procedure (only after an *intentional* behaviour change):
 
@@ -28,17 +30,28 @@ from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
-from repro import quick_simulation  # noqa: E402
+from repro.framework.campaign import FaultCampaignSpec, run_campaign  # noqa: E402
 from repro.trace import DigestSink, JsonlSink, TraceBus  # noqa: E402
 
 GOLDEN_DIR = Path(__file__).resolve().parent.parent / "tests" / "golden"
 
+# Scenario kwargs are FaultCampaignSpec fields: a spec with no fault knob
+# set reproduces the plain quick_simulation run byte for byte, so the two
+# clean scenarios are unchanged by running them through the campaign seam.
 SCENARIOS = {
     "partial_n20_t200_s42": dict(
         nodes=20, configs=10, tasks=200, partial=True, seed=42
     ),
     "full_n20_t200_s42": dict(
         nodes=20, configs=10, tasks=200, partial=False, seed=42
+    ),
+    # Crash + SEU + quarantine churn: covers TaskInterrupted, NodeFailed,
+    # NodeRepaired, ConfigFault, TaskRetry, NodeQuarantined, NodeProbation
+    # (the DL004 taxonomy-coverage gate counts on this trace).
+    "faults_n20_t200_s42": dict(
+        nodes=20, configs=10, tasks=200, partial=True, seed=42,
+        mtbf=800, mttr=300, seu_rate=600, retry_budget=1, backoff_base=10,
+        quarantine_threshold=2, probation=400, health_half_life=300,
     ),
 }
 
@@ -52,7 +65,7 @@ def main() -> int:
         digest = DigestSink()
         with JsonlSink(path) as sink:
             bus = TraceBus(sink, digest)
-            quick_simulation(trace=bus, **kwargs)
+            run_campaign(FaultCampaignSpec(**kwargs), trace=bus)
         digests[name] = digest.hexdigest()
         print(f"{name}: {digest.count} events, digest {digests[name]}")
     manifest = GOLDEN_DIR / "digests.json"
