@@ -5,6 +5,10 @@ Subcommands
 ``run``
     One simulation with Table II defaults; prints the Table I report and can
     write the XML report (output subsystem).
+``serve``
+    The same campaign as a long-lived service: windowed advancement with
+    optional SWF arrival replay, periodic snapshots (``--checkpoint-every``)
+    and deterministic ``--resume`` (byte-identical digest and report).
 ``sweep``
     Task-count sweep at one node count, both modes; prints a metric table.
 ``figures``
@@ -86,58 +90,13 @@ def _resolved_jobs(args: argparse.Namespace) -> int:
     return jobs
 
 
-def build_parser() -> argparse.ArgumentParser:
-    """Construct the ``dreamsim`` argument parser (all subcommands)."""
-    parser = argparse.ArgumentParser(
-        prog="dreamsim",
-        description="DReAMSim reproduction: partial-reconfiguration task scheduling",
-    )
-    sub = parser.add_subparsers(dest="command", required=True)
-
-    run_p = sub.add_parser("run", help="run one simulation and print Table I")
-    run_p.add_argument("--nodes", type=int, default=200)
-    run_p.add_argument("--tasks", type=int, default=2000)
-    run_p.add_argument(
-        "--mode", choices=("partial", "full"), default="partial",
-        help="reconfiguration method (Table II's last row)",
-    )
-    run_p.add_argument("--xml", type=str, default=None, help="write XML report here")
-    run_p.add_argument(
-        "--config", type=str, default=None,
-        help="JSON experiment file (overrides the other workload flags)",
-    )
-    run_p.add_argument(
-        "--timeline", action="store_true",
-        help="ASCII plots of busy nodes / queue length over time",
-    )
-    run_p.add_argument(
-        "--profile", action="store_true",
-        help="run under cProfile and print the hottest functions",
-    )
-    run_p.add_argument(
-        "--backend", choices=("array", "indexed", "scan"), default=None,
-        help="resource-manager backend (default: array — flat-table hot "
-        "loop; all three produce bit-identical results)",
-    )
-    run_p.add_argument(
-        "--no-indexed", action="store_true",
-        help="deprecated alias for --backend scan (reference linear-scan "
-        "manager; same results/counters, O(n) wall-clock per query)",
-    )
-    run_p.add_argument(
-        "--trace", type=str, default=None, metavar="PATH",
-        help="write the structured event trace as JSON lines to PATH",
-    )
-    run_p.add_argument(
-        "--trace-digest", action="store_true",
-        help="print the run's order-sensitive trace digest "
-        "(identical for bit-identical runs; implies tracing)",
-    )
-    faults = run_p.add_argument_group(
+def _add_fault_args(p: argparse.ArgumentParser) -> None:
+    """The fault-injection knobs shared by ``run`` and ``serve``."""
+    faults = p.add_argument_group(
         "fault injection",
-        "opt-in fault campaign (ignored with --config); any of --faults, "
-        "--mtbf, --seu-rate or --burst-rate enables it and a ResilienceReport "
-        "is printed after Table I",
+        "opt-in fault campaign; any of --faults, --mtbf, --seu-rate or "
+        "--burst-rate enables it and a ResilienceReport is printed after "
+        "Table I",
     )
     faults.add_argument(
         "--faults", action="store_true",
@@ -203,6 +162,56 @@ def build_parser() -> argparse.ArgumentParser:
         "--fault-seed", type=int, default=None,
         help="fault-process seed (default: workload seed + 1)",
     )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the ``dreamsim`` argument parser (all subcommands)."""
+    parser = argparse.ArgumentParser(
+        prog="dreamsim",
+        description="DReAMSim reproduction: partial-reconfiguration task scheduling",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run_p = sub.add_parser("run", help="run one simulation and print Table I")
+    run_p.add_argument("--nodes", type=int, default=200)
+    run_p.add_argument("--tasks", type=int, default=2000)
+    run_p.add_argument(
+        "--mode", choices=("partial", "full"), default="partial",
+        help="reconfiguration method (Table II's last row)",
+    )
+    run_p.add_argument("--xml", type=str, default=None, help="write XML report here")
+    run_p.add_argument(
+        "--config", type=str, default=None,
+        help="JSON experiment file (overrides the other workload flags)",
+    )
+    run_p.add_argument(
+        "--timeline", action="store_true",
+        help="ASCII plots of busy nodes / queue length over time",
+    )
+    run_p.add_argument(
+        "--profile", action="store_true",
+        help="run under cProfile and print the hottest functions",
+    )
+    run_p.add_argument(
+        "--backend", choices=("array", "indexed", "scan"), default=None,
+        help="resource-manager backend (default: array — flat-table hot "
+        "loop; all three produce bit-identical results)",
+    )
+    run_p.add_argument(
+        "--no-indexed", action="store_true",
+        help="deprecated alias for --backend scan (reference linear-scan "
+        "manager; same results/counters, O(n) wall-clock per query)",
+    )
+    run_p.add_argument(
+        "--trace", type=str, default=None, metavar="PATH",
+        help="write the structured event trace as JSON lines to PATH",
+    )
+    run_p.add_argument(
+        "--trace-digest", action="store_true",
+        help="print the run's order-sensitive trace digest "
+        "(identical for bit-identical runs; implies tracing)",
+    )
+    _add_fault_args(run_p)
     run_p.add_argument(
         "--seeds", type=int, default=1, metavar="N",
         help="run the campaign at N consecutive seeds (seed..seed+N-1) "
@@ -210,6 +219,61 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_jobs(run_p)
     _add_common(run_p)
+
+    serve_p = sub.add_parser(
+        "serve",
+        help="trace-driven service mode: windowed run with checkpoint/resume",
+    )
+    serve_p.add_argument("--nodes", type=int, default=200)
+    serve_p.add_argument("--tasks", type=int, default=2000)
+    serve_p.add_argument(
+        "--mode", choices=("partial", "full"), default="partial",
+        help="reconfiguration method (Table II's last row)",
+    )
+    serve_p.add_argument(
+        "--backend", choices=("array", "indexed", "scan"), default=None,
+        help="resource-manager backend (default: array; snapshots are "
+        "backend-neutral, so a resume may pick a different one)",
+    )
+    serve_p.add_argument(
+        "--swf", type=str, default=None, metavar="PATH",
+        help="replay arrivals from this SWF workload trace at their "
+        "(scaled) submit times instead of the generated stream "
+        "(implies --tasks 0)",
+    )
+    serve_p.add_argument(
+        "--time-scale", type=float, default=1.0, metavar="X",
+        help="SWF submit-time scale factor (with --swf)",
+    )
+    serve_p.add_argument(
+        "--window", type=int, default=1000, metavar="TICKS",
+        help="advance simulated time in windows of this size (default 1000)",
+    )
+    serve_p.add_argument(
+        "--checkpoint-every", type=int, default=None, metavar="TICKS",
+        help="write a snapshot each time this much simulated time passes",
+    )
+    serve_p.add_argument(
+        "--checkpoint-dir", type=str, default=".", metavar="DIR",
+        help="directory snapshots are written to (default: current)",
+    )
+    serve_p.add_argument(
+        "--resume", type=str, default=None, metavar="FROM",
+        help="resume from this snapshot file; requires --trace pointing at "
+        "the JSONL trace the original service wrote (the prefix up to the "
+        "cut is verified against the snapshot's digest)",
+    )
+    serve_p.add_argument(
+        "--trace", type=str, default=None, metavar="PATH",
+        help="persist the event trace as JSON lines (appended on --resume)",
+    )
+    serve_p.add_argument(
+        "--report-every", type=int, default=None, metavar="TICKS",
+        help="print a mid-run Table I view each time this much simulated "
+        "time passes",
+    )
+    _add_fault_args(serve_p)
+    _add_common(serve_p)
 
     sweep_p = sub.add_parser("sweep", help="task-count sweep, both modes")
     sweep_p.add_argument("--nodes", type=int, default=200)
@@ -494,6 +558,106 @@ def cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    """``dreamsim serve``: windowed service run with checkpoint/resume.
+
+    Advances the simulator ``--window`` ticks at a time, optionally writing
+    a versioned snapshot every ``--checkpoint-every`` simulated ticks and a
+    mid-run Table I view every ``--report-every``.  ``--resume FROM`` picks
+    a previous invocation up from its snapshot file: the JSONL trace it
+    wrote (``--trace``) supplies the verified prefix, and the final digest
+    and report come out byte-identical to the uninterrupted run.
+    """
+    import dataclasses
+    from pathlib import Path
+
+    from repro.service import ReplaySource, ServiceSimulator, Snapshot, SnapshotError
+    from repro.trace.bus import read_jsonl
+
+    spec = _campaign_spec_from_args(args)
+    if args.swf:
+        spec = dataclasses.replace(spec, tasks=0)
+    backend = _resolved_backend(args)
+
+    if args.resume:
+        prefix = []
+        if args.trace and Path(args.trace).exists():
+            prefix = read_jsonl(args.trace)
+        else:
+            print(
+                "error: --resume needs --trace pointing at the original "
+                "service's JSONL trace (the prefix up to the cut)",
+                file=sys.stderr,
+            )
+            return 2
+        try:
+            snap = Snapshot.read(args.resume)
+            if snap.trace_seq is not None and len(prefix) > snap.trace_seq:
+                # The old service kept running past this checkpoint before it
+                # died: drop the post-cut tail and rewrite the file to just
+                # the prefix so the resumed stream stays seq-contiguous.
+                prefix = prefix[: snap.trace_seq]
+                from repro.trace.bus import write_jsonl
+
+                write_jsonl(args.trace, prefix)
+                print(
+                    f"truncated {args.trace} to the checkpoint's "
+                    f"{snap.trace_seq} events"
+                )
+            svc = ServiceSimulator.resume(
+                snap, spec, backend=backend, prefix_events=prefix,
+                jsonl_path=args.trace,
+            )
+        except SnapshotError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        print(f"resumed from {args.resume} at t={int(svc.sim.env.now)}")
+    else:
+        svc = ServiceSimulator(spec, backend=backend, jsonl_path=args.trace)
+    if args.swf:
+        svc.source = ReplaySource.from_swf(
+            args.swf, svc.sim.rim.configs, time_scale=args.time_scale
+        )
+
+    window = max(args.window, 1)
+    now = int(svc.sim.env.now)
+    cp_dir = Path(args.checkpoint_dir)
+    next_cp = now + args.checkpoint_every if args.checkpoint_every else None
+    next_view = now + args.report_every if args.report_every else None
+    while True:
+        now += window
+        svc.advance_to(now)
+        if next_view is not None and now >= next_view:
+            view = svc.report_view()
+            print(
+                f"t={view.time}: {view.events_seen} events, "
+                f"{view.report.total_completed_tasks} completed"
+            )
+            next_view += args.report_every
+        if next_cp is not None and now >= next_cp:
+            snap = svc.checkpoint()
+            cp_dir.mkdir(parents=True, exist_ok=True)
+            path = snap.write(cp_dir / f"snapshot-{snap.key}.json")
+            print(f"checkpoint at t={now} -> {path}")
+            next_cp += args.checkpoint_every
+        source_alive = svc.source is not None and not svc.source.exhausted
+        if svc.sim.env.pending_count == 0 and not source_alive:
+            break
+    result = svc.drain()
+    label = (
+        f"serve / {args.mode} / {spec.nodes} nodes / "
+        f"{len(svc.memory)} events / seed {spec.seed}"
+    )
+    _print_report(result.report, label)
+    if svc.injector is not None:
+        _print_resilience(svc.injector.resilience(result))
+    if svc.jsonl is not None:
+        svc.jsonl.close()
+        print(f"trace written to {args.trace} ({svc.bus.events_emitted} events)")
+    print(f"trace digest: {svc.hexdigest()}")
+    return 0
+
+
 def cmd_replicate(args: argparse.Namespace) -> int:
     """``dreamsim replicate``: multi-seed means ± 95% CIs, both modes."""
     from repro.analysis.paperconfig import Scenario
@@ -696,6 +860,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     handlers = {
         "run": cmd_run,
+        "serve": cmd_serve,
         "sweep": cmd_sweep,
         "figures": cmd_figures,
         "claims": cmd_claims,

@@ -132,6 +132,16 @@ class SchedulerStats:
             "total_evicted_area": self.total_evicted_area,
         }
 
+    def restore(self, state: dict[str, object]) -> None:
+        """Restore aggregates captured by :meth:`snapshot` (snapshot support)."""
+        self.scheduled = int(state["scheduled"])  # type: ignore[arg-type]
+        self.suspended = int(state["suspended"])  # type: ignore[arg-type]
+        self.discarded = int(state["discarded"])  # type: ignore[arg-type]
+        self.by_kind = dict(state["by_kind"])  # type: ignore[arg-type]
+        self.closest_match_used = int(state["closest_match_used"])  # type: ignore[arg-type]
+        self.total_config_time_paid = int(state["total_config_time_paid"])  # type: ignore[arg-type]
+        self.total_evicted_area = int(state["total_evicted_area"])  # type: ignore[arg-type]
+
 
 __all__ = [
     "Placement",

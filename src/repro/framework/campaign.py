@@ -88,18 +88,25 @@ def build_campaign(
     indexed: bool = True,
     backend: Optional[str] = None,
     trace: Optional[TraceBus] = None,
+    arm: bool = True,
     **sim_kwargs: Any,
 ) -> tuple[DReAMSim, Optional[FailureInjector]]:
     """Construct the simulator and (if any fault knob is set) arm an injector.
 
     The workload derivation is identical to :func:`repro.quick_simulation`
     (same RNG stream, same specs), so a spec with faults off reproduces that
-    run byte for byte.
+    run byte for byte.  ``arm=False`` returns the injector un-armed — the
+    snapshot-restore path requires exactly that (restore rewires callbacks
+    in place of :meth:`FailureInjector.arm`).
     """
     rng = RNG(seed=spec.seed)
     node_list = generate_nodes(NodeSpec(count=spec.nodes), rng)
     config_list = generate_configs(ConfigSpec(count=spec.configs), rng)
-    stream = generate_task_stream(TaskSpec(count=spec.tasks), config_list, rng)
+    # tasks=0 builds a source-fed service run: no constructor-side stream at
+    # all (and no task-stream RNG draws), every arrival comes through ingest.
+    stream: list = []
+    if spec.tasks:
+        stream = list(generate_task_stream(TaskSpec(count=spec.tasks), config_list, rng))
     sim = DReAMSim(
         node_list,
         config_list,
@@ -131,7 +138,9 @@ def build_campaign(
         health_half_life=spec.health_half_life,
         quarantine_threshold=spec.quarantine_threshold,
         probation=spec.probation,
-    ).arm()
+    )
+    if arm:
+        injector.arm()
     return sim, injector
 
 

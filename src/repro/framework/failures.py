@@ -65,13 +65,14 @@ same report bit-identically from the event stream alone.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Sequence
+from typing import Callable, Optional, Sequence
 
 from repro.core.base import ScheduleResult
+from repro.model.config import Configuration
 from repro.framework.simulator import DReAMSim, SimulationResult
 from repro.metrics.resilience import FaultLog, ResilienceReport, assemble_resilience
 from repro.model.node import ConfigTaskEntry, Node
-from repro.model.task import Task, TaskStatus
+from repro.model.task import Task, TaskStatus, export_task, restore_task
 from repro.rng import RNG
 from repro.rng.distributions import Distribution
 from repro.trace.events import DISCARDED, TASK_INTERRUPTED, TASK_RETRY
@@ -275,19 +276,25 @@ class FailureInjector:
             return
         assert self.mtbf is not None
         gap = max(1, self.mtbf.sample_int(self.rng))
-        self.sim.env.call_at(int(self.sim.env.now) + gap, self._fail_one)
+        self.sim.env.call_at(
+            int(self.sim.env.now) + gap, self._fail_one, tag=("crash_next",)
+        )
 
     def _schedule_next_seu(self) -> None:
         assert self.seu_rate is not None
         gap = max(1, self.seu_rate.sample_int(self.rng))
-        self.sim.env.call_at(int(self.sim.env.now) + gap, self._seu_one)
+        self.sim.env.call_at(
+            int(self.sim.env.now) + gap, self._seu_one, tag=("seu_next",)
+        )
 
     def _schedule_next_burst(self) -> None:
         if self.max_failures is not None and len(self.events) >= self.max_failures:
             return
         assert self.burst_rate is not None
         gap = max(1, self.burst_rate.sample_int(self.rng))
-        self.sim.env.call_at(int(self.sim.env.now) + gap, self._burst_one)
+        self.sim.env.call_at(
+            int(self.sim.env.now) + gap, self._burst_one, tag=("burst_next",)
+        )
 
     # -- node-loss faults (crash / burst) ----------------------------------------
 
@@ -368,7 +375,11 @@ class FailureInjector:
         # (every running task was on this node), restart the queue now —
         # no future completion event exists to trigger redispatch.
         self._kick(now)
-        sim.env.call_at(now + repair_in, lambda: self._repair_due(node))
+        sim.env.call_at(
+            now + repair_in,
+            lambda: self._repair_due(node),
+            tag=("repair", node.node_no),
+        )
 
     def _repair_due(self, node: Node) -> None:
         """Scheduled repair tick: return to service, or quarantine if flaky."""
@@ -380,7 +391,11 @@ class FailureInjector:
             self._open_quar[node.node_no] = len(self.log.quarantines)
             self.log.quarantines.append((now, -1))
             self.sim.rim.quarantine_node(node, now=now, until=until, score_milli=node.health_milli)
-            self.sim.env.call_at(until, lambda: self._probation_over(node))
+            self.sim.env.call_at(
+                until,
+                lambda: self._probation_over(node),
+                tag=("probation", node.node_no),
+            )
             return
         self.sim.rim.repair_node(node)
         self._close_failure(node, now)
@@ -461,7 +476,9 @@ class FailureInjector:
             sim._placements.pop(victim.task_no, None)
             self._interrupt(victim, node, now, "seu")
         sim.env.call_at(
-            now + scrub_ticks, lambda: self._finish_scrub(scrub_task.task_no)
+            now + scrub_ticks,
+            lambda: self._finish_scrub(scrub_task.task_no),
+            tag=("scrub_finish", scrub_task.task_no),
         )
 
     def _finish_scrub(self, scrub_no: int) -> None:
@@ -511,7 +528,9 @@ class FailureInjector:
                 at=now + delay,
             )
         sim._pending_retries += 1
-        sim.env.call_at(now + delay, lambda: self._retry(task))
+        sim.env.call_at(
+            now + delay, lambda: self._retry(task), tag=("retry", task.task_no)
+        )
 
     def _resubmit_now(self, task: Task, now: int) -> None:
         """Classic fail-restart: instant resubmit via the suspension queue."""
@@ -550,6 +569,164 @@ class FailureInjector:
             candidate = sim.susqueue.remove(rec)
             if sim._submit(candidate, now).result is not ScheduleResult.SCHEDULED:
                 break
+
+    # -- snapshot support --------------------------------------------------------
+
+    def export_state(self) -> dict:
+        """Serialize the injector's dynamic state to JSON-safe plain data.
+
+        Parameters (mtbf, rates, budgets, quarantine knobs) do NOT travel —
+        restore requires a freshly constructed injector with identical
+        parameters, exactly as the simulator restore requires the identical
+        static system.  Scrub placeholder tasks are serialized in full: the
+        manager's entries reference them, so the simulator's restore needs
+        them before it can rebuild node state (two-phase protocol below).
+        """
+        event_idx = {id(ev): i for i, ev in enumerate(self.events)}
+        node_entries = {n.node_no: n.entries for n in self.sim.rim.nodes}
+
+        def entry_index(node: Node, entry: ConfigTaskEntry) -> int:
+            # Identity scan — ConfigTaskEntry has value equality.
+            return next(
+                i for i, e in enumerate(node_entries[node.node_no]) if e is entry
+            )
+
+        return {
+            "armed": self._armed,
+            "events": [
+                [ev.time, ev.node_no, ev.interrupted_tasks, ev.repair_at, ev.cls, ev.repaired_at]
+                for ev in self.events
+            ],
+            "tasks_interrupted": self.tasks_interrupted,
+            "log": {
+                "node_count": self.log.node_count,
+                "final_time": self.log.final_time,
+                "failures": [list(x) for x in self.log.failures],
+                "interrupts": [list(x) for x in self.log.interrupts],
+                "config_faults": self.log.config_faults,
+                "retries": [list(x) for x in self.log.retries],
+                "retry_discards": self.log.retry_discards,
+                "quarantines": [list(x) for x in self.log.quarantines],
+                "completed_first_try": self.log.completed_first_try,
+                "total_tasks": self.log.total_tasks,
+            },
+            "scrub_seq": self._scrub_seq,
+            "scrubs": [
+                [
+                    scrub_no,
+                    scrub.node.node_no,
+                    entry_index(scrub.node, scrub.entry),
+                    export_task(scrub.scrub_task),
+                ]
+                for scrub_no, scrub in sorted(self._scrubs.items())
+            ],
+            "open_fail": sorted(self._open_fail.items()),
+            "open_quar": sorted(self._open_quar.items()),
+            "open_event": sorted(
+                (node_no, event_idx[id(ev)]) for node_no, ev in self._open_event.items()
+            ),
+            "quarantine_due": sorted(self._quarantine_due),
+            "rng": list(self.rng.getstate()),
+        }
+
+    def restore_scrub_tasks(
+        self, state: dict, resolve_config: Callable[[list], Configuration]
+    ) -> dict[int, Task]:
+        """Restore phase 1: rebuild scrub placeholder tasks.
+
+        Returns ``{task_no: Task}`` for the simulator to merge into its
+        task table before the manager restore (corrupted entries bind these
+        tasks).  Entry binding itself waits for phase 2 — the entries do
+        not exist until the manager has been restored.
+        """
+        if self._armed or self.events or self._scrubs:
+            raise RuntimeError(
+                "restore requires a freshly constructed, un-armed injector"
+            )
+        out: dict[int, Task] = {}
+        self._restoring_scrubs: list[tuple[int, int, Task]] = []
+        for _scrub_no, node_no, entry_idx, tdata in state["scrubs"]:
+            task = restore_task(tdata, resolve_config)
+            out[task.task_no] = task
+            self._restoring_scrubs.append((node_no, entry_idx, task))
+        return out
+
+    def restore_state(self, state: dict) -> None:
+        """Restore phase 2: bind scrubs to restored entries, rebuild the
+        log/event/timer bookkeeping, and rewire the quarantine callback
+        (taking the place of :meth:`arm` — do NOT arm a restored injector).
+        """
+        if not hasattr(self, "_restoring_scrubs"):
+            raise RuntimeError("restore_scrub_tasks must run before restore_state")
+        sim = self.sim
+        node_by_no = {n.node_no: n for n in sim.rim.nodes}
+        self._armed = state["armed"]
+        self.events = [
+            FailureEvent(
+                time=time,
+                node_no=node_no,
+                interrupted_tasks=interrupted,
+                repair_at=repair_at,
+                cls=cls,
+                repaired_at=repaired_at,
+            )
+            for time, node_no, interrupted, repair_at, cls, repaired_at in state["events"]
+        ]
+        self.tasks_interrupted = state["tasks_interrupted"]
+        log_state = state["log"]
+        log = FaultLog()
+        log.node_count = log_state["node_count"]
+        log.final_time = log_state["final_time"]
+        log.failures = [(s, c, e) for s, c, e in log_state["failures"]]
+        log.interrupts = [(t, c) for t, c in log_state["interrupts"]]
+        log.config_faults = log_state["config_faults"]
+        log.retries = [(t, d) for t, d in log_state["retries"]]
+        log.retry_discards = log_state["retry_discards"]
+        log.quarantines = [(s, e) for s, e in log_state["quarantines"]]
+        log.completed_first_try = log_state["completed_first_try"]
+        log.total_tasks = log_state["total_tasks"]
+        self.log = log
+        self._scrub_seq = state["scrub_seq"]
+        for node_no, entry_idx, task in self._restoring_scrubs:
+            node = node_by_no[node_no]
+            entry = node.entries[entry_idx]
+            self._scrubs[task.task_no] = _Scrub(node, entry, task)
+            self._scrub_entries.add(id(entry))
+        del self._restoring_scrubs
+        self._open_fail = {node_no: idx for node_no, idx in state["open_fail"]}
+        self._open_quar = {node_no: idx for node_no, idx in state["open_quar"]}
+        self._open_event = {
+            node_no: self.events[idx] for node_no, idx in state["open_event"]
+        }
+        self._quarantine_due = set(state["quarantine_due"])
+        self.rng.setstate(tuple(state["rng"]))
+        if self._armed and self.quarantine_enabled:
+            sim.rim.on_quarantine_release = self._on_release
+
+    def resolve_tag(
+        self, tag: tuple, task_of: Callable[[int], Task]
+    ) -> Callable[[], None]:
+        """Map an exported injector event tag back to its callback."""
+        kind = tag[0]
+        if kind == "crash_next":
+            return self._fail_one
+        if kind == "seu_next":
+            return self._seu_one
+        if kind == "burst_next":
+            return self._burst_one
+        if kind == "repair":
+            node = next(n for n in self.sim.rim.nodes if n.node_no == tag[1])
+            return lambda: self._repair_due(node)
+        if kind == "probation":
+            node = next(n for n in self.sim.rim.nodes if n.node_no == tag[1])
+            return lambda: self._probation_over(node)
+        if kind == "scrub_finish":
+            scrub_no = tag[1]
+            return lambda: self._finish_scrub(scrub_no)
+        if kind == "retry":
+            task = task_of(tag[1])
+            return lambda: self._retry(task)
+        raise ValueError(f"unknown injector event tag {tag!r}")
 
 
 __all__ = ["FailureInjector", "FailureEvent"]

@@ -92,6 +92,16 @@ class Monitor:
             )
         return snap
 
+    def export_state(self) -> dict:
+        """Snapshot support: the rate-limit gate (series restart empty)."""
+        return {"last_time": self._last_time}
+
+    def restore_state(self, state: dict) -> None:
+        """Restore the rate-limit gate so post-restore sampling (and its
+        ``MonitorSampled`` emissions) continues exactly where the
+        interrupted run left off."""
+        self._last_time = state["last_time"]
+
     @property
     def peak_queue_length(self) -> int:
         return int(self.queue_length.max())

@@ -21,22 +21,24 @@ randomness lives in the workload generators.
 from __future__ import annotations
 
 import gc
+from collections import deque
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Iterable, Iterator, Optional
+from typing import TYPE_CHECKING, Callable, Iterable, Iterator, Optional
 
-from repro.core.base import Placement, ScheduleOutcome, ScheduleResult
+from repro.core.base import Placement, PlacementKind, ScheduleOutcome, ScheduleResult
 from repro.core.policies import PlacementPolicy
 from repro.core.scheduler import DreamScheduler
 from repro.metrics.accumulators import RunningStats
 from repro.metrics.table1 import MetricsReport, compute_report
 from repro.model.config import Configuration
 from repro.model.node import Node
-from repro.model.task import Task
+from repro.model.task import Task, export_task, restore_task
 from repro.resources import create_manager, resolve_backend
 from repro.resources.arraycore import ArraySuspensionQueue
 from repro.resources.counters import SearchCounters
 from repro.resources.invariants import check_invariants
 from repro.resources.susqueue import SuspensionQueue
+from repro.sim.core import Event
 from repro.sim.environment import Environment
 from repro.trace.events import (
     COMPLETED,
@@ -168,9 +170,29 @@ class DReAMSim:
         self._debug_every = debug_invariants_every
         self._sample_system = sample_system_waste
         self._placed_count = 0
+        self._started = False
         self._done = False
         self._final_value: Optional[int] = None  # cached by run()
         self._arrivals_done = False  # the lazy arrival feed hit stream end
+        self._arrivals_consumed = 0  # tasks drawn from the constructor stream
+        # The arrival drawn from the stream but not yet fired — snapshot
+        # restore cannot redraw it (the generator moved on), so it travels
+        # in the snapshot explicitly.
+        self._pending_arrival: Optional[TaskArrival] = None
+        # Live completion event per placed task.  A completion event whose
+        # placement was invalidated (node crash) is *stale*: the live run
+        # no-ops it, and the snapshot export drops it outright — this
+        # registry is how export tells live events from stale ones.
+        self._completion_events: dict[int, Event] = {}
+        # Incremental-ingest seam (service mode): tasks pushed in from
+        # outside interleave after the constructor stream drains.
+        self._ingest_buffer: deque[TaskArrival] = deque()
+        self._ingest_open = False
+        # System configurations by number, for canonicalizing ingested
+        # preferences onto the identity-compared objects.
+        self._config_by_no: dict[int, Configuration] = {
+            c.config_no: c for c in self.rim.configs
+        }
         # Tasks parked in a fault-retry backoff: interrupted, scheduled to
         # re-enter at now + delay, in neither _placements nor the susqueue.
         # The failure injector maintains the count; the workload is not
@@ -186,26 +208,33 @@ class DReAMSim:
 
     # -- public API --------------------------------------------------------------
 
+    @property
+    def started(self) -> bool:
+        """True once :meth:`start` (or :meth:`run`, or a restore) has run."""
+        return self._started
+
+    @property
+    def done(self) -> bool:
+        """True once :meth:`finish` has sealed the run."""
+        return self._done
+
     def run(self, until: Optional[int] = None) -> SimulationResult:
         """Run to completion (or to time ``until``) and build the report."""
         if self._done:
             raise RuntimeError("simulation already ran; create a new DReAMSim")
-        if self.trace is not None:
-            self.trace.emit(
-                RUN_STARTED,
-                nodes=len(self.rim.nodes),
-                configs=len(self.rim.configs),
-                partial=self.partial,
-                sample_system=self._sample_system,
-            )
-        if until is None and hot_eligible(self):
+        if not self._started and until is None and hot_eligible(self):
             # Clean array-backend run: the flat-table hot loop replays the
             # exact event/charge/sampling semantics of the generic path an
             # order of magnitude faster (see repro.framework.hotloop).
+            # hot_eligible requires trace=None, so skipping the RunStarted
+            # emission here loses nothing; run_hot pulls arrivals itself,
+            # so the feed must NOT be primed (that is why the hot branch
+            # bypasses start()).
             # The cyclic collector is paused for the loop: the hot path
             # allocates heavily but creates no cycles, and gen-0 scans of
             # the growing task/sample lists otherwise cost >10% of the
             # run.  Liveness is unaffected, so results are identical.
+            self._started = True
             gc_was_enabled = gc.isenabled()
             if gc_was_enabled:
                 gc.disable()
@@ -214,9 +243,48 @@ class DReAMSim:
             finally:
                 if gc_was_enabled:
                     gc.enable()
-        else:
-            self._feed_next_arrival()
-            self.env.run(until=until)
+            return self.finish()
+        if not self._started:
+            self.start()
+        self.env.run(until=until)
+        return self.finish()
+
+    def start(self) -> None:
+        """Begin a run without draining it (service mode / snapshot harness).
+
+        Emits ``RunStarted`` and primes the lazy arrival feed; the caller
+        then drives the kernel itself (``env.run(until=...)`` windows, or a
+        restore) and seals the run with :meth:`finish` or
+        :meth:`run_to_end`.
+        """
+        if self._done:
+            raise RuntimeError("simulation already ran; create a new DReAMSim")
+        if self._started:
+            raise RuntimeError("simulation already started")
+        if self.trace is not None:
+            self.trace.emit(
+                RUN_STARTED,
+                nodes=len(self.rim.nodes),
+                configs=len(self.rim.configs),
+                partial=self.partial,
+                sample_system=self._sample_system,
+            )
+        self._started = True
+        self._feed_next_arrival()
+
+    def run_to_end(self) -> SimulationResult:
+        """Drain every pending event, then seal a started run."""
+        if not self._started or self._done:
+            raise RuntimeError("run_to_end requires a started, unfinished run")
+        self.env.run()
+        return self.finish()
+
+    def finish(self) -> SimulationResult:
+        """Seal a started run: final housekeeping, ``RunFinished``, report."""
+        if not self._started:
+            raise RuntimeError("finish requires a started run")
+        if self._done:
+            raise RuntimeError("simulation already finished")
         final = self._final_time()
         self._final_value = final
         self._charge_tick_housekeeping(final)
@@ -237,6 +305,70 @@ class DReAMSim:
                 "partial": self.partial,
             },
         )
+
+    # -- incremental ingest (service mode) --------------------------------------
+
+    def open_ingest(self) -> None:
+        """Accept externally pushed arrivals (see :mod:`repro.service`).
+
+        While ingest is open the workload is never considered finished —
+        more tasks may arrive — so bounded-horizon windows
+        (``env.run(until=...)``) interleave with :meth:`ingest` calls.
+        """
+        if self._done:
+            raise RuntimeError("cannot open ingest on a finished run")
+        self._ingest_open = True
+        self._arrivals_done = False
+
+    def ingest(self, arrivals: Iterable[TaskArrival]) -> int:
+        """Queue externally supplied arrivals; returns how many were taken.
+
+        Arrivals must be non-decreasing in time across calls (the service
+        sources guarantee it).  If the arrival chain had drained, it is
+        restarted so the new tasks get their events scheduled.
+
+        Each task's preference is canonicalized onto the system's own
+        Configuration object when it names one (same number, same area and
+        config time).  ``used_closest_match`` and ``Node.add_task`` compare
+        by object identity, so a value-equal copy carried in over the seam
+        would otherwise read as "not my preference" — and a snapshot restore
+        (which maps known numbers back onto the system's objects) would
+        disagree with the live run.
+        """
+        if not self._ingest_open:
+            raise RuntimeError("ingest is not open; call open_ingest() first")
+        count = 0
+        for arrival in arrivals:
+            task = arrival.task
+            pref = task.pref_config
+            own = self._config_by_no.get(pref.config_no)
+            if (
+                own is not None
+                and own is not pref
+                and own.req_area == pref.req_area
+                and own.config_time == pref.config_time
+            ):
+                task.pref_config = own
+            self._ingest_buffer.append(arrival)
+            count += 1
+        if count and self._started and self._pending_arrival is None:
+            self._feed_next_arrival()
+        return count
+
+    @property
+    def ingest_open(self) -> bool:
+        """True while :meth:`ingest` accepts externally pushed arrivals."""
+        return self._ingest_open
+
+    def close_ingest(self) -> None:
+        """No more external arrivals; the run can now finish."""
+        self._ingest_open = False
+        if (
+            self._started
+            and self._pending_arrival is None
+            and not self._ingest_buffer
+        ):
+            self._arrivals_done = True
 
     def _final_time(self) -> int:
         """Eq. 5's total simulation time: the tick the workload finished.
@@ -297,11 +429,18 @@ class DReAMSim:
 
     def _feed_next_arrival(self) -> None:
         arrival = next(self._arrivals, None)
+        if arrival is not None:
+            self._arrivals_consumed += 1
+        elif self._ingest_buffer:
+            arrival = self._ingest_buffer.popleft()
         if arrival is None:
-            self._arrivals_done = True
+            self._pending_arrival = None
+            if not self._ingest_open:
+                self._arrivals_done = True
             return
+        self._pending_arrival = arrival
         at = max(arrival.at, int(self.env.now))
-        self.env.call_at(at, lambda: self._on_arrival(arrival))
+        self.env.call_at(at, lambda: self._on_arrival(arrival), tag=("arrival",))
 
     def _charge_tick_housekeeping(self, now: int) -> None:
         """Bill the reference's per-tick state maintenance for elapsed ticks."""
@@ -312,6 +451,7 @@ class DReAMSim:
 
     def _on_arrival(self, arrival: TaskArrival) -> None:
         now = int(self.env.now)
+        self._pending_arrival = None
         self._charge_tick_housekeeping(now)
         task = arrival.task
         task.mark_created(now)
@@ -340,8 +480,10 @@ class DReAMSim:
             finish = now + placement.start_delay + exec_time
             # The closure captures the placement so a completion scheduled
             # before a node failure is recognised as stale and ignored.
-            self.env.call_at(
-                finish, lambda p=placement: self._on_complete(task, p)
+            self._completion_events[task.task_no] = self.env.call_at(
+                finish,
+                lambda p=placement: self._on_complete(task, p),
+                tag=("complete", task.task_no),
             )
         return outcome
 
@@ -365,6 +507,7 @@ class DReAMSim:
         current = self._placements.get(task.task_no)
         if expected_placement is not None and current is not expected_placement:
             return  # stale completion: the node failed and the task restarted
+        self._completion_events.pop(task.task_no, None)
         self._charge_tick_housekeeping(now)
         task.mark_completed(now)
         placement = self._placements.pop(task.task_no)
@@ -415,6 +558,327 @@ class DReAMSim:
             self.scheduler.stats.discarded += 1
             if self.trace is not None:
                 self.trace.emit(DISCARDED, task=expired.task_no, reason="retries")
+
+    # -- snapshot support --------------------------------------------------------
+
+    def _keep_pending(self, tag: tuple, event: Event) -> bool:
+        """Drop stale completion events at export.
+
+        A completion is live only while its task is still placed AND the
+        registered event is this one; a crashed task's old completion (the
+        live run no-ops it) and a re-placed task's superseded completion
+        are both dropped.  Firing order of survivors is unchanged — stale
+        completions have no observable effect — so the digest is preserved.
+        """
+        if tag[0] != "complete":
+            return True
+        task_no = tag[1]
+        return (
+            task_no in self._placements
+            and self._completion_events.get(task_no) is event
+        )
+
+    def _export_placement(self, p: Placement) -> dict:
+        entry_idx: Optional[int] = None
+        if p.entry is not None:
+            assert p.node is not None
+            # Identity scan: ConfigTaskEntry has value equality, so
+            # list.index could hit a different-but-equal entry.
+            entry_idx = next(
+                i for i, e in enumerate(p.node.entries) if e is p.entry
+            )
+        return {
+            "kind": p.kind.name,
+            "node": p.node.node_no if p.node is not None else None,
+            "entry": entry_idx,
+            "config": [p.config.config_no, p.config.req_area, p.config.config_time],
+            "config_time": p.config_time,
+            "comm_time": p.comm_time,
+            "evicted_area": p.evicted_area,
+            "closest": p.used_closest_match,
+            "gpp_slot": (
+                self.gpp.slot_index(p.gpp_slot)  # type: ignore[arg-type]
+                if p.gpp_slot is not None and self.gpp is not None
+                else None
+            ),
+            "exec_time": p.exec_time,
+        }
+
+    def _restore_placement(
+        self, data: dict, node_by_no: dict[int, Node], resolve: Callable
+    ) -> Placement:
+        node = node_by_no[data["node"]] if data["node"] is not None else None
+        entry = node.entries[data["entry"]] if data["entry"] is not None else None
+        return Placement(
+            kind=PlacementKind[data["kind"]],
+            node=node,
+            entry=entry,
+            config=resolve(data["config"]),
+            config_time=data["config_time"],
+            comm_time=data["comm_time"],
+            evicted_area=data["evicted_area"],
+            used_closest_match=data["closest"],
+            gpp_slot=(
+                self.gpp.slot_at(data["gpp_slot"])
+                if data["gpp_slot"] is not None and self.gpp is not None
+                else None
+            ),
+            exec_time=data["exec_time"],
+        )
+
+    def export_state(self) -> dict:
+        """Serialize the full mid-run state to JSON-safe plain data.
+
+        Captured between events (the harness and the service driver only
+        snapshot at event boundaries), so the state is self-consistent:
+        every pending event is reconstructable from its tag plus the
+        exported task/placement tables.  The injector's state, if one is
+        armed, is exported separately (:meth:`FailureInjector.export_state`)
+        and the two travel together inside a :class:`repro.service.Snapshot`.
+        """
+        if not self._started:
+            raise RuntimeError("cannot snapshot: run not started")
+        if self._done:
+            raise RuntimeError("cannot snapshot: run already finished")
+        pending = self.env.export_pending(keep=self._keep_pending)
+        return {
+            "backend": self.backend,
+            "partial": self.partial,
+            "nodes": len(self.rim.nodes),
+            "configs": len(self.rim.configs),
+            "sample_system": self._sample_system,
+            "per_tick_hk": self._per_tick_hk,
+            "env": {
+                "now": int(self.env.now),
+                "seq": self.env.schedule_seq,
+                "event_count": self.env.events_processed,
+                "pending": [
+                    [when, prio, seq, list(tag)] for when, prio, seq, tag in pending
+                ],
+            },
+            "tasks": [export_task(t) for t in self.tasks],
+            "rim": self.rim.export_state(),
+            "susqueue": self.susqueue.export_state(),
+            "scheduler_stats": self.scheduler.stats.snapshot(),
+            "counters": {
+                "ss": self.counters.scheduling_steps,
+                "hk": self.counters.housekeeping_steps,
+            },
+            "placements": [
+                [no, self._export_placement(p)]
+                for no, p in sorted(self._placements.items())
+            ],
+            "placement_waste": self.placement_waste.export_state(),
+            "system_waste_total": float(self.system_waste_total).hex(),
+            "system_waste_samples": self._system_waste_samples,
+            "placed_count": self._placed_count,
+            "arrivals_done": self._arrivals_done,
+            "arrivals_consumed": self._arrivals_consumed,
+            "pending_arrival": (
+                None
+                if self._pending_arrival is None
+                else [
+                    self._pending_arrival.at,
+                    export_task(self._pending_arrival.task),
+                ]
+            ),
+            "ingest": {
+                "open": self._ingest_open,
+                "buffer": [
+                    [a.at, export_task(a.task)] for a in self._ingest_buffer
+                ],
+            },
+            "pending_retries": self._pending_retries,
+            "last_hk_time": self._last_hk_time,
+            "monitor": self.monitor.export_state(),
+            "gpp": self.gpp.export_state() if self.gpp is not None else None,
+            "trace_seq": (
+                self.trace.events_emitted if self.trace is not None else None
+            ),
+        }
+
+    def restore_state(
+        self,
+        state: dict,
+        *,
+        injector: Optional[object] = None,
+        injector_state: Optional[dict] = None,
+    ) -> None:
+        """Rebuild :meth:`export_state` output onto a fresh simulator.
+
+        The simulator must be freshly constructed over the *identical*
+        static system and arrival stream (same generator seed and
+        parameters — typically via ``build_campaign`` with the original
+        spec); the stream is fast-forwarded past the consumed prefix here.
+        The backend may differ from the snapshot's — the exported formats
+        are backend-neutral and the exactness contract makes cross-backend
+        resume digest-preserving (DESIGN.md §14).
+
+        When the original run had an armed :class:`FailureInjector`, pass a
+        freshly constructed (NOT armed) injector with identical parameters
+        plus its exported state; restore rewires its callbacks in place of
+        :meth:`FailureInjector.arm`.
+        """
+        if self._started or self._done or self.tasks or int(self.env.now) != 0:
+            raise RuntimeError(
+                "restore_state requires a freshly constructed DReAMSim"
+            )
+        if (injector is None) != (injector_state is None):
+            raise ValueError("injector and injector_state must be given together")
+        if state["nodes"] != len(self.rim.nodes) or state["configs"] != len(
+            self.rim.configs
+        ):
+            raise ValueError(
+                f"snapshot system shape ({state['nodes']}n/{state['configs']}c) "
+                f"does not match this simulator "
+                f"({len(self.rim.nodes)}n/{len(self.rim.configs)}c)"
+            )
+        for knob in ("partial", "sample_system", "per_tick_hk"):
+            mine = {
+                "partial": self.partial,
+                "sample_system": self._sample_system,
+                "per_tick_hk": self._per_tick_hk,
+            }[knob]
+            if state[knob] != mine:
+                raise ValueError(
+                    f"snapshot {knob}={state[knob]!r} does not match "
+                    f"this simulator's {mine!r}"
+                )
+        from repro.model.gpp import GPP_CONFIG
+
+        known = {c.config_no: c for c in self.rim.configs}
+        known[GPP_CONFIG.config_no] = GPP_CONFIG
+        resolve = _config_resolver(known)
+        task_by_no: dict[int, Task] = {}
+        for tdata in state["tasks"]:
+            task = restore_task(tdata, resolve)
+            self.tasks.append(task)
+            task_by_no[task.task_no] = task
+        if injector is not None:
+            # Phase 1: scrub tasks exist outside the task table but are
+            # referenced by node entries, so the manager restore needs them.
+            task_by_no.update(injector.restore_scrub_tasks(injector_state, resolve))  # type: ignore[attr-defined]
+
+        def task_of(no: int) -> Task:
+            return task_by_no[no]
+
+        self.rim.restore_state(state["rim"], task_of)
+        if injector is not None:
+            # Phase 2: entries exist now; bind scrubs, timers, log, RNG.
+            injector.restore_state(injector_state)  # type: ignore[attr-defined]
+        self.susqueue.restore_state(state["susqueue"], task_of)
+        self.scheduler.stats.restore(state["scheduler_stats"])
+        self.counters.scheduling_steps = state["counters"]["ss"]
+        self.counters.housekeeping_steps = state["counters"]["hk"]
+        if state["gpp"] is not None:
+            if self.gpp is None:
+                raise ValueError("snapshot has a GPP pool, this simulator has none")
+            self.gpp.restore_state(state["gpp"], task_of)
+        node_by_no = {n.node_no: n for n in self.rim.nodes}
+        for no, pdata in state["placements"]:
+            self._placements[no] = self._restore_placement(pdata, node_by_no, resolve)
+        self.placement_waste.restore_state(state["placement_waste"])
+        self.system_waste_total = float.fromhex(state["system_waste_total"])
+        self._system_waste_samples = state["system_waste_samples"]
+        self._placed_count = state["placed_count"]
+        self._pending_retries = state["pending_retries"]
+        self._last_hk_time = state["last_hk_time"]
+        self.monitor.restore_state(state["monitor"])
+        # Fast-forward the regenerated arrival stream past the consumed
+        # prefix.  The pending arrival was drawn (so it is counted) but not
+        # fired; it travels in the snapshot and must NOT be redrawn.
+        consumed = state["arrivals_consumed"]
+        for _ in range(consumed):
+            if next(self._arrivals, None) is None:
+                raise ValueError(
+                    "arrival stream shorter than the snapshot consumed; "
+                    "rebuild the simulator with the identical workload"
+                )
+        self._arrivals_consumed = consumed
+        self._arrivals_done = state["arrivals_done"]
+        self._ingest_open = state["ingest"]["open"]
+        for at, tdata in state["ingest"]["buffer"]:
+            task = restore_task(tdata, resolve)
+            task_by_no[task.task_no] = task
+            self._ingest_buffer.append(TaskArrival(at=at, task=task))
+        if state["pending_arrival"] is not None:
+            at, tdata = state["pending_arrival"]
+            task = restore_task(tdata, resolve)
+            task_by_no[task.task_no] = task
+            self._pending_arrival = TaskArrival(at=at, task=task)
+        env_state = state["env"]
+        records = [
+            (when, prio, seq, tuple(tag)) for when, prio, seq, tag in env_state["pending"]
+        ]
+        events = self.env.restore_pending(
+            records,
+            self._event_resolver(task_of, injector),
+            now=env_state["now"],
+            seq=env_state["seq"],
+            event_count=env_state["event_count"],
+        )
+        for (_when, _prio, _seq, tag), event in zip(records, events):
+            if tag[0] == "complete":
+                self._completion_events[tag[1]] = event
+        if self.trace is not None and state["trace_seq"] is not None:
+            self.trace.resume_at(state["trace_seq"])
+        self._started = True
+
+    def _event_resolver(
+        self, task_of: Callable[[int], Task], injector: Optional[object]
+    ) -> Callable[[tuple], Callable[[], None]]:
+        """Map exported event tags back to their callbacks (restore)."""
+
+        def resolver(tag: tuple) -> Callable[[], None]:
+            kind = tag[0]
+            if kind == "arrival":
+                arrival = self._pending_arrival
+                if arrival is None:
+                    raise ValueError(
+                        "snapshot has an arrival event but no pending arrival"
+                    )
+                return lambda: self._on_arrival(arrival)
+            if kind == "complete":
+                task = task_of(tag[1])
+                placement = self._placements[tag[1]]
+                return lambda: self._on_complete(task, placement)
+            if injector is not None:
+                return injector.resolve_tag(tag, task_of)  # type: ignore[attr-defined]
+            raise ValueError(
+                f"unknown event tag {tag!r} (no failure injector attached)"
+            )
+
+        return resolver
+
+
+def _config_resolver(known: dict[int, "Configuration"]):
+    """Shared triple→Configuration resolver for one restore.
+
+    Known numbers map onto the manager's own objects (the identity
+    contract behind ``used_closest_match`` and ``Node.add_task``); unknown
+    preferences — the generator invents them for ~15% of tasks — are
+    fabricated once and cached, so every reference to one config_no
+    regains a single shared object.
+    """
+    fabricated: dict[tuple, Configuration] = {}
+
+    def resolve(triple: list) -> Configuration:
+        config_no, req_area, config_time = triple
+        cfg = known.get(config_no)
+        if cfg is not None and cfg.req_area == req_area and cfg.config_time == config_time:
+            return cfg
+        # Not a system configuration (or a same-numbered impostor with
+        # different values — keep it distinct): fabricate once per triple.
+        key = (config_no, req_area, config_time)
+        made = fabricated.get(key)
+        if made is None:
+            made = Configuration(
+                config_no=config_no, req_area=req_area, config_time=config_time
+            )
+            fabricated[key] = made
+        return made
+
+    return resolve
 
 
 __all__ = ["DReAMSim", "SimulationResult"]

@@ -1,4 +1,4 @@
-"""The project rule set: DL001–DL008 (DESIGN.md §11).
+"""The project rule set: DL001–DL009 (DESIGN.md §11).
 
 Each rule is a small AST visitor over one :class:`~repro.lint.core.SourceFile`
 (or, for the cross-file rules DL004/DL006, over the whole tree).  Rules are
@@ -715,6 +715,49 @@ class PublicAnnotations(Rule):
         yield from out
 
 
+# ---------------------------------------------------------------------------
+# DL009 — service/ touches foreign state through public hooks only
+# ---------------------------------------------------------------------------
+
+
+@register
+class SnapshotViaPublicHooks(Rule):
+    """DL009: service/ never reaches into another object's private state."""
+
+    id = "DL009"
+    title = "service/ accesses non-self state through public hooks only"
+    severity = Severity.ERROR
+    rationale = (
+        "Checkpoint serialization stays honest only if every byte flows "
+        "through the owning manager's public export/restore hooks "
+        "(export_state, restore_state, export_task...); a service-layer "
+        "read of sim._anything would freeze an internal the owner never "
+        "promised to keep, and silently rot when it changes."
+    )
+
+    def check_file(self, f: SourceFile) -> Iterator[Finding]:
+        if not f.rel.startswith("service/"):
+            return
+        for node in ast.walk(f.tree):
+            if not isinstance(node, ast.Attribute):
+                continue
+            attr = node.attr
+            if not attr.startswith("_"):
+                continue
+            if attr.startswith("__") and attr.endswith("__"):
+                continue
+            recv = node.value
+            if isinstance(recv, ast.Name) and recv.id in ("self", "cls"):
+                continue
+            yield self.finding(
+                f,
+                node,
+                f"private attribute {attr!r} accessed on a non-self "
+                "receiver: service/ must go through the owner's public "
+                "export/restore hooks",
+            )
+
+
 __all__ = [
     "ACCOUNTING_FILES",
     "ACCOUNTING_PREFIXES",
@@ -728,6 +771,7 @@ __all__ = [
     "NoDeepcopyOnHotPaths",
     "NoNondeterminism",
     "PublicAnnotations",
+    "SnapshotViaPublicHooks",
     "TaxonomyCoverage",
     "TraceViaBus",
 ]

@@ -83,6 +83,26 @@ class RunningStats:
             "total": self.total,
         }
 
+    def export_state(self) -> dict[str, object]:
+        """Exact-state export: floats as hex so restore is bit-identical."""
+        return {
+            "n": self.n,
+            "mean": self._mean.hex(),
+            "m2": self._m2.hex(),
+            "min": self.min.hex(),
+            "max": self.max.hex(),
+            "total": self.total.hex(),
+        }
+
+    def restore_state(self, state: dict[str, object]) -> None:
+        """Restore the exact aggregates captured by :meth:`export_state`."""
+        self.n = int(state["n"])  # type: ignore[arg-type]
+        self._mean = float.fromhex(state["mean"])  # type: ignore[arg-type]
+        self._m2 = float.fromhex(state["m2"])  # type: ignore[arg-type]
+        self.min = float.fromhex(state["min"])  # type: ignore[arg-type]
+        self.max = float.fromhex(state["max"])  # type: ignore[arg-type]
+        self.total = float.fromhex(state["total"])  # type: ignore[arg-type]
+
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"RunningStats(n={self.n}, mean={self.mean:.3f})"
 

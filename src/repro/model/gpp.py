@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Callable, Optional
 
 from repro.model.config import Configuration, Ptype
 from repro.model.task import Task
@@ -118,6 +118,39 @@ class GppPool:
         if slot.task is None:
             raise ValueError(f"GPP slot {slot.gpp_no}.{slot.core} already free")
         slot.task = None
+
+    # -- snapshot support -----------------------------------------------------
+
+    def slot_index(self, slot: GppSlot) -> int:
+        """Stable index of ``slot`` in the pool's allocation order."""
+        for i, s in enumerate(self._slots):
+            if s is slot:
+                return i
+        raise ValueError("slot does not belong to this pool")
+
+    def slot_at(self, index: int) -> GppSlot:
+        """The slot at a :meth:`slot_index` position."""
+        return self._slots[index]
+
+    def export_state(self) -> dict:
+        """Serialize slot bindings and counters to plain data."""
+        return {
+            "slots": [s.task.task_no if s.task is not None else None for s in self._slots],
+            "tasks_executed": self.tasks_executed,
+            "total_slowed_ticks": self.total_slowed_ticks,
+        }
+
+    def restore_state(self, state: dict, task_of: Callable[[int], Task]) -> None:
+        """Rebind slots to restored tasks; ``task_of`` maps task numbers."""
+        bindings = state["slots"]
+        if len(bindings) != len(self._slots):
+            raise ValueError(
+                f"snapshot has {len(bindings)} GPP slots, pool has {len(self._slots)}"
+            )
+        for slot, task_no in zip(self._slots, bindings):
+            slot.task = task_of(task_no) if task_no is not None else None
+        self.tasks_executed = state["tasks_executed"]
+        self.total_slowed_ticks = state["total_slowed_ticks"]
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"GppPool({self.count}x{self.cores} cores, busy={self.busy_slots})"

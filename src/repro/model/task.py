@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Any, Optional
+from typing import Any, Callable, Optional
 
 from repro.model.config import Configuration
 from repro.model.errors import TaskStateError
@@ -178,4 +178,74 @@ class Task:
         )
 
 
-__all__ = ["Task", "TaskStatus", "UNSET"]
+# -- snapshot serialization ----------------------------------------------------
+#
+# Configurations are referenced as ``[config_no, req_area, config_time]``
+# triples: snapshot restore maps known numbers back onto the system's own
+# Configuration objects (the object-identity contract behind
+# ``used_closest_match`` and ``Node.add_task``) and fabricates fresh objects
+# for the unknown preferences the workload generator invented.
+
+
+def export_task(task: Task) -> dict:
+    """Serialize one task to JSON-safe plain data (snapshot support)."""
+    pref = task.pref_config
+    assigned = task.assigned_config
+    return {
+        "no": task.task_no,
+        "req": task.required_time,
+        "pref": [pref.config_no, pref.req_area, pref.config_time],
+        "data": task.data,
+        "create": task.create_time,
+        "start": task.start_time,
+        "completion": task.completion_time,
+        "comm": task.comm_time,
+        "ctp": task.config_time_paid,
+        "assigned": (
+            None
+            if assigned is None
+            else [assigned.config_no, assigned.req_area, assigned.config_time]
+        ),
+        "on_gpp": task.on_gpp,
+        "status": task.status.name,
+        "sus_retry": task.sus_retry,
+        "fault_retries": task.fault_retries,
+        "steps": task.scheduling_steps,
+        "history": [[tick, status.name] for tick, status in task._history],
+    }
+
+
+def restore_task(
+    data: dict, resolve_config: Callable[[list], Configuration]
+) -> Task:
+    """Rebuild a task from :func:`export_task` output.
+
+    ``resolve_config`` maps a ``[config_no, req_area, config_time]`` triple
+    to a Configuration — the same resolver must serve every task of one
+    snapshot so exact-match preferences regain object identity with the
+    system list (and with each other).
+    """
+    task = Task(
+        task_no=data["no"],
+        required_time=data["req"],
+        pref_config=resolve_config(data["pref"]),
+        data=data["data"],
+    )
+    task.create_time = data["create"]
+    task.start_time = data["start"]
+    task.completion_time = data["completion"]
+    task.comm_time = data["comm"]
+    task.config_time_paid = data["ctp"]
+    task.assigned_config = (
+        None if data["assigned"] is None else resolve_config(data["assigned"])
+    )
+    task.on_gpp = data["on_gpp"]
+    task.status = TaskStatus[data["status"]]
+    task.sus_retry = data["sus_retry"]
+    task.fault_retries = data["fault_retries"]
+    task.scheduling_steps = data["steps"]
+    task._history = [(tick, TaskStatus[name]) for tick, name in data["history"]]
+    return task
+
+
+__all__ = ["Task", "TaskStatus", "UNSET", "export_task", "restore_task"]

@@ -1016,6 +1016,192 @@ class ArrayRIM:
             sl[-1][0] if sl else 0.0,
         )
 
+    # -- snapshot support --------------------------------------------------------
+
+    def export_state(self) -> dict:
+        """Backend-neutral dynamic state for checkpointing.
+
+        Identical format to
+        :meth:`repro.resources.manager.ResourceInformationManager.export_state`
+        — chain orders and sequence numbers match across backends by the
+        exactness contract, so a snapshot cut under one backend restores
+        under any other with an unchanged trace digest.
+        """
+        epos: dict[int, tuple[int, int]] = {}
+        nodes_out = []
+        for ni, node in enumerate(self.nodes):
+            entries_out = []
+            for ei, entry in enumerate(node.entries):
+                epos[id(entry)] = (ni, ei)
+                entries_out.append(
+                    [
+                        entry.config.config_no,
+                        entry.task.task_no if entry.task is not None else None,
+                        entry.loaded_at,
+                    ]
+                )
+            nodes_out.append(
+                {
+                    "entries": entries_out,
+                    "in_service": node.in_service,
+                    "reconfig_count": node.reconfig_count,
+                    "failure_count": node.failure_count,
+                    "health_milli": node.health_milli,
+                    "health_updated": node.health_updated,
+                }
+            )
+        blank_out = [
+            [self._pos[n], self._blank_key[n] & _SEQ_MASK] for n in self._blank_m
+        ]
+        idle_out = []
+        busy_out = []
+        for c in self.configs:
+            idle_chain = self._idle_m[c.config_no]
+            if idle_chain:
+                idle_out.append(
+                    [
+                        c.config_no,
+                        [
+                            [*epos[id(e)], e._akey & _SEQ_MASK]  # type: ignore[attr-defined]
+                            for e in idle_chain
+                        ],
+                    ]
+                )
+            busy_chain = self._busy_m[c.config_no]
+            if busy_chain:
+                busy_out.append(
+                    [c.config_no, [list(epos[id(e)]) for e in busy_chain]]
+                )
+        return {
+            "chain_seq": self._chain_seq,
+            "blank": blank_out,
+            "idle": idle_out,
+            "busy": busy_out,
+            "nodes": nodes_out,
+            "used_nodes": sorted(self._used_nodes),
+            "reconfig_counts": [
+                [c.config_no, self.reconfig_count_by_config[c.config_no]]
+                for c in self.configs
+            ],
+            "quarantined": [
+                [node_no, until]
+                for node_no, (_n, until) in self._quarantined.items()
+            ],
+        }
+
+    def restore_state(self, state: dict, task_of: Callable[[int], Task]) -> None:
+        """Rebuild the dynamic state captured by :meth:`export_state`.
+
+        Same preconditions as the object manager's ``restore_state``: a
+        freshly constructed manager over the same static system.  No step
+        charging — counter values travel in the snapshot.
+        """
+        if len(state["nodes"]) != len(self.nodes):
+            raise ConfigurationError(
+                f"snapshot has {len(state['nodes'])} nodes, manager has {len(self.nodes)}"
+            )
+        if any(n.entries or not n.in_service for n in self.nodes):
+            raise ConfigurationError(
+                "restore_state requires a freshly constructed manager "
+                "(all nodes blank and in service)"
+            )
+        # Tear down the construction-time blank bookkeeping.
+        self._blank_m.clear()
+        self._blank_key.clear()
+        self._node_by_bseq.clear()
+        self._sq = []
+
+        # Per-node dynamic state, through the public Node mutators.
+        for node, rec in zip(self.nodes, state["nodes"]):
+            for cno, task_no, loaded_at in rec["entries"]:
+                config = self._config_by_no[cno][1]
+                entry = node.send_bitstream(config, now=loaded_at)
+                entry._node = node  # type: ignore[attr-defined]
+                entry._akey = None  # type: ignore[attr-defined]
+                if task_no is not None:
+                    node.add_task(task_of(task_no), entry)
+            node.in_service = rec["in_service"]
+            node.reconfig_count = rec["reconfig_count"]
+            node.failure_count = rec["failure_count"]
+            node.health_milli = rec["health_milli"]
+            node.health_updated = rec["health_updated"]
+
+        # Refresh the mirror columns from the node ground truth.
+        for i, n in enumerate(self.nodes):
+            self.t_avail[i] = n.available_area
+            self.t_busy_area[i] = n.busy_area
+            self.t_busy_cnt[i] = n.busy_count
+            self.t_nent[i] = len(n.entries)
+            self.t_live[i] = 1 if n.in_service else 0
+
+        # Chains in exported order, with their original sequence numbers.
+        for ni, seq in state["blank"]:
+            node = self.nodes[ni]
+            key = node.total_area << _SEQ_BITS | seq
+            self._blank_m[node] = None
+            self._blank_key[node] = key
+            self._node_by_bseq[seq] = node
+            insort(self._sq, key)
+        self._entry_by_seq = {}
+        for cno, recs in state["idle"]:
+            chain = self._idle_m[cno]
+            lst = self._ie[cno]
+            for ni, ei, seq in recs:
+                entry = self.nodes[ni].entries[ei]
+                chain[entry] = None
+                key = self.t_avail[ni] << _SEQ_BITS | seq
+                entry._akey = key  # type: ignore[attr-defined]
+                self._entry_by_seq[seq] = entry
+                insort(lst, key)
+        for cno, recs in state["busy"]:
+            chain = self._busy_m[cno]
+            for ni, ei in recs:
+                chain[self.nodes[ni].entries[ei]] = None
+        self._chain_seq = state["chain_seq"]
+
+        # Query arrays and aggregates, exactly as construction computes them.
+        self._sp = []
+        self._sr = []
+        self._sa = []
+        self._sb = []
+        self._busy_pos = []
+        self._entries_total = 0
+        self._idle_node_entries = 0
+        for i, node in enumerate(self.nodes):
+            self._node_add(i, node)
+        self._load_sum_i = 0
+        self._load_sumsq_i = 0
+        self._sl = []
+        for i, n in enumerate(self.nodes):
+            # dreamlint: disable=DL002 (load keys are float ratios by design; the accounted sums stay integer)
+            self._sl.append((n.busy_area / n.total_area, i))
+            b = n.busy_area * self._load_w[i]
+            self._load_sum_i += b
+            self._load_sumsq_i += b * b
+        self._sl.sort()
+        self.state_counts = {"blank": 0, "idle": 0, "busy": 0}
+        self._wasted_total = 0
+        self._configured_total = 0
+        self.running_tasks_count = 0
+        for i in range(len(self.nodes)):
+            nent = self.t_nent[i]
+            bc = self.t_busy_cnt[i]
+            self.state_counts["blank" if not nent else ("busy" if bc else "idle")] += 1
+            if nent:
+                self._wasted_total += self.t_avail[i]
+            self._configured_total += self.t_total[i] - self.t_avail[i]
+            self.running_tasks_count += bc
+        self._failed_count = sum(1 for n in self.nodes if not n.in_service)
+        self._used_nodes = set(state["used_nodes"])
+        self.reconfig_count_by_config = {
+            cno: count for cno, count in state["reconfig_counts"]
+        }
+        by_no = {n.node_no: n for n in self.nodes}
+        self._quarantined = {
+            node_no: (by_no[node_no], until)
+            for node_no, until in state["quarantined"]
+        }
+
     # -- internal ----------------------------------------------------------------
 
     def _node_of(self, entry: ConfigTaskEntry) -> Node:
@@ -1402,6 +1588,65 @@ class ArraySuspensionQueue:
             if tasks[slot].sus_retry >= budget  # type: ignore[union-attr]
         ]
         return [self._unlink(slot) for slot in hits]
+
+    # -- snapshot support --------------------------------------------------------
+
+    def record_for_task(self, task_no: int) -> Optional[int]:
+        """The live record handle holding ``task_no`` (restore path; uncharged)."""
+        tasks = self._task
+        for _rank, _seq, slot in self._order:
+            task = tasks[slot]
+            if task is not None and task.task_no == task_no:
+                return slot
+        return None
+
+    def export_state(self) -> dict:
+        """Backend-neutral queue state: records in service order.
+
+        Suspension timestamps are read back off each task's public history
+        (``mark_suspended`` recorded them); keys and ranks are recomputed on
+        restore from the same deterministic functions that produced them.
+        """
+        from repro.model.task import TaskStatus
+
+        tasks = self._task
+        items = []
+        for _rank, seq, slot in self._order:
+            task = tasks[slot]
+            assert task is not None
+            suspended_at = next(
+                t for t, s in reversed(task.history) if s is TaskStatus.SUSPENDED
+            )
+            items.append([task.task_no, suspended_at, seq])
+        return {
+            "seq": self._seq,
+            "total_suspended": self.total_suspended,
+            "items": items,
+        }
+
+    def restore_state(self, state: dict, task_of: Callable[[int], Task]) -> None:
+        """Rebuild from :meth:`export_state` output (same format as the
+        object queue's).  Slots are renumbered 1..N — service order is fully
+        determined by ``(rank, seq)``, which is unique, so slot numbers are
+        unobservable.  No charging, no task mutation."""
+        if self._order or len(self._task) > 1:
+            raise ValueError("restore_state requires an empty suspension queue")
+        self._seq = state["seq"]
+        self.total_suspended = state["total_suspended"]
+        for task_no, _suspended_at, seq in state["items"]:
+            task = task_of(task_no)
+            key = self.key_fn(task) if self.key_fn is not None else None
+            if key is None:
+                key = NO_KEY
+            rank = self._rank_fn(task)
+            slot = len(self._task)
+            self._task.append(task)
+            self._seq_c.append(seq)
+            self._key_c.append(key)
+            self._rank_c.append(rank)
+            triple = (rank, seq, slot)
+            insort(self._order, triple)
+            insort(self._by_key.setdefault(key, []), triple)
 
     def drain(self) -> list[Task]:
         """Empty the queue (end of simulation); returns the leftover tasks."""

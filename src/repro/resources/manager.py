@@ -36,7 +36,7 @@ compatibility filters).
 from __future__ import annotations
 
 import math
-from typing import Iterable, Optional, Sequence
+from typing import Callable, Iterable, Optional, Sequence
 
 from repro.model.config import Configuration
 from repro.model.errors import ConfigurationError
@@ -936,6 +936,187 @@ class ResourceInformationManager:
             self._load_sumsq_i / self._load_den_sq,
             max_key[0] if max_key is not None else 0.0,
         )
+
+    # -- snapshot support ---------------------------------------------------------------
+
+    def export_state(self) -> dict:
+        """Backend-neutral dynamic state for checkpointing.
+
+        Everything the constructor cannot regenerate from the static system:
+        per-node entries (with bound task numbers), chain membership in chain
+        order with the original append sequence numbers, the sequence
+        counter, and the failure/quarantine bookkeeping.  The format is
+        shared with :class:`repro.resources.arraycore.ArrayRIM` — the chain
+        orders and sequence allocation points are identical across backends,
+        which is what makes cross-backend restore digest-preserving.
+        """
+        epos: dict[int, tuple[int, int]] = {}
+        nodes_out = []
+        for ni, node in enumerate(self.nodes):
+            entries_out = []
+            for ei, entry in enumerate(node.entries):
+                epos[id(entry)] = (ni, ei)
+                entries_out.append(
+                    [
+                        entry.config.config_no,
+                        entry.task.task_no if entry.task is not None else None,
+                        entry.loaded_at,
+                    ]
+                )
+            nodes_out.append(
+                {
+                    "entries": entries_out,
+                    "in_service": node.in_service,
+                    "reconfig_count": node.reconfig_count,
+                    "failure_count": node.failure_count,
+                    "health_milli": node.health_milli,
+                    "health_updated": node.health_updated,
+                }
+            )
+        blank_out = [
+            [self._node_pos[n], getattr(n, "_blank_key")[1]] for n in self._blank
+        ]
+        idle_out = []
+        busy_out = []
+        for c in self.configs:
+            idle_chain = self._idle[c.config_no]
+            if len(idle_chain):
+                idle_out.append(
+                    [
+                        c.config_no,
+                        [
+                            [*epos[id(e)], getattr(e, "_idle_seq")]
+                            for e in idle_chain
+                        ],
+                    ]
+                )
+            busy_chain = self._busy[c.config_no]
+            if len(busy_chain):
+                busy_out.append(
+                    [c.config_no, [list(epos[id(e)]) for e in busy_chain]]
+                )
+        return {
+            "chain_seq": self._chain_seq,
+            "blank": blank_out,
+            "idle": idle_out,
+            "busy": busy_out,
+            "nodes": nodes_out,
+            "used_nodes": sorted(self._used_nodes),
+            "reconfig_counts": [
+                [c.config_no, self.reconfig_count_by_config[c.config_no]]
+                for c in self.configs
+            ],
+            "quarantined": [
+                [node_no, until]
+                for node_no, (_n, until) in self._quarantined.items()
+            ],
+        }
+
+    def restore_state(self, state: dict, task_of: Callable[[int], Task]) -> None:
+        """Rebuild the dynamic state captured by :meth:`export_state`.
+
+        Must be called on a *freshly constructed* manager over the same
+        static system (all nodes blank and in service); ``task_of`` maps a
+        task number back to its restored :class:`Task` (identity matters:
+        a running task's ``assigned_config`` must be the manager's own
+        configuration object).  Nothing here charges the step counters —
+        counter values travel in the snapshot, not in the rebuild.
+        """
+        if len(state["nodes"]) != len(self.nodes):
+            raise ConfigurationError(
+                f"snapshot has {len(state['nodes'])} nodes, manager has {len(self.nodes)}"
+            )
+        if any(n.entries or not n.in_service for n in self.nodes):
+            raise ConfigurationError(
+                "restore_state requires a freshly constructed manager "
+                "(all nodes blank and in service)"
+            )
+        # Tear down the construction-time blank bookkeeping; the exported
+        # chain carries its own sequence numbers.
+        for node in list(self._blank):
+            self._blank.remove(node)
+            self._blank_discard(node)
+        self._ix_partial = SortedKeyIndex("partial-by-available")
+        self._ix_reclaim = SortedKeyIndex("nodes-by-reclaimable")
+        self._ix_allidle = SortedKeyIndex("allidle-by-total")
+        self._ix_busy = SortedKeyIndex("busy-by-total")
+        self._ix_blank = SortedKeyIndex("blank-by-total")
+        self._ix_idle_entries = {
+            c.config_no: SortedKeyIndex(f"idle-entries[C{c.config_no}]")
+            for c in self.configs
+        }
+        self._entries_total = 0
+        self._idle_node_entries = 0
+
+        # Per-node dynamic state, through the public Node mutators.
+        for node, rec in zip(self.nodes, state["nodes"]):
+            for cno, task_no, loaded_at in rec["entries"]:
+                config = self._config_by_no[cno][1]
+                entry = node.send_bitstream(config, now=loaded_at)
+                setattr(entry, "_node", node)
+                if task_no is not None:
+                    node.add_task(task_of(task_no), entry)
+            node.in_service = rec["in_service"]
+            node.reconfig_count = rec["reconfig_count"]
+            node.failure_count = rec["failure_count"]
+            node.health_milli = rec["health_milli"]
+            node.health_updated = rec["health_updated"]
+
+        # Chains in exported order, with their original sequence numbers.
+        for ni, seq in state["blank"]:
+            node = self.nodes[ni]
+            self._blank.append(node)
+            key = (node.total_area, seq)
+            setattr(node, "_blank_key", key)
+            self._ix_blank.add(key, node)
+        for cno, recs in state["idle"]:
+            chain = self._idle[cno]
+            ix = self._ix_idle_entries[cno]
+            for ni, ei, seq in recs:
+                node = self.nodes[ni]
+                entry = node.entries[ei]
+                chain.append(entry)
+                key = (node.available_area, seq)
+                setattr(entry, "_idle_seq", seq)
+                setattr(entry, "_idle_key", key)
+                ix.add(key, entry)
+        for cno, recs in state["busy"]:
+            chain = self._busy[cno]
+            for ni, ei in recs:
+                chain.append(self.nodes[ni].entries[ei])
+        self._chain_seq = state["chain_seq"]
+
+        # Node indexes and aggregates, exactly as construction computes them.
+        for node in self.nodes:
+            self._node_add(node)
+        self._ix_load = SortedKeyIndex("nodes-by-load")
+        self._load_sum_i = 0
+        self._load_sumsq_i = 0
+        for i, n in enumerate(self.nodes):
+            # dreamlint: disable=DL002 (load-index keys are float ratios by design; the accounted sums stay integer)
+            self._ix_load.add((n.busy_area / n.total_area, i), n)
+            b = n.busy_area * self._load_w[i]
+            self._load_sum_i += b
+            self._load_sumsq_i += b * b
+        self.state_counts = {"blank": 0, "idle": 0, "busy": 0}
+        self._wasted_total = 0
+        self._configured_total = 0
+        self.running_tasks_count = 0
+        for node in self.nodes:
+            self.state_counts[self._state_key(node)] += 1
+            self._wasted_total += self._waste_of(node)
+            self._configured_total += node.configured_area
+            self.running_tasks_count += node.busy_count
+        self._failed_count = sum(1 for n in self.nodes if not n.in_service)
+        self._used_nodes = set(state["used_nodes"])
+        self.reconfig_count_by_config = {
+            cno: count for cno, count in state["reconfig_counts"]
+        }
+        by_no = {n.node_no: n for n in self.nodes}
+        self._quarantined = {
+            node_no: (by_no[node_no], until)
+            for node_no, until in state["quarantined"]
+        }
 
     # -- internal ----------------------------------------------------------------------
 

@@ -293,6 +293,57 @@ class SuspensionQueue:
             out.append(rec.task)
         return out
 
+    # -- snapshot support --------------------------------------------------------
+
+    def record_for_task(self, task_no: int) -> Optional[SuspendedTask]:
+        """The live record holding ``task_no`` (restore path; uncharged)."""
+        for rec in self._items:
+            if rec.task.task_no == task_no:
+                return rec
+        return None
+
+    def export_state(self) -> dict:
+        """Backend-neutral queue state: records in service order.
+
+        Keys and ranks are recomputed on restore from the same deterministic
+        ``key_fn``/discipline that produced them, so only the identifying
+        triple travels.
+        """
+        return {
+            "seq": self._seq,
+            "total_suspended": self.total_suspended,
+            "items": [
+                [rec.task.task_no, rec.suspended_at, rec.seq]
+                for rec in self._items
+            ],
+        }
+
+    def restore_state(self, state: dict, task_of: Callable[[int], Task]) -> None:
+        """Rebuild from :meth:`export_state` output (shared format with
+        :class:`repro.resources.arraycore.ArraySuspensionQueue`).  No
+        charging, no task mutation — restored tasks already carry their
+        SUSPENDED status."""
+        if self._items:
+            raise ValueError("restore_state requires an empty suspension queue")
+        self._seq = state["seq"]
+        self.total_suspended = state["total_suspended"]
+        for task_no, suspended_at, seq in state["items"]:
+            task = task_of(task_no)
+            key = self.key_fn(task) if self.key_fn is not None else None
+            if key is None:
+                key = NO_KEY
+            rec = SuspendedTask(
+                task=task,
+                suspended_at=suspended_at,
+                seq=seq,
+                key=key,
+                rank=self._rank_fn(task),
+            )
+            i = bisect_left(self._order_keys, rec.order_key)
+            self._order_keys.insert(i, rec.order_key)
+            self._items.insert(i, rec)
+            insort(self._by_key.setdefault(key, []), rec)
+
     def drain(self) -> list[Task]:
         """Empty the queue (end of simulation); returns the leftover tasks."""
         tasks = [rec.task for rec in self._items]

@@ -145,6 +145,18 @@ class RNG:
             raise ValueError("cannot choose from an empty sequence")
         return seq[self.randint(0, len(seq) - 1)]
 
+    def getstate(self) -> tuple[int, int, int, int]:
+        """The underlying KISS bit-generator state (snapshot support).
+
+        Every distribution method draws only from the shared bit stream, so
+        this four-word tuple fully determines all future variates.
+        """
+        return self._bits.getstate()
+
+    def setstate(self, state: tuple[int, int, int, int]) -> None:
+        """Restore a state previously captured with :meth:`getstate`."""
+        self._bits.setstate(state)
+
     def spawn(self, stream: int) -> "RNG":
         """Derive an independent, reproducible sub-stream.
 

@@ -69,7 +69,7 @@ class Event:
     them.  Arbitrary callables can also be attached via :attr:`callbacks`.
     """
 
-    __slots__ = ("env", "callbacks", "_value", "_ok", "_status", "_defused")
+    __slots__ = ("env", "callbacks", "_value", "_ok", "_status", "_defused", "tag")
 
     def __init__(self, env: "Environment") -> None:
         self.env = env
@@ -78,6 +78,11 @@ class Event:
         self._ok: bool = True
         self._status = EventStatus.PENDING
         self._defused = False
+        #: Optional serializable identity (a tuple) naming what this event
+        #: does, set via Environment.call_at(..., tag=...).  Snapshots export
+        #: pending events by tag and re-create their callbacks from it; an
+        #: untagged pending event makes the run unsnapshottable.
+        self.tag: Optional[tuple] = None
 
     # -- introspection -----------------------------------------------------
 

@@ -61,6 +61,20 @@ class Environment:
         """Total number of events fired so far (kernel statistics)."""
         return self._event_count
 
+    @property
+    def schedule_seq(self) -> int:
+        """Total events ever scheduled (the heap tie-break counter).
+
+        Snapshots record this so a restored run hands out exactly the
+        sequence numbers the uninterrupted run would have.
+        """
+        return self._seq
+
+    @property
+    def pending_count(self) -> int:
+        """Number of events currently waiting in the queue."""
+        return len(self._queue)
+
     def peek(self) -> float:
         """Time of the next scheduled event, or ``inf`` if none."""
         return self._queue[0][0] if self._queue else float("inf")
@@ -123,7 +137,7 @@ class Environment:
             exc = event._value
             raise exc if isinstance(exc, BaseException) else SimulationError(repr(exc))
 
-    def run(self, until: Optional[Any] = None) -> Any:
+    def run(self, until: Optional[Any] = None, *, idle_advance: bool = True) -> Any:
         """Run until the queue drains, a time is reached, or an event fires.
 
         Parameters
@@ -134,6 +148,11 @@ class Environment:
               set to exactly that value on return).
             * an :class:`Event` — run until that event fires; its value is
               returned (its failure is raised).
+        idle_advance:
+            With a numeric ``until``, ``False`` leaves the clock at the last
+            fired event instead of idling it forward to ``until``.  Windowed
+            drivers use this so a run that ends mid-window produces the same
+            event stream, byte for byte, as one driven straight through.
         """
         stop_at: Optional[float] = None
         stop_event: Optional[Event] = None
@@ -159,7 +178,7 @@ class Environment:
         except StopSimulation as stop:
             return stop.value
 
-        if stop_at is not None:
+        if stop_at is not None and idle_advance:
             self._now = max(self._now, stop_at)
         if stop_event is not None and stop_event._status is not EventStatus.FIRED:
             raise SimulationError("run(until=event) exhausted the queue before the event fired")
@@ -184,15 +203,91 @@ class Environment:
                 raise SimulationError(f"exceeded event limit {limit}")
         return fired
 
-    def call_at(self, when: float, fn: Callable[[], None]) -> Event:
-        """Schedule a plain function call at an absolute time."""
+    def call_at(
+        self,
+        when: float,
+        fn: Callable[[], None],
+        tag: Optional[tuple] = None,
+    ) -> Event:
+        """Schedule a plain function call at an absolute time.
+
+        ``tag`` is an optional serializable tuple naming the call (e.g.
+        ``("complete", task_no)``); snapshots export pending events by tag
+        and rebuild their callbacks from it on restore.
+        """
         if when < self._now:
             raise ValueError(f"cannot schedule in the past ({when} < {self._now})")
         ev = Event(self)
         ev._ok = True
+        ev.tag = tag
         ev.callbacks.append(lambda _e: fn())
         self.schedule(ev, delay=when - self._now)
         return ev
+
+    # -- snapshot support --------------------------------------------------------
+
+    def export_pending(
+        self, keep: Optional[Callable[[tuple, Event], bool]] = None
+    ) -> list[tuple[float, int, int, tuple]]:
+        """Export every pending event as ``(time, priority, seq, tag)``.
+
+        Records come out in heap order (time, priority, seq) so the export is
+        canonical.  Every pending event must carry a tag; an untagged event
+        means some subsystem scheduled work the snapshot layer cannot
+        rebuild, so the run is not snapshottable and we refuse loudly.
+        ``keep`` may drop events whose firing is known to be a no-op (stale
+        completions); it sees ``(tag, event)``.
+        """
+        out: list[tuple[float, int, int, tuple]] = []
+        for when, prio, seq, event in sorted(
+            self._queue, key=lambda rec: (rec[0], rec[1], rec[2])
+        ):
+            tag = event.tag
+            if tag is None:
+                raise SimulationError(
+                    "cannot snapshot: pending event without a tag "
+                    f"(scheduled for t={when}); only call_at(..., tag=...) "
+                    "events are serializable"
+                )
+            if keep is not None and not keep(tag, event):
+                continue
+            out.append((when, prio, seq, tag))
+        return out
+
+    def restore_pending(
+        self,
+        records: list[tuple[float, int, int, tuple]],
+        resolver: Callable[[tuple], Callable[[], None]],
+        *,
+        now: float,
+        seq: int,
+        event_count: int,
+    ) -> list[Event]:
+        """Rebuild the event queue from exported records.
+
+        ``resolver`` maps each tag back to the zero-argument callable the
+        original event would have run.  Original sequence numbers are
+        preserved so heap tie-breaks replay identically; the clock, sequence
+        counter and fired-event count are reset to the snapshot's values.
+        Returns the rebuilt events in record order so callers can re-register
+        them (e.g. the simulator's completion-event registry).
+        """
+        if self._queue:
+            raise SimulationError("restore_pending requires an empty event queue")
+        self._now = now
+        self._seq = seq
+        self._event_count = event_count
+        out: list[Event] = []
+        for when, prio, ev_seq, tag in records:
+            fn = resolver(tuple(tag))
+            ev = Event(self)
+            ev._ok = True
+            ev.tag = tuple(tag)
+            ev._status = EventStatus.SCHEDULED
+            ev.callbacks.append(lambda _e, fn=fn: fn())
+            heapq.heappush(self._queue, (when, prio, ev_seq, ev))
+            out.append(ev)
+        return out
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"<Environment now={self._now} queued={len(self._queue)}>"

@@ -91,14 +91,19 @@ class DigestSink:
 
 
 class JsonlSink:
-    """Writes one canonical JSON line per event to ``path`` (or a handle)."""
+    """Writes one canonical JSON line per event to ``path`` (or a handle).
 
-    def __init__(self, path: Union[str, Path, IO[str]]) -> None:
+    ``append=True`` opens an existing file for appending — service-mode
+    resume continues the JSONL trace where the interrupted run left off
+    instead of truncating the prefix it is provably equivalent to.
+    """
+
+    def __init__(self, path: Union[str, Path, IO[str]], append: bool = False) -> None:
         if hasattr(path, "write"):
             self._fh: IO[str] = path  # type: ignore[assignment]
             self._owns = False
         else:
-            self._fh = open(path, "w", encoding="utf-8")
+            self._fh = open(path, "a" if append else "w", encoding="utf-8")
             self._owns = True
 
     def write(self, event: TraceEvent) -> None:
@@ -154,6 +159,17 @@ class TraceBus:
     def events_emitted(self) -> int:
         return self._seq
 
+    def resume_at(self, seq: int) -> None:
+        """Continue a resumed run's emission numbering at ``seq``.
+
+        Snapshot restore attaches fresh sinks, re-folds the trace prefix into
+        them, then calls this so the first post-restore event carries exactly
+        the sequence number the uninterrupted run would have stamped.
+        """
+        if seq < 0:
+            raise ValueError(f"sequence number must be >= 0, got {seq}")
+        self._seq = seq
+
     def emit(self, ev_type: str, **fields: Any) -> None:
         """Stamp and fan out one event (callers guard the ``None`` check)."""
         clock = self.clock
@@ -179,6 +195,13 @@ def read_jsonl(path: Union[str, Path]) -> list[TraceEvent]:
     return out
 
 
+def write_jsonl(path: Union[str, Path], events: Iterable[TraceEvent]) -> None:
+    """Write events to a JSONL trace file (inverse of :func:`read_jsonl`)."""
+    with JsonlSink(path) as sink:
+        for event in events:
+            sink.write(event)
+
+
 def digest_of(events: Iterable[TraceEvent]) -> str:
     """Order-sensitive digest of an event sequence (same hash as DigestSink)."""
     sink = DigestSink()
@@ -194,5 +217,6 @@ __all__ = [
     "DigestSink",
     "JsonlSink",
     "read_jsonl",
+    "write_jsonl",
     "digest_of",
 ]

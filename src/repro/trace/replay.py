@@ -75,6 +75,18 @@ class TraceReplayer:
             return self
         first = self._events[0]
         if first.type != ev.RUN_STARTED:
+            if first.seq > 0:
+                # Not a malformed trace — a checkpoint segment: a resumed
+                # service's JSONL continues mid-stream (its first event
+                # carries the next emission seq, not 0).  Replay needs the
+                # whole logical stream; join the segments first.
+                raise TraceError(
+                    f"trace starts mid-stream at seq {first.seq} "
+                    f"({first.type}): this is a checkpoint segment, not a "
+                    "full trace — stitch it to the segments before it "
+                    "(repro.trace.replay.stitch_traces) and replay the "
+                    "joined stream"
+                )
             raise TraceError(f"trace must open with RunStarted, got {first.type}")
         self.params = dict(first.fields)
         sample_system = bool(self.params.get("sample_system", True))
@@ -238,4 +250,68 @@ def replay_report(events: Iterable[TraceEvent]) -> MetricsReport:
     return TraceReplayer(events).report()
 
 
-__all__ = ["TraceReplayer", "TraceError", "ReplaySeries", "replay_report"]
+def stitch_traces(*segments: Iterable[TraceEvent]) -> list[TraceEvent]:
+    """Join checkpoint segments into one replayable stream.
+
+    A checkpoint/resume cycle can leave the trace split across files: the
+    prefix up to the cut, then each resumed service's continuation.  This
+    validates the pieces actually form ONE stream — the first segment opens
+    at seq 0 with ``RunStarted``, every later segment starts exactly where
+    the previous one stopped (no gap, no overlap) — and returns the
+    concatenation, ready for :class:`TraceReplayer`.
+    """
+    joined: list[TraceEvent] = []
+    for index, segment in enumerate(segments):
+        events = list(segment)
+        if not events:
+            continue
+        expected = joined[-1].seq + 1 if joined else 0
+        got = events[0].seq
+        if got != expected:
+            if got > expected:
+                raise TraceError(
+                    f"segment {index} starts at seq {got} but the previous "
+                    f"segment ended at seq {expected - 1}: events "
+                    f"{expected}..{got - 1} are missing"
+                )
+            raise TraceError(
+                f"segment {index} starts at seq {got} but seq {expected} is "
+                "next: the segments overlap (was the same prefix passed "
+                "twice?)"
+            )
+        for prev, cur in zip(events, events[1:]):
+            if cur.seq != prev.seq + 1:
+                raise TraceError(
+                    f"segment {index} is not contiguous: seq {cur.seq} "
+                    f"follows seq {prev.seq}"
+                )
+        joined.extend(events)
+    if not joined:
+        raise TraceError("empty trace")
+    return joined
+
+
+def synthetic_run_finished(seq: int, time: int, ss: int, hk: int) -> TraceEvent:
+    """A ``RunFinished`` framing event for replaying a *partial* trace.
+
+    Mid-run metric queries (``ServiceSimulator.report_view``) append this to
+    the buffered prefix so the replayer sees a well-formed stream; the
+    fields mirror exactly what :meth:`repro.trace.bus.TraceBus.emit` would
+    stamp at that moment.  It is never emitted on a bus.
+    """
+    return TraceEvent(
+        seq=seq,
+        time=time,
+        type=ev.RUN_FINISHED,
+        fields={"final": time, "ss": ss, "hk": hk},
+    )
+
+
+__all__ = [
+    "TraceReplayer",
+    "TraceError",
+    "ReplaySeries",
+    "replay_report",
+    "stitch_traces",
+    "synthetic_run_finished",
+]

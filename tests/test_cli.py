@@ -237,6 +237,63 @@ class TestJobsFlag:
         assert parallel_out == serial_out
 
 
+class TestServeCommand:
+    BASE = [
+        "serve", "--nodes", "8", "--tasks", "40", "--configs", "5", "--seed", "1",
+        "--window", "200",
+    ]
+
+    def test_serve_matches_batch_run_digest(self, tmp_path, capsys):
+        trace = tmp_path / "serve.jsonl"
+        rc = main(self.BASE + ["--trace", str(trace)])
+        serve_out = capsys.readouterr().out
+        assert rc == 0
+        assert "serve / partial / 8 nodes" in serve_out
+        rc = main(
+            ["run", "--nodes", "8", "--tasks", "40", "--configs", "5",
+             "--seed", "1", "--trace-digest"]
+        )
+        batch_out = capsys.readouterr().out
+        assert rc == 0
+        digest = batch_out.rsplit("trace digest: ", 1)[1].split()[0]
+        assert f"trace digest: {digest}" in serve_out
+
+    def test_serve_checkpoint_resume_digest_identical(self, tmp_path, capsys):
+        trace = tmp_path / "svc.jsonl"
+        args = self.BASE + [
+            "--trace", str(trace), "--checkpoint-every", "400",
+            "--checkpoint-dir", str(tmp_path),
+        ]
+        rc = main(args)
+        out = capsys.readouterr().out
+        assert rc == 0
+        digest = out.rsplit("trace digest: ", 1)[1].split()[0]
+        snaps = sorted(tmp_path.glob("snapshot-*.json"))
+        assert snaps
+        # Resume from a checkpoint against the FULL trace file (the crash
+        # case): the CLI truncates it to the cut, on a different backend.
+        rc = main(
+            self.BASE + ["--backend", "scan", "--resume", str(snaps[0]),
+                         "--trace", str(trace)]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "truncated" in out
+        assert "resumed from" in out
+        assert f"trace digest: {digest}" in out
+
+    def test_resume_without_trace_is_an_error(self, tmp_path, capsys):
+        rc = main(self.BASE + ["--resume", str(tmp_path / "nope.json")])
+        assert rc == 2
+        assert "--trace" in capsys.readouterr().err
+
+    def test_report_every_prints_mid_run_views(self, tmp_path, capsys):
+        rc = main(self.BASE + ["--report-every", "400"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "events," in out and "completed" in out
+
+
 class TestSeedSweep:
     BASE = ["run", "--nodes", "8", "--tasks", "30", "--configs", "5", "--seed", "3"]
 

@@ -40,8 +40,8 @@ def rules_hit(report: Report) -> set[str]:
 # ---------------------------------------------------------------------------
 
 
-def test_registry_has_all_eight_rules() -> None:
-    assert {f"DL00{i}" for i in range(1, 9)} <= set(RULES)
+def test_registry_has_all_nine_rules() -> None:
+    assert {f"DL00{i}" for i in range(1, 10)} <= set(RULES)
 
 
 def test_rules_have_titles_and_rationales() -> None:
@@ -400,6 +400,42 @@ def test_suppression_only_silences_named_rule(tmp_path: Path) -> None:
     src = "import random  # dreamlint: disable=DL002 (wrong rule named)\n"
     report = lint_tree(tmp_path, {"core/mod.py": src})
     assert "DL001" in rules_hit(report)
+
+
+# ---------------------------------------------------------------------------
+# DL009 — service/ goes through public export hooks
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize(
+    "snippet",
+    [
+        "def cut(sim):\n    return sim._placements\n",
+        "def cut(sim):\n    sim.env._queue.clear()\n",
+        "def cut(svc):\n    svc._sealed = True\n",
+    ],
+)
+def test_dl009_flags_private_reach_in_service(tmp_path: Path, snippet: str) -> None:
+    report = lint_tree(tmp_path, {"service/snapshot.py": snippet})
+    assert "DL009" in rules_hit(report)
+
+
+def test_dl009_allows_self_and_public_hooks(tmp_path: Path) -> None:
+    src = (
+        "class Driver:\n"
+        "    def checkpoint(self, sim):\n"
+        "        self._cache = sim.export_state()\n"
+        "        return self._cache\n"
+    )
+    report = lint_tree(tmp_path, {"service/driver.py": src})
+    assert "DL009" not in rules_hit(report)
+
+
+def test_dl009_only_scopes_service_package(tmp_path: Path) -> None:
+    report = lint_tree(
+        tmp_path, {"framework/glue.py": "def f(sim):\n    return sim._placements\n"}
+    )
+    assert "DL009" not in rules_hit(report)
 
 
 def test_syntax_error_is_a_meta_finding(tmp_path: Path) -> None:

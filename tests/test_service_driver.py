@@ -1,0 +1,201 @@
+"""Service mode: windowed driving, mid-run metrics, sources, resume wiring."""
+
+import json
+
+import pytest
+
+from tests.snapshot_harness import CLEAN_SMALL, SEU_SMALL, baseline
+
+from repro.framework.campaign import FaultCampaignSpec
+from repro.rng import RNG
+from repro.service import (
+    JsonlTailSource,
+    ReplaySource,
+    ServiceSimulator,
+    Snapshot,
+    SnapshotError,
+)
+from repro.trace.bus import read_jsonl
+from repro.workload import ConfigSpec, NodeSpec, TaskSpec
+from repro.workload.generator import (
+    generate_configs,
+    generate_nodes,
+    generate_task_stream,
+)
+
+SOURCE_SPEC = FaultCampaignSpec(
+    nodes=20,
+    configs=10,
+    tasks=0,
+    seed=42,
+    mtbf=3000,
+    seu_rate=2000,
+    retry_budget=4,
+    backoff_base=8,
+)
+
+
+def make_arrivals(count: int = 60):
+    """The workload ``build_campaign(tasks=count)`` would generate, standalone.
+
+    Fresh ``Task`` objects every call — tasks are stateful, so two services
+    must never share one arrival list.
+    """
+    rng = RNG(seed=42)
+    generate_nodes(NodeSpec(count=20), rng)
+    configs = generate_configs(ConfigSpec(count=10), rng)
+    return list(generate_task_stream(TaskSpec(count=count), configs, rng))
+
+
+def test_windowed_service_matches_batch():
+    """advance_to windows + drain over the ctor stream == one-shot batch."""
+    base = baseline(SEU_SMALL, "array")
+    svc = ServiceSimulator(SEU_SMALL, backend="array")
+    svc.advance_to(50)
+    svc.advance_to(400)
+    svc.advance_to(401)
+    result = svc.drain()
+    assert svc.hexdigest() == base.digest
+    assert result.report == base.report
+
+
+def test_mid_run_report_view_and_resume():
+    """Checkpoint mid-window, resume on another backend, finish identically."""
+    base = baseline(SEU_SMALL, "array")
+    svc = ServiceSimulator(SEU_SMALL, backend="array")
+    svc.advance_to(400)
+    view = svc.report_view()
+    # The clock rests at the last fired event, never idled to the boundary.
+    assert 0 < view.time <= 400
+    assert view.events_seen > 0
+    assert view.report.total_tasks_generated >= view.report.total_completed_tasks
+    snap = Snapshot.from_json(svc.checkpoint().to_json())
+    resumed = ServiceSimulator.resume(
+        snap, SEU_SMALL, backend="indexed", prefix_events=list(svc.memory)
+    )
+    result = resumed.drain()
+    assert resumed.hexdigest() == base.digest
+    assert result.report == base.report
+    # Once sealed, the final view IS the final report.
+    assert resumed.report_view().report == result.report
+
+
+def test_finished_service_refuses_further_driving():
+    svc = ServiceSimulator(CLEAN_SMALL, backend="array")
+    svc.drain()
+    with pytest.raises(RuntimeError, match="finished"):
+        svc.advance_to(10_000)
+    with pytest.raises(RuntimeError, match="finished"):
+        svc.drain()
+
+
+def test_resume_rejects_mismatched_prefix():
+    svc = ServiceSimulator(SEU_SMALL, backend="array")
+    svc.advance_to(300)
+    snap = svc.checkpoint()
+    wrong_prefix = list(svc.memory)[:-1]
+    with pytest.raises(SnapshotError, match="prefix"):
+        ServiceSimulator.resume(
+            snap, SEU_SMALL, backend="array", prefix_events=wrong_prefix
+        )
+
+
+def test_source_fed_service_checkpoint_restore():
+    """A run fed purely from a ReplaySource checkpoints and resumes exactly."""
+    src = ReplaySource(make_arrivals())
+    svc = ServiceSimulator(SOURCE_SPEC, backend="array", source=src)
+    svc.advance_to(100)
+    svc.advance_to(1200)
+    snap = Snapshot.from_json(svc.checkpoint().to_json())
+
+    # The uninterrupted twin: same windows, then drain.
+    twin = ServiceSimulator(
+        SOURCE_SPEC, backend="array", source=ReplaySource(make_arrivals())
+    )
+    twin.advance_to(100)
+    twin.advance_to(1200)
+    twin_result = twin.drain()
+
+    resumed = ServiceSimulator.resume(
+        snap, SOURCE_SPEC, backend="scan", source=src, prefix_events=list(svc.memory)
+    )
+    result = resumed.drain()
+    assert resumed.hexdigest() == twin.hexdigest()
+    assert result.report == twin_result.report
+
+
+def test_replay_source_windows():
+    arrivals = make_arrivals(20)
+    src = ReplaySource(arrivals)
+    horizon = arrivals[9].at
+    released = src.take_until(horizon)
+    assert released and all(a.at <= horizon for a in released)
+    assert not src.exhausted
+    rest = src.take_all()
+    assert src.exhausted
+    assert len(released) + len(rest) == 20
+    assert src.take_until(10**9) == []
+
+
+def test_jsonl_tail_source(tmp_path):
+    """Tailing a growing JSONL file: partial lines wait, close() seals."""
+    rng = RNG(seed=7)
+    generate_nodes(NodeSpec(count=5), rng)
+    configs = generate_configs(ConfigSpec(count=4), rng)
+    path = tmp_path / "feed.jsonl"
+    src = JsonlTailSource(path, configs)
+    assert src.take_until(100) == []  # no file yet
+
+    known_no = configs[0].config_no
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(json.dumps({"no": 0, "at": 10, "req": 50, "pref": known_no}) + "\n")
+        fh.write(json.dumps({"no": 1, "at": 60, "req": 50, "pref": known_no}))
+    got = src.take_until(100)
+    assert [a.task.task_no for a in got] == [0]  # trailing partial line held back
+    with open(path, "a", encoding="utf-8") as fh:
+        fh.write("\n")
+        fh.write(
+            json.dumps(
+                {"no": 2, "at": 70, "req": 50, "pref": 999, "pref_area": 800}
+            )
+            + "\n"
+        )
+    got = src.take_until(100)
+    assert [a.task.task_no for a in got] == [1, 2]
+    assert got[1].task.pref_config.req_area == 800
+    assert not src.exhausted
+    src.close()
+    assert src.exhausted
+
+    bad = tmp_path / "bad.jsonl"
+    bad.write_text(json.dumps({"no": 9, "at": 5, "req": 10, "pref": 999}) + "\n")
+    src2 = JsonlTailSource(bad, configs)
+    with pytest.raises(ValueError, match="pref_area"):
+        src2.take_until(100)
+
+
+def test_service_jsonl_persistence_continues_across_resume(tmp_path):
+    """The JSONL trace file spans the cut: prefix + suffix, no duplicates."""
+    path = tmp_path / "trace.jsonl"
+    svc = ServiceSimulator(CLEAN_SMALL, backend="array", jsonl_path=str(path))
+    svc.advance_to(500)
+    snap = svc.checkpoint()
+    assert svc.jsonl is not None
+    svc.jsonl.close()
+    prefix = read_jsonl(path)
+    resumed = ServiceSimulator.resume(
+        snap,
+        CLEAN_SMALL,
+        backend="array",
+        prefix_events=prefix,
+        jsonl_path=str(path),
+    )
+    result = resumed.drain()
+    assert resumed.jsonl is not None
+    resumed.jsonl.close()
+    events = read_jsonl(path)
+    seqs = [e.seq for e in events]
+    assert seqs == sorted(set(seqs)), "resume duplicated or reordered events"
+    base = baseline(CLEAN_SMALL, "array")
+    assert resumed.hexdigest() == base.digest
+    assert result.report == base.report

@@ -1,0 +1,54 @@
+"""The committed golden snapshot: format stability across sessions.
+
+``tests/golden/snapshot_n20_t200_s42/`` holds a checkpoint of the harness
+SEU campaign (20 nodes / 200 tasks / seed 42, partial, array backend) cut after
+1000 kernel steps, its trace prefix, and the uninterrupted run's final digest.  If
+restoring it stops reproducing that digest, the snapshot *format* changed —
+which is exactly when ``SNAPSHOT_VERSION`` must be bumped and this fixture
+regenerated (see the module docstring of :mod:`repro.service.snapshot`).
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from tests.snapshot_harness import SEU, resume_to_end
+
+from repro.service.snapshot import SNAPSHOT_VERSION, Snapshot, SnapshotError
+from repro.trace.bus import read_jsonl
+
+GOLDEN = Path(__file__).parent / "golden" / "snapshot_n20_t200_s42"
+
+
+def test_golden_snapshot_restores_to_expected_digest():
+    expected = json.loads((GOLDEN / "expected.json").read_text())
+    snap = Snapshot.read(GOLDEN / "snapshot.json")
+    assert snap.version == SNAPSHOT_VERSION
+    prefix = read_jsonl(GOLDEN / "prefix.jsonl")
+    assert len(prefix) == expected["cut_trace_events"] == snap.trace_seq
+    for backend in ("array", "indexed", "scan"):
+        digest, _report = resume_to_end(snap, prefix, SEU, backend)
+        assert digest == expected["expected_final_digest"], (
+            f"golden restore on {backend} no longer reproduces the recorded "
+            "run — the snapshot format drifted without a SNAPSHOT_VERSION bump"
+        )
+
+
+def test_golden_snapshot_key_matches_prefix_digest():
+    """The snapshot key is the digest prefix of the trace it was cut from."""
+    snap = Snapshot.read(GOLDEN / "snapshot.json")
+    assert snap.trace_digest is not None
+    assert snap.key == snap.trace_digest[:12]
+
+
+def test_golden_rejected_under_bumped_version():
+    """A build with a newer SNAPSHOT_VERSION refuses yesterday's file."""
+    data = json.loads((GOLDEN / "snapshot.json").read_text())
+    data["version"] = SNAPSHOT_VERSION + 1
+    with pytest.raises(SnapshotError) as excinfo:
+        Snapshot.from_json(json.dumps(data))
+    message = str(excinfo.value)
+    assert str(SNAPSHOT_VERSION + 1) in message
+    assert str(SNAPSHOT_VERSION) in message
+    assert "re-create" in message

@@ -163,8 +163,10 @@ def test_replayer_rejects_empty_trace():
 
 
 def test_replayer_requires_run_started_first():
+    # Dropping RunStarted leaves a stream starting at seq 1 — diagnosed as
+    # a checkpoint segment (see test_trace_stitch.py for the seq-0 case).
     events = _framed()[1:]
-    with pytest.raises(TraceError, match="RunStarted"):
+    with pytest.raises(TraceError, match="checkpoint segment"):
         TraceReplayer(events).replay()
 
 

@@ -1,0 +1,67 @@
+"""Checkpoint segments: the mid-stream replay error and stitch_traces."""
+
+import pytest
+
+from tests.snapshot_harness import CLEAN_SMALL, baseline
+
+from repro.service import ServiceSimulator, Snapshot
+from repro.trace.bus import read_jsonl
+from repro.trace.replay import TraceError, TraceReplayer, stitch_traces
+
+
+def _segments(tmp_path):
+    """A real split trace: prefix file from one service, suffix from its resume."""
+    a = tmp_path / "a.jsonl"
+    b = tmp_path / "b.jsonl"
+    svc = ServiceSimulator(CLEAN_SMALL, backend="array", jsonl_path=str(a))
+    svc.advance_to(500)
+    snap = Snapshot.from_json(svc.checkpoint().to_json())
+    assert svc.jsonl is not None
+    svc.jsonl.close()
+    prefix = read_jsonl(a)
+    resumed = ServiceSimulator.resume(
+        snap, CLEAN_SMALL, backend="array", prefix_events=prefix, jsonl_path=str(b)
+    )
+    resumed.drain()
+    assert resumed.jsonl is not None
+    resumed.jsonl.close()
+    return prefix, read_jsonl(b)
+
+
+def test_checkpoint_segment_gets_a_distinct_error(tmp_path):
+    """Replaying only the continuation names the real problem (and the fix)."""
+    _prefix, suffix = _segments(tmp_path)
+    assert suffix[0].seq > 0
+    with pytest.raises(TraceError, match="checkpoint segment"):
+        TraceReplayer(suffix).replay()
+    with pytest.raises(TraceError, match="stitch_traces"):
+        TraceReplayer(suffix).replay()
+    # A genuinely malformed trace (wrong first event AT seq 0) still gets
+    # the original message.
+    import dataclasses
+
+    malformed = [dataclasses.replace(suffix[0], seq=0)]
+    with pytest.raises(TraceError, match="must open with RunStarted"):
+        TraceReplayer(malformed).replay()
+
+
+def test_stitched_segments_replay_to_the_batch_report(tmp_path):
+    prefix, suffix = _segments(tmp_path)
+    joined = stitch_traces(prefix, suffix)
+    assert [e.seq for e in joined] == list(range(len(joined)))
+    report = TraceReplayer(joined).replay().report()
+    assert report == baseline(CLEAN_SMALL, "array").report
+
+
+def test_stitch_rejects_gap_and_overlap(tmp_path):
+    prefix, suffix = _segments(tmp_path)
+    with pytest.raises(TraceError, match="missing"):
+        stitch_traces(prefix[:-1], suffix)
+    with pytest.raises(TraceError, match="overlap"):
+        stitch_traces(prefix, prefix, suffix)
+    with pytest.raises(TraceError, match="not contiguous"):
+        stitch_traces(prefix[:10] + prefix[11:20])
+    with pytest.raises(TraceError, match="empty"):
+        stitch_traces([], [])
+    # Empty segments between real ones are tolerated.
+    assert stitch_traces(prefix, [], suffix) == prefix + suffix
