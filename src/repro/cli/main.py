@@ -19,6 +19,9 @@ Subcommands
 ``graph``
     Schedule a generated task graph (future-work extension) and report
     makespan vs. the critical-path bound.
+``lint``
+    Run dreamlint (the determinism & accounting linter) over the installed
+    package or explicit paths; same flags as ``tools/dreamlint.py``.
 """
 
 from __future__ import annotations
@@ -37,6 +40,7 @@ from repro.analysis.paperconfig import (
 )
 from repro.analysis.runner import run_sweep
 from repro.framework.report import write_report_xml
+from repro.lint.cli import add_lint_arguments, run_from_args as run_lint_from_args
 
 
 def _add_common(p: argparse.ArgumentParser) -> None:
@@ -354,6 +358,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--priority", choices=("rank", "fifo"), default="rank"
     )
     _add_common(graph_p)
+
+    lint_p = sub.add_parser(
+        "lint",
+        help="run dreamlint, the determinism & accounting linter",
+    )
+    add_lint_arguments(lint_p)
 
     return parser
 
@@ -855,6 +865,11 @@ def cmd_graph(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_lint(args: argparse.Namespace) -> int:
+    """``dreamsim lint``: dreamlint over the installed package or paths."""
+    return run_lint_from_args(args)
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
@@ -866,6 +881,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "claims": cmd_claims,
         "graph": cmd_graph,
         "replicate": cmd_replicate,
+        "lint": cmd_lint,
     }
     return handlers[args.command](args)
 

@@ -561,22 +561,28 @@ class DReAMSim:
 
     # -- snapshot support --------------------------------------------------------
 
-    def _keep_pending(self, tag: tuple, event: Event) -> bool:
-        """Drop stale completion events at export.
+    def _export_tag(self, tag: tuple, event: Event) -> tuple:
+        """Rewrite stale completion events to no-op markers at export.
 
         A completion is live only while its task is still placed AND the
-        registered event is this one; a crashed task's old completion (the
-        live run no-ops it) and a re-placed task's superseded completion
-        are both dropped.  Firing order of survivors is unchanged — stale
-        completions have no observable effect — so the digest is preserved.
+        registered event is this one; a crashed task's old completion and a
+        re-placed task's superseded completion both fail that test, and the
+        live run no-ops them in :meth:`_on_complete`.  They cannot be
+        *dropped* from the snapshot though: a stale completion still fires
+        in the uninterrupted run and advances the kernel clock, and when it
+        is the last queued event it stamps the run's final time — so the
+        restored queue must carry it as an explicit ``("noop", task_no)``
+        to keep ``RunFinished`` (and with it the trace digest) identical.
         """
         if tag[0] != "complete":
-            return True
+            return tag
         task_no = tag[1]
-        return (
+        if (
             task_no in self._placements
             and self._completion_events.get(task_no) is event
-        )
+        ):
+            return tag
+        return ("noop", task_no)
 
     def _export_placement(self, p: Placement) -> dict:
         entry_idx: Optional[int] = None
@@ -640,7 +646,7 @@ class DReAMSim:
             raise RuntimeError("cannot snapshot: run not started")
         if self._done:
             raise RuntimeError("cannot snapshot: run already finished")
-        pending = self.env.export_pending(keep=self._keep_pending)
+        pending = self.env.export_pending(rewrite=self._export_tag)
         return {
             "backend": self.backend,
             "partial": self.partial,
@@ -831,6 +837,11 @@ class DReAMSim:
 
         def resolver(tag: tuple) -> Callable[[], None]:
             kind = tag[0]
+            if kind == "noop":
+                # A stale completion exported as a pure clock-advancer: the
+                # live run's _on_complete would return without effect, so the
+                # restored event only has to exist and fire.
+                return lambda: None
             if kind == "arrival":
                 arrival = self._pending_arrival
                 if arrival is None:

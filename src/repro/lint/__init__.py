@@ -22,10 +22,18 @@ from repro.lint.core import (
     register,
     run_lint,
 )
-from repro.lint.report import render_human, render_json, render_rules, to_json
+from repro.lint.report import (
+    render_baseline_delta,
+    render_human,
+    render_json,
+    render_rules,
+    to_json,
+)
 
-# Importing the rules module populates the registry.
+# Importing the rules modules populates the registry (DL001–DL009 syntactic,
+# DL010–DL013 whole-program flow analysis).
 from repro.lint import rules as _rules  # noqa: F401
+from repro.lint.flow import rules as _flow_rules  # noqa: F401
 
 __all__ = [
     "Finding",
@@ -37,6 +45,7 @@ __all__ = [
     "SourceFile",
     "Suppression",
     "register",
+    "render_baseline_delta",
     "render_human",
     "render_json",
     "render_rules",

@@ -1,0 +1,125 @@
+"""The dreamlint command-line front end, shared by its two entry points.
+
+``tools/dreamlint.py`` (the CI gate, runs from a bare checkout) and the
+``dreamsim lint`` subcommand (works from an installed package with no
+``tools/`` on disk) both parse the same flags via
+:func:`add_lint_arguments` and execute via :func:`run_from_args`, so the
+two entry points cannot drift.
+
+Exit codes: 0 = clean, 1 = error findings or baseline drift, 2 = usage
+error.  Warnings never gate.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Optional
+
+from repro.lint.core import run_lint
+from repro.lint.report import (
+    render_baseline_delta,
+    render_human,
+    render_json,
+    render_rules,
+    to_json,
+)
+
+
+def default_root() -> Path:
+    """The installed package tree — what ``dreamsim lint`` scans by default."""
+    import repro
+
+    return Path(repro.__file__).resolve().parent
+
+
+def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
+    """Register the lint flags on ``parser`` (shared by both entry points)."""
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=[],
+        help="package roots to lint (default: the repro package itself)",
+    )
+    parser.add_argument("--json", action="store_true", help="emit the JSON report")
+    parser.add_argument("--out", metavar="FILE", help="write the report to FILE")
+    parser.add_argument(
+        "--baseline",
+        metavar="FILE",
+        help=(
+            "compare the run against a committed baseline JSON report and "
+            "fail with a per-rule, per-file delta on drift"
+        ),
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true", help="print the rule catalogue and exit"
+    )
+    parser.add_argument(
+        "-v", "--verbose", action="store_true", help="also list used suppressions"
+    )
+
+
+def run_from_args(
+    args: argparse.Namespace, fallback_root: Optional[Path] = None
+) -> int:
+    """Execute a parsed lint invocation; returns the process exit code."""
+    if args.list_rules:
+        sys.stdout.write(render_rules())
+        return 0
+
+    paths = [Path(p) for p in args.paths]
+    if not paths:
+        paths = [fallback_root if fallback_root is not None else default_root()]
+    exit_code = 0
+    outputs: list[str] = []
+    reports = []
+    for path in paths:
+        if not path.exists():
+            sys.stderr.write(f"dreamlint: no such path: {path}\n")
+            return 2
+        report = run_lint(path)
+        reports.append(report)
+        outputs.append(
+            render_json(report) if args.json else render_human(report, verbose=args.verbose)
+        )
+        exit_code = max(exit_code, report.exit_code)
+
+    text = "".join(outputs)
+    if args.out:
+        Path(args.out).write_text(text, encoding="utf-8")
+    else:
+        sys.stdout.write(text)
+
+    if args.baseline:
+        if len(reports) != 1:
+            sys.stderr.write("dreamlint: --baseline requires exactly one path\n")
+            return 2
+        try:
+            baseline = json.loads(Path(args.baseline).read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError) as exc:
+            sys.stderr.write(f"dreamlint: cannot read baseline: {exc}\n")
+            return 2
+        delta = render_baseline_delta(baseline, to_json(reports[0]))
+        if delta:
+            sys.stderr.write(delta)
+            sys.stderr.write(
+                "dreamlint: report drifted from the committed baseline — "
+                "regenerate it with --json --out if the change is intended\n"
+            )
+            exit_code = max(exit_code, 1)
+
+    return exit_code
+
+
+def main(argv: Optional[list[str]] = None) -> int:
+    """Standalone entry point (used by ``tools/dreamlint.py``)."""
+    parser = argparse.ArgumentParser(
+        prog="dreamlint", description="determinism & accounting linter"
+    )
+    add_lint_arguments(parser)
+    return run_from_args(parser.parse_args(argv))
+
+
+__all__ = ["add_lint_arguments", "default_root", "main", "run_from_args"]

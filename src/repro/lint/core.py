@@ -125,6 +125,13 @@ class Rule:
     title: str = ""
     severity: Severity = Severity.ERROR
     rationale: str = ""
+    #: How suppressions match findings.  ``"line"`` (default): a directive
+    #: on the finding's exact line.  ``"function"``: a directive anywhere
+    #: inside the enclosing function also matches — flow rules (DL010+)
+    #: report path properties anchored at one representative line (a
+    #: return, a def), and forcing the comment onto that exact line would
+    #: make suppressions fragile under reformatting.
+    suppress_scope: str = "line"
 
     def check_file(self, f: SourceFile) -> Iterator[Finding]:
         """Yield findings for one file; default: none."""
@@ -278,6 +285,29 @@ def iter_python_files(root: Path) -> Iterator[Path]:
     )
 
 
+def _function_spans(tree: ast.Module) -> list[tuple[int, int]]:
+    """(start, end) line spans of every function def, decorators included."""
+    spans: list[tuple[int, int]] = []
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            start = min(
+                [node.lineno] + [d.lineno for d in node.decorator_list]
+            )
+            spans.append((start, node.end_lineno or node.lineno))
+    return spans
+
+
+def _innermost_span(
+    spans: list[tuple[int, int]], line: int
+) -> Optional[tuple[int, int]]:
+    """The tightest function span containing ``line``, if any."""
+    best: Optional[tuple[int, int]] = None
+    for start, end in spans:
+        if start <= line <= end and (best is None or start > best[0]):
+            best = (start, end)
+    return best
+
+
 def run_lint(
     root: Path | str,
     rule_ids: Optional[Iterable[str]] = None,
@@ -290,6 +320,7 @@ def run_lint(
     """
     # Import for the registration side effect; the registry is module-global.
     from repro.lint import rules as _rules  # noqa: F401  (registers on import)
+    from repro.lint.flow import rules as _flow_rules  # noqa: F401
 
     root = Path(root).resolve()
     active = [
@@ -313,7 +344,10 @@ def run_lint(
 
     # Apply suppressions: a finding is silenced when its line carries a
     # directive naming its rule id, or when a standalone directive comment
-    # sits directly above it (meta findings cannot be suppressed).
+    # sits directly above it (meta findings cannot be suppressed).  For
+    # function-scoped rules (flow analysis: the finding line is one
+    # representative point of a whole-path property), a directive anywhere
+    # inside the enclosing function matches too.
     by_file = {f.rel: f for f in files}
     effective: dict[str, dict[int, Suppression]] = {}
     for f in files:
@@ -329,6 +363,9 @@ def run_lint(
                     nxt += 1
                 table.setdefault(nxt, sup)
         effective[f.rel] = table
+    spans: dict[str, list[tuple[int, int]]] = {
+        f.rel: _function_spans(f.tree) for f in files
+    }
     for finding in raw:
         sup = None
         src = by_file.get(finding.path)
@@ -336,6 +373,18 @@ def run_lint(
             cand = effective[finding.path].get(finding.line)
             if cand is not None and finding.rule in cand.rules:
                 sup = cand
+            elif RULES.get(finding.rule) is not None and (
+                RULES[finding.rule].suppress_scope == "function"
+            ):
+                span = _innermost_span(spans[finding.path], finding.line)
+                if span is not None:
+                    for line_no, cand in effective[finding.path].items():
+                        if (
+                            span[0] <= line_no <= span[1]
+                            and finding.rule in cand.rules
+                        ):
+                            sup = cand
+                            break
         if sup is not None:
             sup.used = True
             report.suppressed.append((finding, sup.reason))

@@ -1,0 +1,34 @@
+"""``repro.lint.flow`` — the whole-program analysis engine behind DL010–DL013.
+
+dreamlint v1 (DESIGN.md §11) is a per-file syntactic pass; the rules in
+this subpackage reason about the *program*: which attributes a class
+persists, which snapshot hooks round-trip them, whether every return path
+of a manager query bills simulated steps, and whether the interchangeable
+backends actually expose the same surface.  The engine is deliberately
+small and stdlib-only:
+
+``model``
+    A project model built once per lint run from the already-parsed
+    :class:`~repro.lint.core.SourceFile` list — modules, classes, and
+    per-function summaries (self-attribute stores/loads, self-calls,
+    export dict keys, ``state[...]`` reads).  Cached on the identity of
+    the file list so all four flow rules share one build (the perf budget
+    in ``tools/perf.py`` depends on this).
+``cfg``
+    A per-function control-flow graph at statement granularity, with
+    explicit return/raise exits and loop-exit markers.
+``dataflow``
+    A forward all-paths ("must") worklist analysis over the CFG, plus the
+    intraprocedural float-taint lattice DL012 uses.
+``callgraph``
+    Class-local ``self.method()`` resolution and the always-charges
+    fixpoint DL011 needs to credit helper calls.
+``rules``
+    The four flow rules themselves (DL010–DL013) with their allowlists.
+
+See DESIGN.md §15 for the rule semantics and the allowlist policy.
+"""
+
+from repro.lint.flow.model import ProjectModel, build_model
+
+__all__ = ["ProjectModel", "build_model"]

@@ -1,0 +1,100 @@
+"""Class-local call resolution and the always-charges fixpoint.
+
+DL011's obligation is *interprocedural within a class*: a public query may
+delegate its billing to a helper (``find_any_idle_node`` →
+``_scan_any_idle_node``), so a call to a same-class method that provably
+charges on every non-exceptional path must itself count as a charge site.
+The fixpoint below computes that "always charges" set per class:
+
+1. start from the empty set;
+2. a method joins the set when (a) its CFG has **no** uncharged return
+   under the current charge predicate and (b) it contains at least one
+   charge site under that predicate (so a method whose every path raises
+   is not vacuously credited);
+3. repeat until stable — the set only grows, so this terminates in at
+   most ``len(methods)`` rounds.
+
+The concrete charge sites recognised are the two idioms the managers use:
+``counters.charge_*()`` calls (the :class:`SearchCounters` API) and direct
+``counters.scheduling_steps/housekeeping_steps`` augmented assignments
+(the array backend's flat-table style).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Callable, Dict
+
+from repro.lint.flow.cfg import CFG, build_cfg
+from repro.lint.flow.dataflow import uncharged_returns
+from repro.lint.flow.model import ClassInfo
+
+#: Attribute names of the counter cells the managers bump directly.
+STEP_COUNTERS = frozenset({"scheduling_steps", "housekeeping_steps"})
+
+
+def is_concrete_charge(node: ast.AST) -> bool:
+    """A literal charge site: ``x.charge_*(...)`` or ``x.<steps> += n``."""
+    if isinstance(node, ast.Call):
+        fn = node.func
+        return isinstance(fn, ast.Attribute) and fn.attr.startswith("charge_")
+    if isinstance(node, ast.AugAssign):
+        t = node.target
+        return isinstance(t, ast.Attribute) and t.attr in STEP_COUNTERS
+    return False
+
+
+def _charge_pred(always: frozenset[str]) -> Callable[[ast.AST], bool]:
+    """Concrete charges plus ``self.m(...)`` calls into ``always``."""
+
+    def pred(node: ast.AST) -> bool:
+        if is_concrete_charge(node):
+            return True
+        if isinstance(node, ast.Call):
+            fn = node.func
+            return (
+                isinstance(fn, ast.Attribute)
+                and isinstance(fn.value, ast.Name)
+                and fn.value.id == "self"
+                and fn.attr in always
+            )
+        return False
+
+    return pred
+
+
+class ChargeModel:
+    """Charge facts for one class: CFGs, the fixpoint, and the predicate."""
+
+    def __init__(self, cls: ClassInfo) -> None:
+        self.cls = cls
+        self.cfgs: Dict[str, CFG] = {
+            name: build_cfg(fn.node) for name, fn in cls.functions.items()
+        }
+        self.always_charges = self._fixpoint()
+        self.pred = _charge_pred(self.always_charges)
+
+    def _fixpoint(self) -> frozenset[str]:
+        always: frozenset[str] = frozenset()
+        while True:
+            pred = _charge_pred(always)
+            grown = set(always)
+            for name, cfg in self.cfgs.items():
+                if name in always:
+                    continue
+                has_site = any(pred(n) for n in ast.walk(cfg.fn))
+                if has_site and not uncharged_returns(cfg, pred):
+                    grown.add(name)
+            if len(grown) == len(always):
+                return always
+            always = frozenset(grown)
+
+    def uncharged(self, method: str) -> list:
+        """Return nodes of ``method`` reachable without a charge, if any."""
+        cfg = self.cfgs.get(method)
+        if cfg is None:
+            return []
+        return uncharged_returns(cfg, self.pred)
+
+
+__all__ = ["ChargeModel", "STEP_COUNTERS", "is_concrete_charge"]

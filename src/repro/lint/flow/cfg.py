@@ -1,0 +1,244 @@
+"""Per-function control-flow graphs at statement granularity.
+
+Each simple statement becomes one node; compound statements contribute
+structure (edges) rather than nodes of their own.  The shapes the rules
+care about are modelled explicitly:
+
+* ``return`` statements and the implicit fall-off-the-end return are
+  distinct node kinds, so an all-paths analysis can interrogate exactly
+  the non-exceptional exits;
+* ``raise`` ends its path without reaching the exit — exceptional paths
+  are exempt from the charge obligation (DESIGN.md §15);
+* every loop exit passes through a synthetic ``loopexit`` node carrying a
+  reference to the loop statement.  DL011 treats a loop whose body
+  charges as charging on the zero-iteration exit too: per-element cost is
+  the reference semantics (zero candidates → zero steps), so the analysis
+  credits the exit edge when the body contains a charge site.
+
+``try`` is handled conservatively: each handler is entered from the state
+at the ``try`` head (as if the first body statement raised), which is the
+pessimistic assumption for a must-analysis.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Optional, Union
+
+FunctionNode = Union[ast.FunctionDef, ast.AsyncFunctionDef]
+
+#: Node kinds.
+ENTRY = "entry"
+EXIT = "exit"
+STMT = "stmt"
+RETURN = "return"
+IMPLICIT_RETURN = "implicit_return"
+LOOPEXIT = "loopexit"
+
+
+@dataclass
+class CFGNode:
+    """One node: a simple statement, an exit, or a synthetic marker.
+
+    Compound statements (``if``/``for``/``while``/``with``/``match``)
+    contribute a *head* node holding only their test/iterator expression in
+    ``expr`` — never the body, which lowers to its own nodes — so a
+    predicate walking a node's AST payload sees exactly the code that
+    executes at that point.
+    """
+
+    kind: str
+    stmt: Optional[ast.stmt] = None
+    expr: Optional[ast.AST] = None  # compound-statement head payload
+    loop: Optional[ast.stmt] = None  # the loop a LOOPEXIT node belongs to
+    succs: list[int] = field(default_factory=list)
+
+    @property
+    def payload(self) -> Optional[ast.AST]:
+        """The AST that executes at this node (statement or head expr)."""
+        return self.stmt if self.stmt is not None else self.expr
+
+
+@dataclass
+class CFG:
+    """The graph for one function."""
+
+    fn: FunctionNode
+    nodes: list[CFGNode] = field(default_factory=list)
+    entry: int = 0
+    exit: int = 1
+
+    def add(self, node: CFGNode) -> int:
+        """Append a node; returns its index."""
+        self.nodes.append(node)
+        return len(self.nodes) - 1
+
+    def link(self, src: int, dst: int) -> None:
+        """Add the edge ``src -> dst`` (idempotent)."""
+        if dst not in self.nodes[src].succs:
+            self.nodes[src].succs.append(dst)
+
+    def preds(self) -> list[list[int]]:
+        """Predecessor lists, indexed like ``nodes``."""
+        table: list[list[int]] = [[] for _ in self.nodes]
+        for i, node in enumerate(self.nodes):
+            for s in node.succs:
+                table[s].append(i)
+        return table
+
+    def returns(self) -> list[int]:
+        """Indices of every explicit and implicit return node."""
+        return [
+            i
+            for i, n in enumerate(self.nodes)
+            if n.kind in (RETURN, IMPLICIT_RETURN)
+        ]
+
+
+class _Builder:
+    def __init__(self, fn: FunctionNode) -> None:
+        self.cfg = CFG(fn=fn)
+        self.cfg.add(CFGNode(ENTRY))
+        self.cfg.add(CFGNode(EXIT))
+        # (break targets, continue targets) for the enclosing loop.
+        self.loop_stack: list[tuple[int, int]] = []
+
+    def build(self) -> CFG:
+        tails = self._body(self.cfg.fn.body, [self.cfg.entry])
+        if tails:
+            # Fall off the end: the implicit ``return None``.
+            implicit = self.cfg.add(
+                CFGNode(IMPLICIT_RETURN, stmt=None)
+            )
+            for t in tails:
+                self.cfg.link(t, implicit)
+            self.cfg.link(implicit, self.cfg.exit)
+        return self.cfg
+
+    # -- lowering -------------------------------------------------------------
+
+    def _body(self, stmts: list[ast.stmt], tails: list[int]) -> list[int]:
+        """Lower a statement list; returns the fall-through tail nodes."""
+        for stmt in stmts:
+            if not tails:
+                break  # unreachable code after return/raise/break
+            tails = self._stmt(stmt, tails)
+        return tails
+
+    def _stmt(self, stmt: ast.stmt, tails: list[int]) -> list[int]:
+        cfg = self.cfg
+        if isinstance(stmt, ast.Return):
+            node = cfg.add(CFGNode(RETURN, stmt=stmt))
+            for t in tails:
+                cfg.link(t, node)
+            cfg.link(node, cfg.exit)
+            return []
+        if isinstance(stmt, ast.Raise):
+            node = cfg.add(CFGNode(STMT, stmt=stmt))
+            for t in tails:
+                cfg.link(t, node)
+            return []  # exceptional exit: not linked to the normal exit
+        if isinstance(stmt, (ast.Break, ast.Continue)):
+            node = cfg.add(CFGNode(STMT, stmt=stmt))
+            for t in tails:
+                cfg.link(t, node)
+            if self.loop_stack:
+                brk, cont = self.loop_stack[-1]
+                cfg.link(node, brk if isinstance(stmt, ast.Break) else cont)
+            return []
+        if isinstance(stmt, ast.If):
+            head = cfg.add(CFGNode(STMT, expr=stmt.test))
+            for t in tails:
+                cfg.link(t, head)
+            then_tails = self._body(stmt.body, [head])
+            else_tails = self._body(stmt.orelse, [head]) if stmt.orelse else [head]
+            return then_tails + else_tails
+        if isinstance(stmt, (ast.For, ast.AsyncFor, ast.While)):
+            return self._loop(stmt, tails)
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            ctx = ast.Tuple(elts=[i.context_expr for i in stmt.items], ctx=ast.Load())
+            head = cfg.add(CFGNode(STMT, expr=ctx))
+            for t in tails:
+                cfg.link(t, head)
+            return self._body(stmt.body, [head])
+        if isinstance(stmt, ast.Try):
+            return self._try(stmt, tails)
+        if isinstance(stmt, ast.Match):
+            return self._match(stmt, tails)
+        # Simple statement (expression, assignment, nested def, ...).
+        node = cfg.add(CFGNode(STMT, stmt=stmt))
+        for t in tails:
+            cfg.link(t, node)
+        return [node]
+
+    def _loop(self, stmt: ast.stmt, tails: list[int]) -> list[int]:
+        cfg = self.cfg
+        head_expr = stmt.iter if isinstance(stmt, (ast.For, ast.AsyncFor)) else stmt.test
+        head = cfg.add(CFGNode(STMT, expr=head_expr))
+        for t in tails:
+            cfg.link(t, head)
+        exit_marker = cfg.add(CFGNode(LOOPEXIT, loop=stmt))
+        self.loop_stack.append((exit_marker, head))
+        body_tails = self._body(stmt.body, [head])
+        self.loop_stack.pop()
+        for t in body_tails:
+            cfg.link(t, head)  # back edge
+        cfg.link(head, exit_marker)  # zero/It-done iteration exit
+        orelse = getattr(stmt, "orelse", [])
+        if orelse:
+            return self._body(orelse, [exit_marker])
+        return [exit_marker]
+
+    def _try(self, stmt: ast.Try, tails: list[int]) -> list[int]:
+        cfg = self.cfg
+        head = cfg.add(CFGNode(STMT))
+        for t in tails:
+            cfg.link(t, head)
+        body_tails = self._body(stmt.body, [head])
+        if stmt.orelse:
+            body_tails = self._body(stmt.orelse, body_tails)
+        out = list(body_tails)
+        for handler in stmt.handlers:
+            # Pessimistic: the handler runs with the state at the try head.
+            out.extend(self._body(handler.body, [head]))
+        if stmt.finalbody:
+            out = self._body(stmt.finalbody, out) if out else []
+        return out
+
+    def _match(self, stmt: ast.Match, tails: list[int]) -> list[int]:
+        cfg = self.cfg
+        head = cfg.add(CFGNode(STMT, expr=stmt.subject))
+        for t in tails:
+            cfg.link(t, head)
+        out: list[int] = []
+        exhaustive = False
+        for case in stmt.cases:
+            out.extend(self._body(case.body, [head]))
+            if (
+                isinstance(case.pattern, ast.MatchAs)
+                and case.pattern.pattern is None
+                and case.guard is None
+            ):
+                exhaustive = True
+        if not exhaustive:
+            out.append(head)  # no case matched: fall through
+        return out
+
+
+def build_cfg(fn: FunctionNode) -> CFG:
+    """Build the statement-level CFG for one function."""
+    return _Builder(fn).build()
+
+
+__all__ = [
+    "CFG",
+    "CFGNode",
+    "ENTRY",
+    "EXIT",
+    "IMPLICIT_RETURN",
+    "LOOPEXIT",
+    "RETURN",
+    "STMT",
+    "build_cfg",
+]

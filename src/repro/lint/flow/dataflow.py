@@ -1,0 +1,229 @@
+"""Dataflow analyses over the flow CFG.
+
+Two analyses live here:
+
+:func:`must_reach`
+    A forward all-paths ("must") analysis: at each node, has *every*
+    non-exceptional path from the entry passed through a hit node?  The
+    meet is logical AND over predecessors; DL011 instantiates ``hit`` with
+    its charge-site predicate and reads the answer off the return nodes.
+
+:class:`TaintAnalysis`
+    The intraprocedural float-taint lattice DL012 uses: names assigned
+    from float literals, true divisions, or ``float()`` calls are tainted;
+    ``int()``/``len()``/``round()``/``.hex()``-style conversions sanitize.
+    Flow-insensitive over local names (a fixpoint over the function's
+    assignments), which is exact enough for the straight-line export and
+    emit code it polices and never misses a taint a flow-sensitive pass
+    would catch.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Callable, Optional
+
+from repro.lint.flow.cfg import CFG, ENTRY, LOOPEXIT, CFGNode
+
+# -- must-reach ----------------------------------------------------------------
+
+
+def contains(node: Optional[ast.AST], pred: Callable[[ast.AST], bool]) -> bool:
+    """Does any descendant of ``node`` (inclusive) satisfy ``pred``?
+
+    Descends into nested function/lambda bodies deliberately: the manager
+    mutators define local closures (``wipe`` in ``fail_node``) that charge
+    on the caller's behalf, and the definition always precedes the call.
+    """
+    if node is None:
+        return False
+    return any(pred(n) for n in ast.walk(node))
+
+
+def must_reach(cfg: CFG, pred: Callable[[ast.AST], bool]) -> list[bool]:
+    """Per-node OUT facts: every path to (and through) the node hit ``pred``.
+
+    A ``loopexit`` node counts as a hit when its loop's body contains a hit
+    anywhere — the zero-iteration concession documented in
+    :mod:`repro.lint.flow.cfg`.
+    """
+
+    def node_hits(n: CFGNode) -> bool:
+        if n.kind == LOOPEXIT:
+            body = n.loop.body if n.loop is not None else []
+            return any(contains(s, pred) for s in body)
+        return contains(n.payload, pred)
+
+    hits = [node_hits(n) for n in cfg.nodes]
+    preds = cfg.preds()
+    reachable = [False] * len(cfg.nodes)
+    reachable[cfg.entry] = True
+    work = [cfg.entry]
+    while work:
+        i = work.pop()
+        for s in cfg.nodes[i].succs:
+            if not reachable[s]:
+                reachable[s] = True
+                work.append(s)
+    # Optimistic (all-True) initialisation, then iterate down to the
+    # greatest fixpoint — the standard shape for a must-analysis with
+    # back edges.
+    out = [hits[i] or (cfg.nodes[i].kind != ENTRY) for i in range(len(cfg.nodes))]
+    out[cfg.entry] = hits[cfg.entry]
+    changed = True
+    while changed:
+        changed = False
+        for i, node in enumerate(cfg.nodes):
+            if node.kind == ENTRY or not reachable[i]:
+                continue
+            ins = [out[p] for p in preds[i] if reachable[p]]
+            new = (all(ins) if ins else False) or hits[i]
+            if new != out[i]:
+                out[i] = new
+                changed = True
+    return out
+
+
+def uncharged_returns(cfg: CFG, pred: Callable[[ast.AST], bool]) -> list[CFGNode]:
+    """Return nodes some path reaches without ever hitting ``pred``."""
+    out = must_reach(cfg, pred)
+    return [cfg.nodes[i] for i in cfg.returns() if not out[i]]
+
+
+# -- float taint ---------------------------------------------------------------
+
+#: Builtin calls whose result is never float-tainted.
+SANITIZER_CALLS = frozenset(
+    {"int", "len", "round", "bool", "str", "repr", "ord", "hash", "isqrt", "divmod"}
+)
+
+#: Method calls (``x.hex()``) that produce a non-float representation, and
+#: the integer-producing ``math`` helpers.
+SANITIZER_ATTRS = frozenset(
+    {"hex", "bit_length", "floor", "ceil", "isqrt", "hexdigest", "join", "format"}
+)
+
+#: Calls that *introduce* taint regardless of their arguments.
+TAINT_CALLS = frozenset({"float"})
+
+
+class TaintAnalysis:
+    """Which local names of one function may hold float-derived values."""
+
+    def __init__(self, fn: ast.AST) -> None:
+        self.fn = fn
+        self.tainted: set[str] = set()
+        self._solve()
+
+    # -- expression lattice ---------------------------------------------------
+
+    def expr_tainted(self, node: Optional[ast.AST]) -> bool:
+        """May this expression evaluate to a float-derived value?"""
+        if node is None:
+            return False
+        if isinstance(node, ast.Constant):
+            return isinstance(node.value, float)
+        if isinstance(node, ast.Name):
+            return node.id in self.tainted
+        if isinstance(node, ast.BinOp):
+            if isinstance(node.op, ast.Div):
+                return True  # true division is float by construction
+            return self.expr_tainted(node.left) or self.expr_tainted(node.right)
+        if isinstance(node, ast.UnaryOp):
+            return self.expr_tainted(node.operand)
+        if isinstance(node, ast.BoolOp):
+            return any(self.expr_tainted(v) for v in node.values)
+        if isinstance(node, ast.IfExp):
+            return self.expr_tainted(node.body) or self.expr_tainted(node.orelse)
+        if isinstance(node, (ast.Tuple, ast.List, ast.Set)):
+            return any(self.expr_tainted(e) for e in node.elts)
+        if isinstance(node, ast.Dict):
+            return any(self.expr_tainted(v) for v in node.values if v is not None)
+        if isinstance(node, ast.Subscript):
+            return self.expr_tainted(node.value)
+        if isinstance(node, ast.Starred):
+            return self.expr_tainted(node.value)
+        if isinstance(node, ast.Compare):
+            return False  # bool
+        if isinstance(node, ast.JoinedStr):
+            return False  # str
+        if isinstance(node, (ast.ListComp, ast.SetComp, ast.GeneratorExp)):
+            return self.expr_tainted(node.elt)
+        if isinstance(node, ast.DictComp):
+            return self.expr_tainted(node.value)
+        if isinstance(node, ast.Call):
+            return self._call_tainted(node)
+        if isinstance(node, ast.Attribute):
+            # Attribute loads stop propagation: float-typed *fields* are
+            # DL002's jurisdiction (module allowlist there), and chasing
+            # them here would re-flag every deliberate accumulator read.
+            return False
+        return False
+
+    def _call_tainted(self, node: ast.Call) -> bool:
+        fn = node.func
+        name = None
+        if isinstance(fn, ast.Name):
+            name = fn.id
+        elif isinstance(fn, ast.Attribute):
+            name = fn.attr
+        if name in TAINT_CALLS:
+            return True
+        if name in SANITIZER_CALLS or name in SANITIZER_ATTRS:
+            return False
+        # Unknown call: float-preserving by default (min/max/abs/sum...).
+        args_tainted = any(self.expr_tainted(a) for a in node.args)
+        kw_tainted = any(self.expr_tainted(k.value) for k in node.keywords)
+        recv_tainted = (
+            self.expr_tainted(fn.value) if isinstance(fn, ast.Attribute) else False
+        )
+        return args_tainted or kw_tainted or recv_tainted
+
+    # -- name fixpoint --------------------------------------------------------
+
+    def _assignments(self):
+        for node in ast.walk(self.fn):
+            if isinstance(node, ast.Assign):
+                for target in node.targets:
+                    yield target, node.value, False
+            elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                yield node.target, node.value, False
+            elif isinstance(node, ast.AugAssign):
+                yield node.target, node.value, isinstance(node.op, ast.Div)
+            elif isinstance(node, (ast.For, ast.AsyncFor)):
+                yield node.target, node.iter, False
+            elif isinstance(node, ast.comprehension):
+                yield node.target, node.iter, False
+            elif isinstance(node, ast.NamedExpr):
+                yield node.target, node.value, False
+
+    def _taint_target(self, target: ast.AST) -> None:
+        if isinstance(target, ast.Name):
+            self.tainted.add(target.id)
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for elt in target.elts:
+                self._taint_target(elt)
+        elif isinstance(target, ast.Starred):
+            self._taint_target(target.value)
+
+    def _solve(self) -> None:
+        changed = True
+        while changed:
+            changed = False
+            before = len(self.tainted)
+            for target, value, forced in self._assignments():
+                if forced or self.expr_tainted(value):
+                    self._taint_target(target)
+            if len(self.tainted) != before:
+                changed = True
+
+
+__all__ = [
+    "SANITIZER_ATTRS",
+    "SANITIZER_CALLS",
+    "TAINT_CALLS",
+    "TaintAnalysis",
+    "contains",
+    "must_reach",
+    "uncharged_returns",
+]

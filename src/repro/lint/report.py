@@ -90,9 +90,94 @@ def render_rules() -> str:
     return "\n".join(lines) + "\n"
 
 
+def _finding_line(f: dict) -> str:
+    return (
+        f"{f.get('path')}:{f.get('line')}:{f.get('col')}: {f.get('rule')} "
+        f"[{f.get('severity')}] {f.get('message')}"
+    )
+
+
+def _suppression_line(s: dict) -> str:
+    rules = ",".join(s.get("rules", []))
+    return f"{s.get('path')}:{s.get('line')}: suppresses {rules} ({s.get('reason')})"
+
+
+def _delta_section(
+    title: str, old: list[dict], new: list[dict], render, group
+) -> list[str]:
+    """Added/removed entries of one report section, grouped for the log."""
+    old_keys = {json.dumps(e, sort_keys=True) for e in old}
+    new_keys = {json.dumps(e, sort_keys=True) for e in new}
+    added = [e for e in new if json.dumps(e, sort_keys=True) not in old_keys]
+    removed = [e for e in old if json.dumps(e, sort_keys=True) not in new_keys]
+    if not added and not removed:
+        return []
+    lines = [f"{title}: +{len(added)} -{len(removed)}"]
+    by_group: dict[str, list[str]] = {}
+    for sign, entries in (("+", added), ("-", removed)):
+        for e in entries:
+            by_group.setdefault(group(e), []).append(f"  {sign} {render(e)}")
+    for key in sorted(by_group):
+        lines.append(f" {key}")
+        lines.extend(by_group[key])
+    return lines
+
+
+def render_baseline_delta(old: dict, new: dict) -> str:
+    """The per-rule, per-file drift between two JSON reports.
+
+    Empty string when the reports agree; otherwise only the *changed*
+    findings and suppressions, grouped by rule id then file — so a
+    one-finding drift is one readable stanza in the CI log instead of two
+    full JSON dumps.
+    """
+    lines: list[str] = []
+    if old.get("version") != new.get("version"):
+        lines.append(
+            f"report version changed: {old.get('version')} -> {new.get('version')}"
+        )
+    old_rules = {r.get("id") for r in old.get("rules", [])}
+    new_rules = {r.get("id") for r in new.get("rules", [])}
+    for rid in sorted(new_rules - old_rules):
+        lines.append(f"rule catalogue: + {rid}")
+    for rid in sorted(old_rules - new_rules):
+        lines.append(f"rule catalogue: - {rid}")
+    lines.extend(
+        _delta_section(
+            "findings",
+            old.get("findings", []),
+            new.get("findings", []),
+            _finding_line,
+            lambda f: f"{f.get('rule')} · {f.get('path')}",
+        )
+    )
+    lines.extend(
+        _delta_section(
+            "suppressions",
+            old.get("suppressions", []),
+            new.get("suppressions", []),
+            _suppression_line,
+            lambda s: ",".join(s.get("rules", [])) + " · " + str(s.get("path")),
+        )
+    )
+    if old.get("files_scanned") != new.get("files_scanned"):
+        lines.append(
+            f"files scanned: {old.get('files_scanned')} -> {new.get('files_scanned')}"
+        )
+    return "\n".join(lines) + "\n" if lines else ""
+
+
 def severity_of(name: str) -> Severity:
     """Parse a severity name (CLI helper)."""
     return Severity(name)
 
 
-__all__ = ["REPORT_VERSION", "render_human", "render_json", "render_rules", "severity_of", "to_json"]
+__all__ = [
+    "REPORT_VERSION",
+    "render_baseline_delta",
+    "render_human",
+    "render_json",
+    "render_rules",
+    "severity_of",
+    "to_json",
+]

@@ -1448,6 +1448,7 @@ class ArraySuspensionQueue:
         ``max_length`` would be exceeded (caller discards the task).
         """
         if self.max_length is not None and len(self._order) >= self.max_length:
+            # dreamlint: disable=DL011 (full-queue rejection is a constant-time refusal the reference never bills; charging would shift every golden digest)
             return None
         task.mark_suspended(now)
         self._seq += 1

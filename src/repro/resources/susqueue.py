@@ -124,6 +124,7 @@ class SuspensionQueue:
         would be exceeded.
         """
         if self.max_length is not None and len(self._items) >= self.max_length:
+            # dreamlint: disable=DL011 (full-queue rejection is a constant-time refusal the reference never bills; charging would shift every golden digest)
             return None
         task.mark_suspended(now)
         self._seq += 1

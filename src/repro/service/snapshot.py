@@ -34,7 +34,11 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.framework.simulator import DReAMSim
 
 #: Bump on ANY change to the exported state layout.
-SNAPSHOT_VERSION = 1
+#: v2: stale completion events travel as explicit ``("noop", task_no)``
+#: queue entries instead of being dropped, so a restored run reproduces the
+#: uninterrupted run's final time even when a dead completion is the last
+#: event in the heap.
+SNAPSHOT_VERSION = 2
 
 #: Hex digits of the trace digest used as the snapshot key.
 _KEY_PREFIX = 12

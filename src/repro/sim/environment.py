@@ -227,7 +227,7 @@ class Environment:
     # -- snapshot support --------------------------------------------------------
 
     def export_pending(
-        self, keep: Optional[Callable[[tuple, Event], bool]] = None
+        self, rewrite: Optional[Callable[[tuple, Event], tuple]] = None
     ) -> list[tuple[float, int, int, tuple]]:
         """Export every pending event as ``(time, priority, seq, tag)``.
 
@@ -235,8 +235,12 @@ class Environment:
         canonical.  Every pending event must carry a tag; an untagged event
         means some subsystem scheduled work the snapshot layer cannot
         rebuild, so the run is not snapshottable and we refuse loudly.
-        ``keep`` may drop events whose firing is known to be a no-op (stale
-        completions); it sees ``(tag, event)``.
+        ``rewrite`` may substitute the exported tag per event — e.g. mapping
+        a stale completion to a no-op marker so the restored queue keeps the
+        event (and its clock advance) without needing the dead callback; it
+        sees ``(tag, event)`` and returns the tag to export.  Events are
+        never dropped: every queue slot travels, so the restored heap is
+        structurally identical and the run's final time is preserved.
         """
         out: list[tuple[float, int, int, tuple]] = []
         for when, prio, seq, event in sorted(
@@ -249,8 +253,8 @@ class Environment:
                     f"(scheduled for t={when}); only call_at(..., tag=...) "
                     "events are serializable"
                 )
-            if keep is not None and not keep(tag, event):
-                continue
+            if rewrite is not None:
+                tag = rewrite(tag, event)
             out.append((when, prio, seq, tag))
         return out
 

@@ -4,20 +4,22 @@
 Usage::
 
     PYTHONPATH=src python tools/dreamlint.py src/repro
+    python tools/dreamlint.py src/repro --baseline tools/dreamlint_baseline.json
     python tools/dreamlint.py src/repro --json --out tools/dreamlint_baseline.json
     python tools/dreamlint.py --list-rules
 
-Exit codes: 0 = no error-severity findings, 1 = errors found, 2 = usage or
-internal failure.  Warnings never gate (they surface hygiene issues such as
-unused suppressions and untested digest paths).
+Exit codes: 0 = no error-severity findings, 1 = errors found or baseline
+drift, 2 = usage or internal failure.  Warnings never gate (they surface
+hygiene issues such as unused suppressions and untested digest paths).
 
 The script bootstraps ``src/`` onto ``sys.path`` relative to its own
 location, so it also runs without ``PYTHONPATH`` (pre-commit friendly).
+All flag parsing and execution live in :mod:`repro.lint.cli`, shared with
+the ``dreamsim lint`` subcommand so the two entry points cannot drift.
 """
 
 from __future__ import annotations
 
-import argparse
 import sys
 from pathlib import Path
 
@@ -25,52 +27,18 @@ _SRC = Path(__file__).resolve().parent.parent / "src"
 if _SRC.is_dir() and str(_SRC) not in sys.path:
     sys.path.insert(0, str(_SRC))
 
-from repro.lint import run_lint, render_human, render_json, render_rules  # noqa: E402
+from repro.lint.cli import add_lint_arguments, run_from_args  # noqa: E402
 
 
 def main(argv: list[str] | None = None) -> int:
+    import argparse
+
     parser = argparse.ArgumentParser(
         prog="dreamlint", description="determinism & accounting linter"
     )
-    parser.add_argument(
-        "paths",
-        nargs="*",
-        default=[],
-        help="package roots to lint (default: src/repro next to this script)",
-    )
-    parser.add_argument("--json", action="store_true", help="emit the JSON report")
-    parser.add_argument("--out", metavar="FILE", help="write the report to FILE")
-    parser.add_argument(
-        "--list-rules", action="store_true", help="print the rule catalogue and exit"
-    )
-    parser.add_argument(
-        "-v", "--verbose", action="store_true", help="also list used suppressions"
-    )
+    add_lint_arguments(parser)
     args = parser.parse_args(argv)
-
-    if args.list_rules:
-        sys.stdout.write(render_rules())
-        return 0
-
-    paths = [Path(p) for p in args.paths] or [_SRC / "repro"]
-    exit_code = 0
-    outputs: list[str] = []
-    for path in paths:
-        if not path.exists():
-            sys.stderr.write(f"dreamlint: no such path: {path}\n")
-            return 2
-        report = run_lint(path)
-        outputs.append(
-            render_json(report) if args.json else render_human(report, verbose=args.verbose)
-        )
-        exit_code = max(exit_code, report.exit_code)
-
-    text = "".join(outputs)
-    if args.out:
-        Path(args.out).write_text(text, encoding="utf-8")
-    else:
-        sys.stdout.write(text)
-    return exit_code
+    return run_from_args(args, fallback_root=_SRC / "repro")
 
 
 if __name__ == "__main__":

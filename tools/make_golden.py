@@ -1,5 +1,5 @@
 #!/usr/bin/env python3
-"""Regenerate the committed golden traces under ``tests/golden/``.
+"""Regenerate the committed golden fixtures under ``tests/golden/``.
 
 The golden suite pins the full structured event stream of three small,
 fully deterministic scenarios (20 nodes, 10 configurations, 200 tasks,
@@ -20,6 +20,13 @@ Refresh procedure (only after an *intentional* behaviour change):
 
 Then describe the behaviour change in the commit message.  A golden diff
 you cannot explain is a regression, not a refresh.
+
+Besides the three golden traces this also refreshes the committed golden
+*snapshot* (``tests/golden/snapshot_n20_t200_s42/``): the harness SEU
+campaign cut after 1000 kernel steps, serialized at the current
+``SNAPSHOT_VERSION``.  Regenerating it is mandatory whenever the snapshot
+format changes (and the version is bumped) — the fixture's own test
+refuses version skew.
 """
 
 from __future__ import annotations
@@ -56,6 +63,63 @@ SCENARIOS = {
 }
 
 
+#: The golden snapshot fixture: the harness SEU campaign, cut mid-run.
+SNAPSHOT_DIR = GOLDEN_DIR / "snapshot_n20_t200_s42"
+SNAPSHOT_CUT_STEPS = 1000
+
+
+def make_snapshot_golden() -> None:
+    """Regenerate ``tests/golden/snapshot_n20_t200_s42/``.
+
+    Cuts the harness SEU campaign (array backend) after
+    ``SNAPSHOT_CUT_STEPS`` kernel events, writes the serialized snapshot,
+    the trace prefix up to the cut, and the uninterrupted run's expected
+    final digest — everything ``tests/test_snapshot_golden.py`` pins.
+    """
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
+    from repro.framework.campaign import build_campaign
+    from repro.service.snapshot import snapshot_of
+    from repro.trace import MemorySink
+    from repro.trace.bus import write_jsonl
+    from tests.snapshot_harness import SEU, baseline
+
+    SNAPSHOT_DIR.mkdir(parents=True, exist_ok=True)
+    base = baseline(SEU, "array")
+
+    bus = TraceBus()
+    mem = MemorySink()
+    dig = DigestSink()
+    bus.attach(mem)
+    bus.attach(dig)
+    sim, injector = build_campaign(SEU, backend="array", trace=bus)
+    sim.start()
+    for _ in range(SNAPSHOT_CUT_STEPS):
+        if sim.env.pending_count == 0:
+            raise SystemExit("snapshot golden: campaign ended before the cut")
+        sim.env.step()
+    snap = snapshot_of(sim, injector, digest=dig.hexdigest())
+    snap.write(SNAPSHOT_DIR / "snapshot.json")
+    prefix = list(mem)
+    write_jsonl(SNAPSHOT_DIR / "prefix.jsonl", prefix)
+    expected = {
+        "campaign": (
+            "SEU (tests/snapshot_harness.py), 20 nodes / 10 configs / "
+            "200 tasks, seed 42, partial, array backend"
+        ),
+        "cut_kernel_steps": SNAPSHOT_CUT_STEPS,
+        "cut_trace_events": len(prefix),
+        "expected_final_digest": base.digest,
+        "expected_total_events": base.event_count,
+    }
+    (SNAPSHOT_DIR / "expected.json").write_text(
+        json.dumps(expected, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    print(
+        f"snapshot golden: cut at {len(prefix)} trace events, "
+        f"final digest {base.digest}"
+    )
+
+
 def main() -> int:
     """Write one JSONL trace per scenario plus the digest manifest."""
     GOLDEN_DIR.mkdir(parents=True, exist_ok=True)
@@ -75,6 +139,7 @@ def main() -> int:
         encoding="utf-8",
     )
     print(f"manifest written to {manifest}")
+    make_snapshot_golden()
     return 0
 
 

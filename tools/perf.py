@@ -425,28 +425,40 @@ def run_dreamlint_timing(repeats: int):
 
     The linter runs in CI on every push, so its wall-clock cost is part of
     the perf budget this file tracks; the row also re-asserts the clean-tree
-    invariant (zero errors) the static-analysis job gates on.
+    invariant (zero errors) the static-analysis job gates on.  Since v2 the
+    pass includes the whole-program flow rules (DL010–DL013: CFG + dataflow
+    over every class); their share is timed separately so a flow-engine
+    regression is visible against the syntactic baseline.  All four flow
+    rules share one cached project model per run — the flow share measures
+    the engine, not four rebuilds.
     """
     from repro.lint import run_lint
 
     tree = Path(__file__).resolve().parent.parent / "src" / "repro"
+    flow_rules = {"DL010", "DL011", "DL012", "DL013"}
     elapsed, report = float("inf"), None
+    flow_elapsed = float("inf")
     for _ in range(repeats):
         t0 = time.perf_counter()
         report = run_lint(tree)
         elapsed = min(elapsed, time.perf_counter() - t0)
+        t0 = time.perf_counter()
+        run_lint(tree, rule_ids=flow_rules)
+        flow_elapsed = min(flow_elapsed, time.perf_counter() - t0)
     row = {
         "tool": "dreamlint",
         "target": "src/repro",
         "files": len(report.files),
         "seconds": round(elapsed, 3),
+        "flow_rules_seconds": round(flow_elapsed, 3),
         "errors": len(report.errors),
         "warnings": len(report.warnings),
         "suppressed": len(report.suppressed),
     }
     print(
         f"dreamlint @ src/repro: {row['files']} files in {elapsed:6.2f}s  "
-        f"({row['errors']} error(s), {row['warnings']} warning(s))"
+        f"(flow rules {flow_elapsed:5.2f}s; {row['errors']} error(s), "
+        f"{row['warnings']} warning(s))"
     )
     return row
 
