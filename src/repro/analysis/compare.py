@@ -9,7 +9,10 @@ machine-checkable scorecard that the benches assert on and the CLI prints.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Optional, Sequence
+from typing import TYPE_CHECKING, Callable, Optional, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.parallel import ResultCache
 
 from repro.analysis.figures import FIGURES, build_figure
 from repro.analysis.runner import (
@@ -135,19 +138,20 @@ def check_claims(
     node_counts: Sequence[int] = (100, 200),
     progress: Optional[Callable[[str], None]] = None,
     jobs: int = 1,
+    cache: Optional["ResultCache"] = None,
 ) -> list[ClaimCheck]:
     """Run the sweeps and evaluate every §VI-A claim.
 
-    With ``jobs != 1`` the *whole* grid (every node count × task count ×
-    mode) is prefetched through the sweep engine in one batch — maximum
-    parallel width — before the per-node-count sweeps assemble from cache
-    in serial order.
+    With ``jobs != 1`` (or an on-disk ``cache`` attached) the *whole* grid
+    (every node count × task count × mode) is prefetched through the sweep
+    engine in one batch — maximum parallel width — before the per-node-count
+    sweeps assemble from cache in serial order.
     """
-    if jobs != 1:
+    if jobs != 1 or cache is not None:
         grid = [
             sc for n in node_counts for sc in sweep_scenarios(n, task_counts, seed)
         ]
-        prefetch_scenarios(grid, jobs=jobs, progress=progress)
+        prefetch_scenarios(grid, jobs=jobs, progress=progress, cache=cache)
     sweeps = {
         n: run_sweep(n, task_counts, seed, progress=progress) for n in node_counts
     }

@@ -10,7 +10,10 @@ sweep do not re-simulate.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Iterable, Optional
+from typing import TYPE_CHECKING, Callable, Iterable, Optional
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.parallel import ResultCache
 
 from repro.analysis.paperconfig import Scenario
 from repro.framework.simulator import DReAMSim
@@ -57,6 +60,7 @@ def prefetch_scenarios(
     jobs: int = 1,
     progress: Optional[Callable[[str], None]] = None,
     backend: Optional[str] = None,
+    cache: Optional["ResultCache"] = None,
 ) -> int:
     """Run every uncached scenario through the sweep engine, filling the memo.
 
@@ -66,6 +70,11 @@ def prefetch_scenarios(
     into pure cache hits — so output ordering, and therefore every figure
     and table, is bit-identical to a serial run.  Returns the number of
     scenarios actually simulated.
+
+    ``cache`` attaches an on-disk :class:`~repro.parallel.ResultCache`:
+    validated entries skip execution entirely and fresh payloads persist as
+    they complete, making interrupted or edited sweeps resumable
+    (``--cache-dir`` in the CLI).
     """
     from repro.metrics.merge import reports_in_order
     from repro.parallel import RunSpec, SweepExecutor
@@ -82,7 +91,7 @@ def prefetch_scenarios(
     if progress:
         progress(f"running {len(wanted)} scenario(s) with jobs={jobs}")
     specs = [RunSpec.from_scenario(sc, backend=backend) for sc in wanted]
-    payloads = SweepExecutor(jobs=jobs, on_message=progress).run(specs)
+    payloads = SweepExecutor(jobs=jobs, on_message=progress, cache=cache).run(specs)
     for sc, report in zip(wanted, reports_in_order(payloads, expected=len(specs))):
         _CACHE[sc] = report
     return len(wanted)
@@ -119,21 +128,25 @@ def run_sweep(
     progress: Optional[Callable[[str], None]] = None,
     jobs: int = 1,
     backend: Optional[str] = None,
+    cache: Optional["ResultCache"] = None,
 ) -> SweepResult:
     """Run the partial/full pair for every task count.
 
     ``jobs > 1`` (or ``0`` = one per CPU) executes the uncached scenarios
     through the multiprocess sweep engine first; the assembly loop below
     then consumes cache hits in serial order, so the returned
-    :class:`SweepResult` is bit-identical either way.
+    :class:`SweepResult` is bit-identical either way.  A ``cache`` routes
+    the grid through the sweep engine even at ``jobs=1`` so resumable
+    on-disk results apply in every mode.
     """
     task_counts = list(task_counts)
-    if jobs != 1:
+    if jobs != 1 or cache is not None:
         prefetch_scenarios(
             sweep_scenarios(nodes, task_counts, seed),
             jobs=jobs,
             progress=progress,
             backend=backend,
+            cache=cache,
         )
     result = SweepResult(nodes=nodes, task_counts=task_counts)
     for tasks in task_counts:

@@ -94,6 +94,29 @@ def _resolved_jobs(args: argparse.Namespace) -> int:
     return jobs
 
 
+def _add_cache(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--cache-dir", type=str, default=None, metavar="DIR",
+        help="resumable on-disk result cache: completed runs persist here "
+        "keyed by spec content, so a re-run (after a crash or an edit to "
+        "one arm) executes only the missing specs",
+    )
+    p.add_argument(
+        "--no-cache", action="store_true",
+        help="ignore --cache-dir (one-off override; neither reads nor writes)",
+    )
+
+
+def _resolved_cache(args: argparse.Namespace):
+    """Build the ResultCache from ``--cache-dir``/``--no-cache`` (or None)."""
+    cache_dir = getattr(args, "cache_dir", None)
+    if cache_dir is None or getattr(args, "no_cache", False):
+        return None
+    from repro.parallel import ResultCache
+
+    return ResultCache(cache_dir)
+
+
 def _add_fault_args(p: argparse.ArgumentParser) -> None:
     """The fault-injection knobs shared by ``run`` and ``serve``."""
     faults = p.add_argument_group(
@@ -222,6 +245,7 @@ def build_parser() -> argparse.ArgumentParser:
         "through the sweep engine and print one report per seed",
     )
     _add_jobs(run_p)
+    _add_cache(run_p)
     _add_common(run_p)
 
     serve_p = sub.add_parser(
@@ -294,6 +318,7 @@ def build_parser() -> argparse.ArgumentParser:
         "bit-identical across backends, only wall-clock differs)",
     )
     _add_jobs(sweep_p)
+    _add_cache(sweep_p)
     _add_common(sweep_p)
 
     fig_p = sub.add_parser("figures", help="regenerate the paper's figures")
@@ -324,6 +349,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="write one CSV per figure into DIR",
     )
     _add_jobs(fig_p)
+    _add_cache(fig_p)
     _add_common(fig_p)
 
     claims_p = sub.add_parser("claims", help="check every §VI-A claim")
@@ -332,6 +358,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     claims_p.add_argument("--nodes", type=int, nargs="+", default=[100, 200])
     _add_jobs(claims_p)
+    _add_cache(claims_p)
     _add_common(claims_p)
 
     rep_p = sub.add_parser(
@@ -345,6 +372,7 @@ def build_parser() -> argparse.ArgumentParser:
         default=["avg_waiting_time_per_task", "avg_reconfig_count_per_node"],
     )
     _add_jobs(rep_p)
+    _add_cache(rep_p)
     _add_common(rep_p)
 
     graph_p = sub.add_parser("graph", help="schedule a generated task graph")
@@ -469,7 +497,9 @@ def _run_seed_sweep(args: argparse.Namespace) -> int:
         collect_digest=args.trace_digest,
     )
     specs = [base.with_seed(args.seed + i) for i in range(args.seeds)]
-    payloads = SweepExecutor(jobs=jobs, on_message=progress).run(specs)
+    payloads = SweepExecutor(
+        jobs=jobs, on_message=progress, cache=_resolved_cache(args)
+    ).run(specs)
     for payload in in_submission_order(payloads, expected=len(specs)):
         campaign = payload.spec.campaign
         label = (
@@ -675,7 +705,8 @@ def cmd_replicate(args: argparse.Namespace) -> int:
 
     seeds = [args.seed + i for i in range(args.replications)]
     jobs = _resolved_jobs(args)
-    if jobs != 1:
+    cache = _resolved_cache(args)
+    if jobs != 1 or cache is not None:
         from dataclasses import replace as _replace
 
         from repro.analysis.runner import prefetch_scenarios
@@ -692,7 +723,8 @@ def cmd_replicate(args: argparse.Namespace) -> int:
             for s in seeds
         ]
         prefetch_scenarios(
-            grid, jobs=jobs, progress=lambda m: print(m, file=sys.stderr)
+            grid, jobs=jobs, progress=lambda m: print(m, file=sys.stderr),
+            cache=cache,
         )
     rows = []
     for partial in (True, False):
@@ -723,6 +755,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         progress=lambda m: print(m, file=sys.stderr),
         jobs=_resolved_jobs(args),
         backend=_resolved_backend(args),
+        cache=_resolved_cache(args),
     )
     print(
         series_table(
@@ -746,7 +779,8 @@ def cmd_figures(args: argparse.Namespace) -> int:
     wanted = sorted(FIGURES) if args.figure == "all" else [args.figure]
     needed_nodes = sorted({FIGURES[f]["nodes"] for f in wanted})
     jobs = _resolved_jobs(args)
-    if jobs != 1:
+    cache = _resolved_cache(args)
+    if jobs != 1 or cache is not None:
         from repro.analysis.runner import prefetch_scenarios, sweep_scenarios
 
         to_run = [
@@ -761,7 +795,8 @@ def cmd_figures(args: argparse.Namespace) -> int:
             sc for n in to_run for sc in sweep_scenarios(n, task_counts, args.seed)
         ]
         prefetch_scenarios(
-            grid, jobs=jobs, progress=lambda m: print(m, file=sys.stderr)
+            grid, jobs=jobs, progress=lambda m: print(m, file=sys.stderr),
+            cache=cache,
         )
     sweeps = {}
     for n in needed_nodes:
@@ -826,6 +861,7 @@ def cmd_claims(args: argparse.Namespace) -> int:
         node_counts=tuple(args.nodes),
         progress=lambda m: print(m, file=sys.stderr),
         jobs=_resolved_jobs(args),
+        cache=_resolved_cache(args),
     )
     print(scorecard(checks))
     return 0 if all(c.passed for c in checks) else 1

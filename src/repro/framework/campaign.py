@@ -89,6 +89,7 @@ def build_campaign(
     backend: Optional[str] = None,
     trace: Optional[TraceBus] = None,
     arm: bool = True,
+    workload: Optional[tuple] = None,
     **sim_kwargs: Any,
 ) -> tuple[DReAMSim, Optional[FailureInjector]]:
     """Construct the simulator and (if any fault knob is set) arm an injector.
@@ -98,15 +99,28 @@ def build_campaign(
     run byte for byte.  ``arm=False`` returns the injector un-armed — the
     snapshot-restore path requires exactly that (restore rewires callbacks
     in place of :meth:`FailureInjector.arm`).
+
+    ``workload`` short-circuits generation with a pre-built
+    ``(nodes, configs, arrivals)`` triple.  The caller owns equivalence: the
+    triple must be a fresh-state clone of exactly what this spec's seed
+    would generate (the sweep worker's memo and the perf harness's
+    ``WorkloadBundle`` both derive theirs from the same RNG sequence), and
+    the fault RNG is unaffected because it draws from its own seed.
     """
-    rng = RNG(seed=spec.seed)
-    node_list = generate_nodes(NodeSpec(count=spec.nodes), rng)
-    config_list = generate_configs(ConfigSpec(count=spec.configs), rng)
-    # tasks=0 builds a source-fed service run: no constructor-side stream at
-    # all (and no task-stream RNG draws), every arrival comes through ingest.
-    stream: list = []
-    if spec.tasks:
-        stream = list(generate_task_stream(TaskSpec(count=spec.tasks), config_list, rng))
+    if workload is not None:
+        node_list, config_list, stream = workload
+    else:
+        rng = RNG(seed=spec.seed)
+        node_list = generate_nodes(NodeSpec(count=spec.nodes), rng)
+        config_list = generate_configs(ConfigSpec(count=spec.configs), rng)
+        # tasks=0 builds a source-fed service run: no constructor-side stream
+        # at all (and no task-stream RNG draws), every arrival comes through
+        # ingest.
+        stream = []
+        if spec.tasks:
+            stream = list(
+                generate_task_stream(TaskSpec(count=spec.tasks), config_list, rng)
+            )
     sim = DReAMSim(
         node_list,
         config_list,
@@ -149,11 +163,17 @@ def run_campaign(
     indexed: bool = True,
     backend: Optional[str] = None,
     trace: Optional[TraceBus] = None,
+    workload: Optional[tuple] = None,
     **sim_kwargs: Any,
 ) -> tuple[SimulationResult, Optional[FailureInjector]]:
     """Build and run one campaign; returns the result and the injector."""
     sim, injector = build_campaign(
-        spec, indexed=indexed, backend=backend, trace=trace, **sim_kwargs
+        spec,
+        indexed=indexed,
+        backend=backend,
+        trace=trace,
+        workload=workload,
+        **sim_kwargs,
     )
     return sim.run(), injector
 

@@ -22,10 +22,16 @@ only engages for configurations whose behaviour it replicates completely
 
 * array backend (``ArrayRIM`` + ``ArraySuspensionQueue``), homogeneous;
 * the paper's MIN_AREA placement policy and a ``FixedDelayModel`` network;
-* no trace bus attached (traced runs keep the generic path, which is also
-  how golden digests stay backend-identical), no GPP pool, no armed
-  failure injector (no pending env events, no quarantine hooks, all nodes
-  in service), no debug invariant checking.
+* no trace bus attached, *or* a digest-capable bus — one whose sinks all
+  accept pre-encoded canonical lines via ``write_lines`` (``DigestSink``):
+  the loop then builds each canonical line inline with the exact stamps the
+  generic path's ``TraceBus.emit`` would produce, so the digest stays
+  byte-identical while the bus's per-event dict/object machinery is
+  bypassed (the <50 % digest-overhead row in ``BENCH_perf.json``).  A bus
+  with a ``MemorySink``/``JsonlSink`` keeps the generic path, which is
+  also how golden traces stay backend-identical;
+* no GPP pool, no armed failure injector (no pending env events, no
+  quarantine hooks, all nodes in service), no debug invariant checking.
 
 Anything else falls back to the generic loop — correctness first, speed
 where the envelope allows.
@@ -57,9 +63,32 @@ from repro.resources.arraycore import (
     ArraySuspensionQueue,
 )
 from repro.resources.susqueue import NO_KEY
+from repro.trace.bus import TraceBus
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.framework.simulator import DReAMSim
+
+
+def _digest_capable(trace: Optional[TraceBus], sim: "DReAMSim") -> bool:
+    """True when the hot loop can feed ``trace`` inline.
+
+    Requires a plain :class:`TraceBus` (no subclassed ``emit``), stamped
+    from the simulator's own counters, whose sinks all consume pre-encoded
+    canonical lines (``write_lines``) — every component must share the one
+    bus (the constructor wires it that way) so suppressing the component
+    emissions and emitting inline is a pure reordering of the same code.
+    """
+    if trace is None:
+        return True
+    return (
+        type(trace) is TraceBus
+        and trace.counters is sim.counters
+        and sim.scheduler.trace is trace
+        and sim.rim.trace is trace
+        and sim.susqueue.trace is trace
+        and sim.monitor.trace is trace
+        and all(callable(getattr(s, "write_lines", None)) for s in trace._sinks)
+    )
 
 
 def hot_eligible(sim: "DReAMSim") -> bool:
@@ -79,7 +108,7 @@ def hot_eligible(sim: "DReAMSim") -> bool:
     return (
         type(rim) is ArrayRIM
         and type(susq) is ArraySuspensionQueue
-        and sim.trace is None
+        and _digest_capable(sim.trace, sim)
         and sim.gpp is None
         and sched.gpp_pool is None
         and sim._debug_every is None
@@ -263,6 +292,24 @@ def run_hot(sim: "DReAMSim") -> None:  # noqa: C901 - deliberately monolithic
     waste_samples = sim._system_waste_samples
     placed = sim._placed_count
 
+    # -- inline trace emission (digest-capable bus only) -----------------
+    # The generic path builds a TraceEvent + field dict per event and calls
+    # ``canonical()`` (a json.dumps) per sink write; at 200n/20k that is the
+    # whole 490 % digest overhead.  Here each event is formatted as its
+    # canonical line directly — an f-string whose keys are spelled in the
+    # sorted order json.dumps(sort_keys=True) would produce, with the same
+    # ``ss``/``hk`` stamps the bus would read from the counters at that
+    # point — and batched into ``tr_buf``; the batch is joined, encoded
+    # once, and handed to every sink's ``write_lines``.  The caller
+    # (DReAMSim.run) detaches ``rim.trace`` for the duration so
+    # configure_node/evict_entries do not also emit through the bus.
+    tb = sim.trace
+    trace_on = tb is not None
+    tr_buf: list = []
+    tr_app = tr_buf.append
+    tr_seq = tb._seq if tb is not None else 0
+    tr_sinks = tb._sinks if tb is not None else []
+
     created_s = TaskStatus.CREATED
     running_s = TaskStatus.RUNNING
     suspended_s = TaskStatus.SUSPENDED
@@ -312,6 +359,7 @@ def run_hot(sim: "DReAMSim") -> None:  # noqa: C901 - deliberately monolithic
         nonlocal st_scheduled, st_suspended, st_discarded
         nonlocal st_closest, st_cfg_paid, st_evicted
         nonlocal sc_busy, sc_idle, sc_blank, mon_last
+        nonlocal tr_seq
         steps0 = sched_steps
 
         # Phase 0: exact configuration match, else closest (both charged as
@@ -331,6 +379,9 @@ def run_hot(sim: "DReAMSim") -> None:  # noqa: C901 - deliberately monolithic
                 sched_steps = steps0 + ss
                 task.scheduling_steps += ss
                 st_discarded += 1
+                if trace_on:
+                    tr_app(f'{{"ev":"Discarded","hk":{hk_steps},"reason":"no_config","seq":{tr_seq},"ss":{sched_steps},"t":{now},"task":{task.task_no}}}\n')
+                    tr_seq += 1
                 return 2
             config = configs_list[cfg_keys[i] & pos_mask]
             used_closest = True
@@ -389,6 +440,10 @@ def run_hot(sim: "DReAMSim") -> None:  # noqa: C901 - deliberately monolithic
                         sc_idle = state_counts["idle"]
                         sc_blank = state_counts["blank"]
                         kind = "partial_reconfiguration"
+                        if trace_on and evict:
+                            cfgs = ",".join([str(e.config.config_no) for e in evict])
+                            tr_app(f'{{"area":{evicted},"cfgs":[{cfgs}],"ev":"ConfigEvicted","hk":{hk_steps},"node":{node.node_no},"seq":{tr_seq},"ss":{steps0 + ss},"t":{now}}}\n')
+                            tr_seq += 1
             if node is None:
                 # Last resort: suspend if any busy node could ever host it.
                 if not sb or sb[-1] < req << pos_bits:
@@ -450,6 +505,9 @@ def run_hot(sim: "DReAMSim") -> None:  # noqa: C901 - deliberately monolithic
                         sched_steps = steps0 + ss
                         task.scheduling_steps += ss
                         st_suspended += 1
+                        if trace_on:
+                            tr_app(f'{{"ev":"Suspended","hk":{hk_steps},"qlen":{len(sq_order)},"seq":{tr_seq},"ss":{sched_steps},"t":{now},"task":{task.task_no}}}\n')
+                            tr_seq += 1
                         return 1
                 # Queue full or nothing can ever host it: discard.  (The
                 # quarantine rescue rung is unreachable — the eligibility
@@ -459,6 +517,10 @@ def run_hot(sim: "DReAMSim") -> None:  # noqa: C901 - deliberately monolithic
                 sched_steps = steps0 + ss
                 task.scheduling_steps += ss
                 st_discarded += 1
+                if trace_on:
+                    reason = "queue_full" if exists else "no_placement"
+                    tr_app(f'{{"ev":"Discarded","hk":{hk_steps},"reason":"{reason}","seq":{tr_seq},"ss":{sched_steps},"t":{now},"task":{task.task_no}}}\n')
+                    tr_seq += 1
                 return 2
             counters.housekeeping_steps = hk_steps
             state_counts["busy"] = sc_busy
@@ -474,6 +536,9 @@ def run_hot(sim: "DReAMSim") -> None:  # noqa: C901 - deliberately monolithic
             # Re-mirror the aggregates configure/evict just changed.
             wasted_total = rim._wasted_total
             conf_total = rim._configured_total
+            if trace_on:
+                tr_app(f'{{"cfg":{cno},"ctime":{config_time},"ev":"ConfigLoaded","hk":{hk_steps},"node":{node.node_no},"seq":{tr_seq},"ss":{steps0 + ss},"t":{now}}}\n')
+                tr_seq += 1
 
         # DreamScheduler._start + DReAMSim._submit/_record_placement.
         comm = node.network_delay
@@ -534,6 +599,9 @@ def run_hot(sim: "DReAMSim") -> None:  # noqa: C901 - deliberately monolithic
 
         sched_steps = steps0 + ss
         task.scheduling_steps += ss
+        if trace_on:
+            tr_app(f'{{"avail":{node._available_area},"cfg":{cno},"closest":{"true" if used_closest else "false"},"ctime":{config_time},"ev":"Placed","hk":{hk_steps},"kind":"{kind}","node":{node.node_no},"seq":{tr_seq},"ss":{sched_steps},"sw":{wasted_total},"t":{now},"task":{task.task_no}}}\n')
+            tr_seq += 1
         st_scheduled += 1
         by_kind[kind] = by_kind.get(kind, 0) + 1
         if used_closest:
@@ -578,6 +646,9 @@ def run_hot(sim: "DReAMSim") -> None:  # noqa: C901 - deliberately monolithic
             mr_t.append(now)
             mr_v.append(running_count)
             mon_last = now
+            if trace_on:
+                tr_app(f'{{"busy":{sc_busy},"ev":"MonitorSampled","hk":{hk_steps},"queued":{qlen},"running":{running_count},"seq":{tr_seq},"ss":{sched_steps},"t":{now},"waste":{wasted_total}}}\n')
+                tr_seq += 1
         placed += 1
         seq += 1
         hpush(
@@ -608,6 +679,14 @@ def run_hot(sim: "DReAMSim") -> None:  # noqa: C901 - deliberately monolithic
             task.create_time = now
             task._history.append((now, created_s))
             tasks_append(task)
+            if trace_on:
+                tr_app(f'{{"ev":"TaskArrived","hk":{hk_steps},"pref":{task.pref_config.config_no},"req":{task.required_time},"seq":{tr_seq},"ss":{sched_steps},"t":{now},"task":{task.task_no}}}\n')
+                tr_seq += 1
+                if len(tr_buf) >= 1024:
+                    data = "".join(tr_buf).encode("utf-8")
+                    for _sink in tr_sinks:
+                        _sink.write_lines(data, len(tr_buf))
+                    tr_buf.clear()
             submit(task, now)
             arrival = next(arr_iter, None)
             if arrival is None:
@@ -621,6 +700,14 @@ def run_hot(sim: "DReAMSim") -> None:  # noqa: C901 - deliberately monolithic
             task.status = completed_s
             task._history.append((now, completed_s))
             task.completion_time = now
+            if trace_on:
+                tr_app(f'{{"closest":{"true" if task.used_closest_match else "false"},"ev":"Completed","hk":{hk_steps},"node":{cnode.node_no},"run":{task.running_time},"seq":{tr_seq},"ss":{sched_steps},"t":{now},"task":{task.task_no},"wait":{task.waiting_time}}}\n')
+                tr_seq += 1
+                if len(tr_buf) >= 1024:
+                    data = "".join(tr_buf).encode("utf-8")
+                    for _sink in tr_sinks:
+                        _sink.write_lines(data, len(tr_buf))
+                    tr_buf.clear()
             # ArrayRIM.complete_task (incl. Node.remove_task), inlined: the
             # event carries the busy entry, so no per-node scan; liveness
             # branch drops out as in assign.
@@ -692,6 +779,9 @@ def run_hot(sim: "DReAMSim") -> None:  # noqa: C901 - deliberately monolithic
                 mr_t.append(now)
                 mr_v.append(running_count)
                 mon_last = now
+                if trace_on:
+                    tr_app(f'{{"busy":{sc_busy},"ev":"MonitorSampled","hk":{hk_steps},"queued":{qlen},"running":{running_count},"seq":{tr_seq},"ss":{sched_steps},"t":{now},"waste":{wasted_total}}}\n')
+                    tr_seq += 1
             # LoadBalancer.observe, inlined (indexed O(1) aggregates).
             s1 = load_sum_i / load_den
             s2 = load_sumsq_i / load_den_sq
@@ -761,6 +851,9 @@ def run_hot(sim: "DReAMSim") -> None:  # noqa: C901 - deliberately monolithic
                 sq_free.append(rec)
                 hk_steps += 1
                 rtask.sus_retry += 1
+                if trace_on:
+                    tr_app(f'{{"ev":"Resumed","hk":{hk_steps},"retry":{rtask.sus_retry},"seq":{tr_seq},"ss":{sched_steps},"t":{now},"task":{rtask.task_no}}}\n')
+                    tr_seq += 1
                 if submit(rtask, now) != 0:
                     break
             if max_retries is not None:
@@ -768,8 +861,18 @@ def run_hot(sim: "DReAMSim") -> None:  # noqa: C901 - deliberately monolithic
                     ex.status = discarded_s
                     ex._history.append((now, discarded_s))
                     st_discarded += 1
+                    if trace_on:
+                        tr_app(f'{{"ev":"Discarded","hk":{hk_steps},"reason":"retries","seq":{tr_seq},"ss":{sched_steps},"t":{now},"task":{ex.task_no}}}\n')
+                        tr_seq += 1
 
     # -- write back state the generic loop keeps on the objects ------------
+    if trace_on:
+        if tr_buf:
+            data = "".join(tr_buf).encode("utf-8")
+            for _sink in tr_sinks:
+                _sink.write_lines(data, len(tr_buf))
+            tr_buf.clear()
+        tb.resume_at(tr_seq)
     counters.scheduling_steps = sched_steps
     counters.housekeeping_steps = hk_steps
     state_counts["busy"] = sc_busy

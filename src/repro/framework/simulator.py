@@ -226,21 +226,36 @@ class DReAMSim:
             # Clean array-backend run: the flat-table hot loop replays the
             # exact event/charge/sampling semantics of the generic path an
             # order of magnitude faster (see repro.framework.hotloop).
-            # hot_eligible requires trace=None, so skipping the RunStarted
-            # emission here loses nothing; run_hot pulls arrivals itself,
-            # so the feed must NOT be primed (that is why the hot branch
-            # bypasses start()).
+            # A digest-capable bus (every sink accepts ``write_lines``) is
+            # inside the envelope: RunStarted is emitted here exactly as
+            # start() would, the loop formats every in-run event's canonical
+            # line inline, and finish() emits RunFinished — byte-identical
+            # to the generic path's stream.  ``rim.trace`` is detached for
+            # the duration so configure/evict do not double-emit through
+            # the bus.  run_hot pulls arrivals itself, so the feed must NOT
+            # be primed (that is why the hot branch bypasses start()).
             # The cyclic collector is paused for the loop: the hot path
             # allocates heavily but creates no cycles, and gen-0 scans of
             # the growing task/sample lists otherwise cost >10% of the
             # run.  Liveness is unaffected, so results are identical.
+            if self.trace is not None:
+                self.trace.emit(
+                    RUN_STARTED,
+                    nodes=len(self.rim.nodes),
+                    configs=len(self.rim.configs),
+                    partial=self.partial,
+                    sample_system=self._sample_system,
+                )
             self._started = True
             gc_was_enabled = gc.isenabled()
             if gc_was_enabled:
                 gc.disable()
+            rim_trace = self.rim.trace
+            self.rim.trace = None
             try:
                 run_hot(self)
             finally:
+                self.rim.trace = rim_trace
                 if gc_was_enabled:
                     gc.enable()
             return self.finish()

@@ -1,4 +1,4 @@
-"""The parallel sweep engine (DESIGN.md §12).
+"""The parallel sweep engine (DESIGN.md §12, §16).
 
 Every headline artifact of the reproduction — the Fig. 6–10 series, the
 §VI-A claim scorecard, fault-campaign soaks, the benches and the perf
@@ -8,12 +8,19 @@ while keeping every output bit-identical to serial execution:
 
 * :class:`RunSpec` — picklable run description (specs, never live
   simulator objects, cross the process boundary);
-* :func:`~repro.parallel.worker.execute_spec` — the worker: derives the
-  workload from the seed, runs it, computes the trace digest in-process;
-* :class:`SweepExecutor` — pool management: worker reuse, bounded
-  in-flight submission, per-sweep progress timeout, worker-crash
-  propagation with the failing spec attached, and graceful degradation to
-  in-process serial execution (``jobs=1`` or pool-less platforms);
+* :func:`~repro.parallel.worker.execute_spec` /
+  :func:`~repro.parallel.worker.execute_chunk` — the worker: derives the
+  workload from the seed (memoised per process, cloned per run), runs it,
+  computes the trace digest in-process;
+* :class:`SweepExecutor` — pool management: deterministic cost-based
+  chunking with an LPT (steal-from-the-longest) central queue, worker
+  reuse, bounded in-flight submission, per-sweep progress timeout,
+  worker-crash propagation with the failing spec attached, and graceful
+  degradation to in-process serial execution (``jobs=1`` or pool-less
+  platforms);
+* :class:`ResultCache` — resumable content-addressed payload store keyed
+  by each spec's canonical BLAKE2b digest plus a code-version salt;
+  corrupted or version-skewed entries silently re-execute;
 * :class:`RunPayload` — the ``SimulationResult``-equivalent return bundle,
   merged back into figure/Table assemblies in submission order.
 
@@ -22,26 +29,41 @@ This is the **only** module tree allowed to touch ``multiprocessing`` /
 stays in one audited place.
 """
 
+from repro.parallel.cache import CACHE_SALT, CacheStats, ResultCache, spec_key
 from repro.parallel.executor import (
     SpecFailure,
     SweepExecutor,
     SweepTimeoutError,
     SweepWorkerError,
+    estimate_cost,
     resolve_jobs,
     run_specs,
 )
 from repro.parallel.spec import MonitorSeries, RunPayload, RunSpec
-from repro.parallel.worker import execute_spec
+from repro.parallel.worker import (
+    ChunkItemFailure,
+    execute_chunk,
+    execute_spec,
+    prewarm_workloads,
+)
 
 __all__ = [
+    "CACHE_SALT",
+    "CacheStats",
+    "ChunkItemFailure",
     "MonitorSeries",
+    "ResultCache",
     "RunPayload",
     "RunSpec",
     "SpecFailure",
     "SweepExecutor",
     "SweepTimeoutError",
     "SweepWorkerError",
+    "estimate_cost",
+    "execute_chunk",
     "execute_spec",
+    "prewarm_workloads",
     "resolve_jobs",
     "run_specs",
+    "spec_key",
 ]

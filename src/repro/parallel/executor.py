@@ -9,23 +9,43 @@ matter how the pool interleaved completions.
 
 Execution model
 ---------------
+* **Result cache** — with a :class:`~repro.parallel.cache.ResultCache`
+  attached, every spec is first looked up by its content key; only misses
+  execute, and every fresh payload is persisted as it completes (per spec
+  serially, per chunk under a pool), so a killed sweep resumes from its
+  last completed chunk.  Cached payloads are re-keyed to their submission
+  index, keeping the merge bit-identical to an uncached run.
+* **Adaptive chunking** — specs are grouped into pool tasks by *estimated
+  cost* (a deterministic function of task count, backend, and fault knobs —
+  never wall-clock measurements, per dreamlint DL001), so a sweep of many
+  small arms amortises submit/pickle overhead while big arms stay alone in
+  their chunk.  The chunk cost target is re-derived from the **remaining**
+  estimated work at each build, so chunks shrink toward the tail of the
+  sweep and stragglers cannot pin the finish.
+* **Work stealing (LPT)** — the remaining specs form one queue sorted by
+  descending estimated cost; whichever worker finishes next takes the next
+  chunk from the front.  Taking the largest remaining work first is exactly
+  steal-from-the-longest-queue with the queue kept centrally, and it is the
+  classic longest-processing-time schedule: heavy arms start early, light
+  arms backfill.
 * **Worker reuse** — one pool serves the whole sweep; workers amortise
-  interpreter/import start-up across specs (``ProcessPoolExecutor`` keeps
-  its processes alive between tasks).
+  interpreter/import start-up (and their memoised master workloads) across
+  chunks.
 * **Bounded in-flight work** — at most ``max_inflight`` (default
-  ``4 × jobs``) specs are submitted at a time, so a 10 000-spec sweep never
-  materialises 10 000 pending futures or their pickled arguments at once.
+  ``jobs + 1``) *chunks* are submitted at a time: every worker busy, one
+  chunk queued, and nothing else materialised — a 10 000-spec sweep never
+  holds 10 000 pending futures or their pickled arguments at once.
 * **Graceful degradation** — ``jobs=1`` runs every spec in-process with no
   pool at all (the CI/golden path: byte-identical semantics, zero
   multiprocessing surface), and a platform that cannot start a pool at all
   falls back to the same serial path with a notice through ``on_message``.
-* **Failure propagation** — a worker exception is caught per spec; the
-  executor finishes collecting every other outcome, then raises
-  :class:`SweepWorkerError` carrying each failing spec (with its index and
-  cause) *and* the successfully completed payloads, so a 100-spec sweep
-  with one bad spec does not silently discard 99 results.
+* **Failure propagation** — a worker exception is caught per spec (chunks
+  carry per-item outcomes); the executor finishes collecting every other
+  outcome, then raises :class:`SweepWorkerError` carrying each failing spec
+  (with its index and cause) *and* the successfully completed payloads, so
+  a 100-spec sweep with one bad spec does not silently discard 99 results.
 * **Progress timeout** — ``timeout`` bounds how long the executor waits
-  without *any* spec completing; on expiry it raises
+  without *any* chunk completing; on expiry it raises
   :class:`SweepTimeoutError` naming the in-flight specs.
 """
 
@@ -34,12 +54,46 @@ from __future__ import annotations
 import concurrent.futures
 import multiprocessing
 import os
-from concurrent.futures.process import BrokenProcessPool
+from collections import deque
 from dataclasses import dataclass
-from typing import Callable, Iterator, Optional, Sequence
+from typing import Callable, Optional, Sequence
 
+from repro.parallel.cache import ResultCache
 from repro.parallel.spec import RunPayload, RunSpec
-from repro.parallel.worker import execute_spec
+from repro.parallel.worker import ChunkItemFailure, execute_chunk, execute_spec
+
+#: Relative cost of one simulated task under each backend (measured orders
+#: of magnitude from BENCH_perf.json, frozen here as integers so chunking
+#: stays deterministic).
+_BACKEND_COST = {"array": 1, "indexed": 3, "scan": 8}
+
+#: Aim for about this many chunks per worker over the remaining work.
+_CHUNKS_PER_JOB = 4
+
+#: Hard cap on specs per chunk, so zero-cost spec floods still pipeline.
+_MAX_CHUNK_SPECS = 64
+
+
+def estimate_cost(spec: RunSpec) -> int:
+    """Deterministic relative cost estimate for one spec.
+
+    Scales with the dominant knobs — task count, backend step cost, fault
+    machinery, event collection — using fixed integer multipliers.  The
+    estimate only has to *rank* specs and split totals sensibly; it is
+    derived purely from spec fields (no wall-clock feedback) so the chunk
+    layout for a given spec list is a pure function of that list.
+    """
+    c = spec.campaign
+    cost = max(1, c.tasks)
+    backend = spec.backend if spec.backend is not None else (
+        "indexed" if spec.indexed else "scan"
+    )
+    cost *= _BACKEND_COST.get(backend, _BACKEND_COST["indexed"])
+    if c.faults_enabled:
+        cost *= 3
+    if spec.collect_digest or spec.collect_events:
+        cost *= 2
+    return cost
 
 
 def resolve_jobs(jobs: int) -> int:
@@ -116,13 +170,18 @@ class SweepExecutor:
         CPU, ``1`` = in-process serial execution, negative = error).
     timeout:
         Progress timeout in seconds: the longest the executor will wait
-        without any spec completing before raising
+        without any chunk completing before raising
         :class:`SweepTimeoutError`.  ``None`` (default) waits forever.
     max_inflight:
-        Cap on submitted-but-unfinished specs (default ``4 × jobs``).
+        Cap on submitted-but-unfinished *chunks* (default ``jobs + 1``:
+        every worker busy plus one chunk queued at the pool).
     on_message:
         Optional sink for human-facing notices (serial-fallback reasons,
-        progress); defaults to silent.
+        cache statistics); defaults to silent.
+    cache:
+        Optional :class:`~repro.parallel.cache.ResultCache`.  Hits skip
+        execution entirely; fresh payloads are stored as they complete, so
+        an interrupted sweep resumes from its last completed chunk.
     """
 
     def __init__(
@@ -131,6 +190,7 @@ class SweepExecutor:
         timeout: Optional[float] = None,
         max_inflight: Optional[int] = None,
         on_message: Optional[Callable[[str], None]] = None,
+        cache: Optional[ResultCache] = None,
     ) -> None:
         self.jobs = resolve_jobs(jobs)
         if timeout is not None and timeout <= 0:
@@ -138,7 +198,8 @@ class SweepExecutor:
         self.timeout = timeout
         if max_inflight is not None and max_inflight < 1:
             raise ValueError(f"max_inflight must be >= 1, got {max_inflight}")
-        self.max_inflight = max_inflight if max_inflight is not None else 4 * self.jobs
+        self.max_inflight = max_inflight if max_inflight is not None else self.jobs + 1
+        self.cache = cache
         self._say = on_message if on_message is not None else (lambda _msg: None)
 
     # -- public API ------------------------------------------------------------
@@ -146,37 +207,76 @@ class SweepExecutor:
     def run(self, specs: Sequence[RunSpec]) -> list[RunPayload]:
         """Execute every spec; return payloads ordered like ``specs``.
 
-        Raises :class:`SweepWorkerError` after the sweep drains if any spec
-        failed, and :class:`SweepTimeoutError` if the progress timeout
-        expires with work still in flight.
+        With a cache attached, specs whose keys validate are served from
+        disk (re-keyed to their submission index) and only the misses
+        execute.  Raises :class:`SweepWorkerError` after the sweep drains
+        if any spec failed, and :class:`SweepTimeoutError` if the progress
+        timeout expires with work still in flight.
         """
         specs = list(specs)
         if not specs:
             return []
-        if self.jobs == 1:
-            return self._run_serial(specs)
-        pool = self._make_pool()
-        if pool is None:
-            return self._run_serial(specs)
-        try:
-            return self._run_pool(pool, specs)
-        finally:
-            pool.shutdown(wait=False, cancel_futures=True)
+        cache = self.cache
+        results: dict[int, RunPayload] = {}
+        todo: list[tuple[int, RunSpec]] = []
+        stats0 = (0, 0, 0)
+        if cache is not None:
+            stats0 = (cache.stats.hits, cache.stats.misses, cache.stats.stored)
+            for i, spec in enumerate(specs):
+                hit = cache.load_at(i, spec)
+                if hit is not None:
+                    results[i] = hit
+                else:
+                    todo.append((i, spec))
+        else:
+            todo = list(enumerate(specs))
+
+        failures: dict[int, SpecFailure] = {}
+        if todo:
+            pool = None
+            if self.jobs > 1 and len(todo) > 1:
+                pool = self._make_pool()
+            if pool is None:
+                self._run_serial_items(todo, results, failures)
+            else:
+                try:
+                    self._run_pool_items(pool, todo, results, failures)
+                finally:
+                    pool.shutdown(wait=False, cancel_futures=True)
+
+        if cache is not None:
+            s = cache.stats
+            delta = (
+                s.hits - stats0[0], s.misses - stats0[1], s.stored - stats0[2],
+            )
+            self._say(
+                f"sweep cache: {delta[0]} hit(s), {delta[1]} miss(es), "
+                f"{delta[2]} stored"
+            )
+        completed = [results[i] for i in sorted(results)]
+        if failures:
+            raise SweepWorkerError([failures[i] for i in sorted(failures)], completed)
+        return completed
 
     # -- serial path -----------------------------------------------------------
 
-    def _run_serial(self, specs: Sequence[RunSpec]) -> list[RunPayload]:
+    def _run_serial_items(
+        self,
+        todo: Sequence[tuple[int, RunSpec]],
+        results: dict[int, RunPayload],
+        failures: dict[int, SpecFailure],
+    ) -> None:
         """In-process execution: the reference semantics every mode must match."""
-        completed: list[RunPayload] = []
-        failures: list[SpecFailure] = []
-        for i, spec in enumerate(specs):
+        cache = self.cache
+        for i, spec in todo:
             try:
-                completed.append(execute_spec((i, spec)))
+                payload = execute_spec((i, spec))
             except Exception as exc:  # noqa: BLE001 — reported, never swallowed
-                failures.append(SpecFailure(index=i, spec=spec, cause=exc))
-        if failures:
-            raise SweepWorkerError(failures, completed)
-        return completed
+                failures[i] = SpecFailure(index=i, spec=spec, cause=exc)
+            else:
+                results[i] = payload
+                if cache is not None:
+                    cache.store(payload)
 
     # -- pool path -------------------------------------------------------------
 
@@ -193,30 +293,60 @@ class SweepExecutor:
             )
             return None
 
-    def _run_pool(
+    def _run_pool_items(
         self,
         pool: concurrent.futures.ProcessPoolExecutor,
-        specs: Sequence[RunSpec],
-    ) -> list[RunPayload]:
-        results: dict[int, RunPayload] = {}
-        failures: dict[int, SpecFailure] = {}
-        pending: dict[concurrent.futures.Future[RunPayload], int] = {}
-        feed: Iterator[tuple[int, RunSpec]] = iter(enumerate(specs))
+        todo: Sequence[tuple[int, RunSpec]],
+        results: dict[int, RunPayload],
+        failures: dict[int, SpecFailure],
+    ) -> None:
+        cache = self.cache
+        est = {i: estimate_cost(spec) for i, spec in todo}
+        # LPT order: heaviest first, submission index breaking ties, so the
+        # chunk layout is a pure function of the spec list.
+        queue: deque[tuple[int, RunSpec]] = deque(
+            sorted(todo, key=lambda item: (-est[item[0]], item[0]))
+        )
+        remaining_cost = sum(est.values())
+        pending: dict[
+            concurrent.futures.Future, tuple[tuple[int, RunSpec], ...]
+        ] = {}
 
-        def refill() -> None:
-            while len(pending) < self.max_inflight:
-                nxt = next(feed, None)
-                if nxt is None:
-                    return
-                i, spec = nxt
-                try:
-                    pending[pool.submit(execute_spec, (i, spec))] = i
-                except RuntimeError as exc:
-                    # Pool already broken: record and stop feeding.
+        def next_chunk() -> tuple[tuple[int, RunSpec], ...]:
+            # Target re-derived from the remaining work: chunks shrink as
+            # the sweep drains, fine-graining the tail.
+            nonlocal remaining_cost
+            target = max(1, remaining_cost // (self.jobs * _CHUNKS_PER_JOB))
+            chunk: list[tuple[int, RunSpec]] = []
+            cost = 0
+            while queue and len(chunk) < _MAX_CHUNK_SPECS:
+                item = queue.popleft()  # steal the largest remaining spec
+                chunk.append(item)
+                cost += est[item[0]]
+                if cost >= target:
+                    break
+            remaining_cost -= cost
+            return tuple(chunk)
+
+        def submit_next() -> bool:
+            chunk = next_chunk()
+            if not chunk:
+                return False
+            try:
+                pending[pool.submit(execute_chunk, chunk)] = chunk
+            except RuntimeError as exc:
+                # Pool already broken: fail this chunk and everything not
+                # yet submitted — nothing else can run.
+                for i, spec in chunk:
                     failures[i] = SpecFailure(index=i, spec=spec, cause=exc)
-                    return
+                while queue:
+                    i, spec = queue.popleft()
+                    failures[i] = SpecFailure(index=i, spec=spec, cause=exc)
+                return False
+            return True
 
-        refill()
+        while len(pending) < self.max_inflight and submit_next():
+            pass
         while pending:
             done, _not_done = concurrent.futures.wait(
                 set(pending),
@@ -224,34 +354,46 @@ class SweepExecutor:
                 return_when=concurrent.futures.FIRST_COMPLETED,
             )
             if not done:
-                inflight = [
-                    SpecFailure(index=i, spec=specs[i], cause=TimeoutError())
-                    for _f, i in sorted(pending.items(), key=lambda kv: kv[1])
-                ]
+                inflight = sorted(
+                    (
+                        SpecFailure(index=i, spec=spec, cause=TimeoutError())
+                        for chunk in pending.values()
+                        for i, spec in chunk
+                    ),
+                    key=lambda f: f.index,
+                )
                 for f in pending:
                     f.cancel()
                 assert self.timeout is not None
                 raise SweepTimeoutError(self.timeout, inflight)
             for future in done:
-                i = pending.pop(future)
+                chunk = pending.pop(future)
                 try:
-                    results[i] = future.result()
-                except BrokenProcessPool as exc:
-                    # The pool died (worker killed mid-run); every remaining
-                    # future fails the same way — drain them into failures.
-                    failures[i] = SpecFailure(index=i, spec=specs[i], cause=exc)
+                    outcomes = future.result()
                 except concurrent.futures.CancelledError as exc:
-                    failures[i] = SpecFailure(index=i, spec=specs[i], cause=exc)
+                    for i, spec in chunk:
+                        failures[i] = SpecFailure(index=i, spec=spec, cause=exc)
                 except Exception as exc:  # noqa: BLE001 — reported, never swallowed
-                    failures[i] = SpecFailure(index=i, spec=specs[i], cause=exc)
-            refill()
-
-        completed = [results[i] for i in sorted(results)]
-        if failures:
-            raise SweepWorkerError(
-                [failures[i] for i in sorted(failures)], completed
-            )
-        return completed
+                    # The whole chunk is lost: worker killed mid-run
+                    # (BrokenProcessPool), pool torn down, or transport
+                    # failure.
+                    for i, spec in chunk:
+                        failures[i] = SpecFailure(index=i, spec=spec, cause=exc)
+                else:
+                    by_index = {i: spec for i, spec in chunk}
+                    for outcome in outcomes:
+                        if isinstance(outcome, ChunkItemFailure):
+                            failures[outcome.index] = SpecFailure(
+                                index=outcome.index,
+                                spec=by_index[outcome.index],
+                                cause=outcome.cause,
+                            )
+                        else:
+                            results[outcome.index] = outcome
+                            if cache is not None:
+                                cache.store(outcome)
+            while len(pending) < self.max_inflight and submit_next():
+                pass
 
 
 def run_specs(
@@ -259,9 +401,12 @@ def run_specs(
     jobs: int = 1,
     timeout: Optional[float] = None,
     on_message: Optional[Callable[[str], None]] = None,
+    cache: Optional[ResultCache] = None,
 ) -> list[RunPayload]:
     """One-shot convenience wrapper over :class:`SweepExecutor`."""
-    return SweepExecutor(jobs=jobs, timeout=timeout, on_message=on_message).run(specs)
+    return SweepExecutor(
+        jobs=jobs, timeout=timeout, on_message=on_message, cache=cache
+    ).run(specs)
 
 
 __all__ = [
@@ -269,6 +414,7 @@ __all__ = [
     "SweepExecutor",
     "SweepTimeoutError",
     "SweepWorkerError",
+    "estimate_cost",
     "resolve_jobs",
     "run_specs",
 ]

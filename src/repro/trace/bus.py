@@ -73,20 +73,50 @@ class MemorySink:
 
 
 class DigestSink:
-    """Streaming order-sensitive BLAKE2b over canonical event lines."""
+    """Streaming order-sensitive BLAKE2b over canonical event lines.
+
+    Lines are accumulated in a byte buffer and folded into the hash in
+    ~64 KiB batches: one big ``update`` costs a fraction of per-line
+    update pairs, and the digest is over the byte *stream*, so batch
+    boundaries cannot change it.  Besides :meth:`write` (one stamped
+    event) the sink accepts :meth:`write_lines` — pre-encoded canonical
+    lines in bulk — which is what the array backend's hot loop feeds it;
+    a bus whose sinks all support ``write_lines`` is what
+    :func:`repro.framework.hotloop.hot_eligible` calls digest-capable.
+    """
+
+    _FLUSH_BYTES = 65536
 
     def __init__(self) -> None:
         self._hash = hashlib.blake2b(digest_size=16)
+        self._buf = bytearray()
         self.count = 0
 
     def write(self, event: TraceEvent) -> None:
         """Fold the event's canonical line into the digest."""
-        self._hash.update(event.canonical().encode("utf-8"))
-        self._hash.update(b"\n")
+        buf = self._buf
+        buf += event.canonical().encode("utf-8")
+        buf += b"\n"
         self.count += 1
+        if len(buf) >= self._FLUSH_BYTES:
+            self._hash.update(buf)
+            del buf[:]
+
+    def write_lines(self, data: bytes, count: int) -> None:
+        """Fold ``count`` pre-encoded canonical lines (newline-terminated)."""
+        buf = self._buf
+        buf += data
+        self.count += count
+        if len(buf) >= self._FLUSH_BYTES:
+            self._hash.update(buf)
+            del buf[:]
 
     def hexdigest(self) -> str:
         """Digest over everything written so far (non-destructive)."""
+        buf = self._buf
+        if buf:
+            self._hash.update(buf)
+            del buf[:]
         return self._hash.copy().hexdigest()
 
 

@@ -166,7 +166,8 @@ def test_executor_validates_arguments() -> None:
         SweepExecutor(jobs=2, timeout=0)
     with pytest.raises(ValueError):
         SweepExecutor(jobs=2, max_inflight=0)
-    assert SweepExecutor(jobs=2).max_inflight == 8
+    # Default in-flight window: every worker busy plus one queued chunk.
+    assert SweepExecutor(jobs=2).max_inflight == 3
     assert SweepExecutor(jobs=2).run([]) == []
 
 

@@ -1,0 +1,116 @@
+#!/usr/bin/env python
+"""CI gate for resumable sweeps: kill a cached sweep mid-flight, resume it.
+
+The check launches a child process running a cached sweep (``--child``),
+waits until the child has published at least one cache entry, kills it with
+SIGKILL (no cleanup, no atexit — the honest crash), then resumes the same
+sweep against the same ``--cache-dir`` and demands:
+
+* **resume actually resumed** — the warm pass reports more than zero cache
+  hits (the dead child's completed specs were served from disk);
+* **bit-identity** — the merged payloads (submission order, Table I report,
+  trace digest, final time) equal an uncached serial reference run.
+
+Exit status 0 on success, 1 on any violation.  Usage::
+
+    PYTHONPATH=src python tools/sweep_resume_check.py [--jobs 2]
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.framework.campaign import FaultCampaignSpec  # noqa: E402
+from repro.parallel import ResultCache, RunSpec, run_specs  # noqa: E402
+
+
+def sweep_specs() -> list[RunSpec]:
+    """The checked sweep: 8 digest-collecting arms, both modes, four seeds."""
+    return [
+        RunSpec(
+            campaign=FaultCampaignSpec(
+                nodes=40, configs=16, tasks=400, partial=partial, seed=seed
+            ),
+            backend="array",
+            collect_digest=True,
+        )
+        for seed in (11, 12, 13, 14)
+        for partial in (True, False)
+    ]
+
+
+def essence(payloads) -> list:
+    return [(p.index, p.report, p.digest, p.final_time) for p in payloads]
+
+
+def run_child(cache_dir: str, jobs: int) -> int:
+    run_specs(sweep_specs(), jobs=jobs, cache=ResultCache(cache_dir))
+    return 0
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--jobs", type=int, default=1, help="jobs for both passes")
+    ap.add_argument("--cache-dir", default=None, help=argparse.SUPPRESS)
+    ap.add_argument("--child", action="store_true", help=argparse.SUPPRESS)
+    args = ap.parse_args(argv)
+
+    if args.child:
+        assert args.cache_dir is not None
+        return run_child(args.cache_dir, args.jobs)
+
+    cache_dir = args.cache_dir or tempfile.mkdtemp(prefix="sweep-resume-check-")
+    specs = sweep_specs()
+    print(f"reference: uncached serial run of {len(specs)} spec(s)")
+    reference = essence(run_specs(specs, jobs=1))
+
+    print(f"starting child sweep (jobs={args.jobs}, cache={cache_dir})")
+    child = subprocess.Popen(
+        [
+            sys.executable, os.path.abspath(__file__),
+            "--child", "--cache-dir", cache_dir, "--jobs", str(args.jobs),
+        ],
+        env={**os.environ},
+    )
+    deadline = time.time() + 120
+    while time.time() < deadline:
+        if list(Path(cache_dir).glob("*/*.payload")):
+            break
+        if child.poll() is not None:
+            break
+        time.sleep(0.01)
+    child.send_signal(signal.SIGKILL)
+    child.wait()
+    survivors = len(list(Path(cache_dir).glob("*/*.payload")))
+    print(f"killed child; {survivors} cache entr(ies) survived")
+    if survivors == 0:
+        print("FAIL: the child published no cache entries before the kill")
+        return 1
+
+    cache = ResultCache(cache_dir)
+    resumed = essence(run_specs(specs, jobs=args.jobs, cache=cache))
+    print(
+        f"resumed sweep: {cache.stats.hits} hit(s), {cache.stats.misses} "
+        f"miss(es), {cache.stats.stored} stored"
+    )
+    if cache.stats.hits == 0:
+        print("FAIL: resume produced zero cache hits")
+        return 1
+    if resumed != reference:
+        print("FAIL: resumed payloads differ from the uncached serial run")
+        return 1
+    print("OK: resume served cached prefixes and merged bit-identically")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
